@@ -1,0 +1,86 @@
+"""Table 1: Volunteer User Session Data.
+
+Paper values (m515, hardware-scale sessions):
+
+    Session  Events  Elapsed      RAM Refs  Flash Refs  Ave Mem Cyc
+    1        1243    24:34:31     214 M     443 M       2.35
+    2        933     48:28:56     31 M      69 M        2.38
+    3        755     24:52:55     34 M      76 M        2.39
+    4        1622    141:27:26    234 M     486 M       2.35
+
+Reproduction targets: event counts and elapsed times close to the
+paper's; flash receiving the majority of references; the no-cache
+average memory access time well above 2 cycles (the paper's 2.35-2.39
+comes from a ~67% flash share; our kernel model lands a little lower —
+see EXPERIMENTS.md for the accounting).  Absolute reference counts are
+smaller by ~100x because session activity, not wall-clock idle time,
+costs simulated instructions.
+"""
+
+from repro.analysis import format_table1
+
+from conftest import FULL_SCALE, once
+
+PAPER = {
+    "session1": dict(events=1243, ram=214e6, flash=443e6, cyc=2.35),
+    "session2": dict(events=933, ram=31e6, flash=69e6, cyc=2.38),
+    "session3": dict(events=755, ram=34e6, flash=76e6, cyc=2.39),
+    "session4": dict(events=1622, ram=234e6, flash=486e6, cyc=2.35),
+}
+
+
+def test_table1(table1_runs, benchmark):
+    rows = once(benchmark, lambda: [
+        {
+            "session": run.spec.name,
+            "events": run.session.events,
+            "elapsed_ticks": run.session.elapsed_ticks,
+            "ram_refs": run.profiler.ram_refs,
+            "flash_refs": run.profiler.flash_refs,
+            "ave_mem_cyc": run.profiler.average_memory_cycles(),
+        }
+        for run in table1_runs
+    ])
+    print("\n" + format_table1(rows))
+    print("\npaper:   events 1243/933/755/1622, Ave Mem Cyc 2.35-2.39, "
+          "flash ~67% of references")
+
+    for row in rows:
+        paper = PAPER[row["session"]]
+        # Event counts within 25% of the paper's.
+        assert abs(row["events"] - paper["events"]) / paper["events"] < 0.25
+        # Flash must dominate; the average access time must sit between
+        # the RAM (1) and flash (3) costs, well above the midpoint the
+        # paper's conclusion rests on.
+        assert row["flash_refs"] > row["ram_refs"]
+        assert 2.0 < row["ave_mem_cyc"] < 2.5
+
+    if FULL_SCALE:
+        # Relative session weights: session 4 is the biggest, as in
+        # the paper.
+        events = {r["session"]: r["events"] for r in rows}
+        assert events["session4"] == max(events.values())
+
+
+def test_elapsed_times_match_paper(table1_runs, benchmark):
+    once(benchmark, lambda: None)
+    """Virtual elapsed time tracks the paper's wall-clock sessions."""
+    expected_hours = {"session1": 24.58, "session2": 48.48,
+                      "session3": 24.88, "session4": 141.46}
+    for run in table1_runs:
+        hours = run.session.elapsed_ticks / (100 * 3600)
+        assert hours == run.spec.hours or abs(
+            hours - expected_hours[run.spec.name]) < 0.5
+
+
+def test_reference_composition(table1_runs, benchmark):
+    once(benchmark, lambda: None)
+    """Fetches dominate references (instruction-driven workload), and
+    every reference is classified."""
+    for run in table1_runs:
+        profiler = run.profiler
+        assert profiler.fetch_refs > profiler.read_refs
+        assert profiler.total_refs == (profiler.ram_refs
+                                       + profiler.flash_refs
+                                       + profiler.hw_refs)
+        assert profiler.hw_refs < 0.05 * profiler.total_refs

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: collect a session on a simulated Palm m515 and replay it.
+
+The smallest complete tour of the pipeline:
+
+1. build a handheld with the standard application suite,
+2. instrument it with the five logging hacks and capture its initial
+   state (the deterministic-state-machine model's beta),
+3. drive it with a scripted user (delta, the input sequence),
+4. replay the collected activity log on the emulator with profiling,
+5. print what the profiler saw.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Button,
+    UserScript,
+    collect_session,
+    replay_session,
+    standard_apps,
+)
+from repro.tracelog import read_activity_log
+from repro.validation import correlate_logs
+
+EMULATOR_KW = {"ram_size": 8 << 20, "flash_size": 1 << 20}
+
+
+def main() -> None:
+    apps = standard_apps()
+
+    # The "volunteer user": open MemoPad, jot two memos, review the
+    # list, then play a few Puzzle moves.
+    script = (UserScript(name="quickstart")
+              .at(100)
+              .press(Button.MEMO).wait(50)
+              .tap(40, 120).wait(60)
+              .tap(90, 140).wait(60)
+              .press(Button.UP).wait(80)
+              .press(Button.DATEBOOK).wait(80)
+              .tap(50, 10).wait(40)
+              .tap(90, 50).wait(40))
+
+    print("collecting the session on the simulated handheld ...")
+    session = collect_session(apps, script, name="quickstart",
+                              ram_size=EMULATOR_KW["ram_size"])
+    print(f"  {session.events} activity-log records over "
+          f"{session.elapsed_hms()} (virtual)")
+    print(f"  log storage on device: {session.log.storage_bytes()} bytes")
+
+    print("replaying on the emulator with profiling ...")
+    emulator, profiler, result = replay_session(
+        session.initial_state, session.log, apps=apps,
+        emulator_kwargs=EMULATOR_KW)
+    print(f"  injected {result.events_injected} synchronous events, "
+          f"executed {profiler.instructions:,} instructions")
+
+    total = profiler.total_refs
+    print(f"  memory references: {total:,} "
+          f"(RAM {100 * profiler.ram_refs / total:.1f}%, "
+          f"flash {100 * profiler.flash_refs / total:.1f}%)")
+    print(f"  average memory access time without a cache: "
+          f"{profiler.average_memory_cycles():.2f} cycles")
+
+    corr = correlate_logs(session.log, read_activity_log(emulator.kernel))
+    print(f"  replay fidelity: {corr.exact_matches}/{corr.total_original} "
+          f"records bit-exact -> {'VALID' if corr.valid else 'DIVERGED'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Session archival: the desktop side of the paper's workflow.
+
+Collects a session, writes the transferred artifacts to disk exactly
+as they would arrive over the HotSync cable (a flash image, PDB files,
+and the activity log — itself a PDB), then loads them back in a fresh
+process context and replays.  Finishes with the profiler's opcode
+statistics, the other output §2.4.2's modified POSE produces.
+
+Run:  python examples/record_and_replay.py [output-dir]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import (
+    ActivityLog,
+    Button,
+    InitialState,
+    UserScript,
+    collect_session,
+    replay_session,
+    standard_apps,
+)
+from repro.analysis import format_opcode_table
+
+EMULATOR_KW = {"ram_size": 8 << 20, "flash_size": 1 << 20}
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        tempfile.mkdtemp(prefix="palm_session_"))
+    apps = standard_apps()
+
+    script = (UserScript(name="archived")
+              .at(120)
+              .press(Button.ADDRESS).wait(60)
+              .press(Button.DOWN).wait(40)
+              .press(Button.MEMO).wait(60)
+              .tap(60, 120).wait(60)
+              .drag([(20, 30), (40, 45), (70, 60), (100, 80)]).wait(60))
+
+    print("collecting ...")
+    session = collect_session(apps, script, name="archived",
+                              ram_size=EMULATOR_KW["ram_size"])
+
+    # -- transfer to the desktop -------------------------------------
+    state_dir = out_dir / "initial_state"
+    log_path = out_dir / "activity_log.pdb"
+    session.initial_state.save(state_dir)
+    session.log.save(log_path)
+    n_files = len(list(state_dir.iterdir()))
+    print(f"archived to {out_dir}")
+    print(f"  initial state: {n_files} files "
+          f"(flash.rom + {n_files - 2} databases)")
+    print(f"  activity log : {log_path.stat().st_size} bytes, "
+          f"{len(session.log)} records")
+
+    # -- later: load and replay ----------------------------------------
+    print("loading the archive and replaying ...")
+    state = InitialState.load(state_dir)
+    log = ActivityLog.load(log_path)
+    _, profiler, result = replay_session(state, log, apps=apps,
+                                         emulator_kwargs=EMULATOR_KW)
+    print(f"  {result.events_injected} events replayed, "
+          f"{profiler.instructions:,} instructions profiled\n")
+
+    print(format_opcode_table(profiler.top_opcodes(12),
+                              profiler.instructions))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Analysis helpers: paper-style reports and the energy extension."""
+
+from .energy import (E_CACHE_HIT, E_FLASH, E_RAM, EnergyModel,
+                     OPCODE_CLASS_ENERGY, classify_opcode, instruction_energy)
+from .screen import screen_ascii, screen_histogram, screenshot_ppm
+from .reports import (
+    format_access_times,
+    format_miss_rates,
+    format_opcode_table,
+    format_overhead,
+    format_overhead_multi,
+    format_table1,
+    format_validation,
+)
+
+__all__ = [
+    "EnergyModel",
+    "OPCODE_CLASS_ENERGY",
+    "classify_opcode",
+    "instruction_energy",
+    "E_CACHE_HIT",
+    "E_RAM",
+    "E_FLASH",
+    "format_table1",
+    "format_miss_rates",
+    "format_access_times",
+    "format_overhead",
+    "format_overhead_multi",
+    "format_validation",
+    "screen_ascii",
+    "screen_histogram",
+    "screenshot_ppm",
+    "format_opcode_table",
+]

@@ -1,0 +1,68 @@
+"""Framebuffer rendering: look at the emulated screen.
+
+The m515's 160x160 16-bit framebuffer lives in guest RAM; these helpers
+render it for debugging and documentation — as ASCII art (quick look in
+a terminal) or as a PPM image file (lossless, viewable anywhere, no
+imaging dependencies needed).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from ..device import constants as C
+from ..palmos import layout as L
+
+#: Luminance ramp for ASCII rendering, dark to light.
+_RAMP = "@%#*+=-:. "
+
+
+def _read_framebuffer(kernel) -> bytes:
+    return kernel.host.read_bytes(L.FRAMEBUFFER, C.FRAMEBUFFER_SIZE)
+
+
+def _pixel_rgb(hi: int, lo: int) -> tuple:
+    """RGB565 -> 8-bit RGB."""
+    value = (hi << 8) | lo
+    r = (value >> 11) & 0x1F
+    g = (value >> 5) & 0x3F
+    b = value & 0x1F
+    return (r << 3 | r >> 2, g << 2 | g >> 4, b << 3 | b >> 2)
+
+
+def screen_ascii(kernel, width: int = 80) -> str:
+    """Render the framebuffer as ASCII art (downsampled)."""
+    fb = _read_framebuffer(kernel)
+    step = max(1, C.SCREEN_WIDTH // width)
+    rows = []
+    for y in range(0, C.SCREEN_HEIGHT, step * 2):  # chars are ~2:1
+        row = []
+        for x in range(0, C.SCREEN_WIDTH, step):
+            offset = (y * C.SCREEN_WIDTH + x) * 2
+            r, g, b = _pixel_rgb(fb[offset], fb[offset + 1])
+            luminance = (2 * r + 5 * g + b) / 8 / 255
+            row.append(_RAMP[min(len(_RAMP) - 1,
+                                 int(luminance * len(_RAMP)))])
+        rows.append("".join(row))
+    return "\n".join(rows)
+
+
+def screenshot_ppm(kernel, path: Union[str, Path]) -> None:
+    """Write the framebuffer as a binary PPM (P6) image."""
+    fb = _read_framebuffer(kernel)
+    header = f"P6\n{C.SCREEN_WIDTH} {C.SCREEN_HEIGHT}\n255\n".encode()
+    body = bytearray()
+    for i in range(0, len(fb), 2):
+        body.extend(_pixel_rgb(fb[i], fb[i + 1]))
+    Path(path).write_bytes(header + bytes(body))
+
+
+def screen_histogram(kernel) -> dict:
+    """Colour histogram of the framebuffer (diagnostics)."""
+    fb = _read_framebuffer(kernel)
+    out: dict = {}
+    for i in range(0, len(fb), 2):
+        value = (fb[i] << 8) | fb[i + 1]
+        out[value] = out.get(value, 0) + 1
+    return out

@@ -1,0 +1,50 @@
+"""ROM-resident guest applications, written in 68k assembly.
+
+The m515's built-in applications live in ROM, which is why flash
+receives the majority of memory references (Table 1); these apps play
+that role for the reproduction's workloads.
+"""
+
+from __future__ import annotations
+
+from ..device.constants import Button
+from ..palmos.rom import AppSpec
+from .addressbook import ADDRESSBOOK, ADDRESSBOOK_SOURCE
+from .launcher import LAUNCHER, LAUNCHER_SOURCE
+from .memopad import MEMOPAD, MEMOPAD_SOURCE
+from .puzzle import PUZZLE, PUZZLE_SOURCE
+
+
+def standard_apps() -> list[AppSpec]:
+    """The full application suite with hardware-button bindings:
+
+    ===========  ========  ==============
+    application  app id    button
+    ===========  ========  ==============
+    launcher     1         (none)
+    memopad      2         Button.MEMO
+    addressbook  3         Button.ADDRESS
+    puzzle       4         Button.DATEBOOK
+    ===========  ========  ==============
+    """
+    return [
+        LAUNCHER,
+        AppSpec(name="memopad", source=MEMOPAD_SOURCE, button=Button.MEMO),
+        AppSpec(name="addressbook", source=ADDRESSBOOK_SOURCE,
+                button=Button.ADDRESS),
+        AppSpec(name="puzzle", source=PUZZLE_SOURCE, button=Button.DATEBOOK),
+    ]
+
+
+__all__ = [
+    "AppSpec",
+    "standard_apps",
+    "LAUNCHER",
+    "MEMOPAD",
+    "ADDRESSBOOK",
+    "PUZZLE",
+    "LAUNCHER_SOURCE",
+    "MEMOPAD_SOURCE",
+    "ADDRESSBOOK_SOURCE",
+    "PUZZLE_SOURCE",
+]

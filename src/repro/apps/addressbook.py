@@ -1,0 +1,128 @@
+"""Address book: a scrolling, read-mostly database viewer.
+
+* at startup creates ``AddrDB`` if missing (sessions usually preload
+  it with contacts) and draws the first page;
+* UP/DOWN buttons scroll by a row and redraw — each redraw walks the
+  record list once per visible row (``DmQueryRecord``);
+* a pen tap highlights the touched row and fires a
+  ``SysNotifyBroadcast`` (so sessions exercise the notify hack).
+"""
+
+from __future__ import annotations
+
+from ..palmos.rom import AppSpec
+
+ADDRESSBOOK_SOURCE = """
+app_addressbook:
+        link    a6,#-32
+        moveq   #0,d6                   ; d6 = scroll offset
+        ; ensure AddrDB exists
+        pea     ab_dbname(pc)
+        dc.w    SYS_DmFindDatabase
+        addq.l  #4,sp
+        tst.l   d0
+        bne.s   ab_have_db
+        move.l  #0,-(sp)
+        move.l  #$61646472,-(sp)        ; creator 'addr'
+        move.l  #$44415441,-(sp)        ; type 'DATA'
+        pea     ab_dbname(pc)
+        dc.w    SYS_DmCreateDatabase
+        adda.l  #16,sp
+ab_have_db:
+        move.l  d0,d3                   ; d3 = database
+        bsr     ab_draw_page
+
+ab_loop:
+        move.l  #$ffffffff,-(sp)
+        pea     -16(a6)
+        dc.w    SYS_EvtGetEvent
+        addq.l  #8,sp
+        move.w  -16(a6),d0
+        cmpi.w  #22,d0
+        beq     ab_done
+        cmpi.w  #4,d0                   ; keyDownEvent
+        beq.s   ab_key
+        cmpi.w  #1,d0                   ; penDownEvent
+        beq.s   ab_pen
+        bra     ab_loop
+
+ab_key:
+        move.w  -8(a6),d0
+        cmpi.w  #2,d0                   ; Button.UP
+        bne.s   ab_key2
+        tst.l   d6
+        beq     ab_loop
+        subq.l  #1,d6
+        bsr.s   ab_draw_page
+        bra     ab_loop
+ab_key2:
+        cmpi.w  #4,d0                   ; Button.DOWN
+        bne.s   ab_loop
+        addq.l  #1,d6
+        bsr.s   ab_draw_page
+        bra     ab_loop
+
+ab_pen:
+        ; highlight the tapped row and broadcast a notification
+        moveq   #0,d0
+        move.w  -10(a6),d0              ; y
+        and.l   #$fff0,d0               ; row origin (16px rows)
+        move.l  #$001f,-(sp)            ; colour
+        move.l  #14,-(sp)
+        move.l  #150,-(sp)
+        move.l  d0,-(sp)
+        move.l  #2,-(sp)
+        dc.w    SYS_WinDrawRectangle
+        adda.l  #20,sp
+        move.l  #$61627470,-(sp)        ; notify type 'abtp'
+        dc.w    SYS_SysNotifyBroadcast
+        addq.l  #4,sp
+        bra     ab_loop
+
+ab_done:
+        unlk    a6
+        rts
+
+; ---- draw six visible rows starting at the scroll offset -------------
+ab_draw_page:
+        dc.w    SYS_WinEraseWindow
+        move.l  d3,-(sp)
+        dc.w    SYS_DmNumRecords
+        addq.l  #4,sp
+        move.l  d0,d4                   ; count
+        moveq   #0,d5                   ; visible row
+ab_dp_loop:
+        cmpi.l  #6,d5
+        bge.s   ab_dp_done
+        move.l  d6,d1
+        add.l   d5,d1                   ; record index
+        cmp.l   d4,d1
+        bge.s   ab_dp_done
+        move.l  d1,-(sp)
+        move.l  d3,-(sp)
+        dc.w    SYS_DmQueryRecord
+        addq.l  #8,sp
+        tst.l   d0
+        beq.s   ab_dp_next
+        ; WinDrawChars(ptr, 10, 4, 8 + 16*row)
+        move.l  d5,d1
+        lsl.l   #4,d1
+        addq.l  #8,d1
+        move.l  d1,-(sp)
+        move.l  #4,-(sp)
+        move.l  #10,-(sp)
+        move.l  d0,-(sp)
+        dc.w    SYS_WinDrawChars
+        adda.l  #16,sp
+ab_dp_next:
+        addq.l  #1,d5
+        bra.s   ab_dp_loop
+ab_dp_done:
+        rts
+
+ab_dbname:
+        dc.b    "AddrDB",0
+        even
+"""
+
+ADDRESSBOOK = AppSpec(name="addressbook", source=ADDRESSBOOK_SOURCE)

@@ -1,0 +1,69 @@
+"""The launcher (home screen) application.
+
+Draws one row per installed application and switches to an application
+when its row is tapped — the Palm OS application launcher, reduced to
+what the workload study needs.  Row ``i`` (32 pixels tall) maps to
+application id ``i + 1``; the kernel routes unknown ids back to the
+default application.
+"""
+
+from __future__ import annotations
+
+from ..palmos.rom import AppSpec
+
+LAUNCHER_SOURCE = """
+app_launcher:
+        link    a6,#-16
+        ; paint the home screen
+        dc.w    SYS_WinEraseWindow
+        moveq   #0,d3                   ; row counter for decoration
+ln_rows:
+        ; WinDrawRectangle(x=4, y=4+32*row, w=120, h=24, color)
+        move.l  d3,d0
+        lsl.l   #5,d0                   ; row * 32
+        move.l  #$8410,-(sp)            ; colour
+        move.l  #24,-(sp)
+        move.l  #120,-(sp)
+        addq.l  #4,d0
+        move.l  d0,-(sp)
+        move.l  #4,-(sp)
+        dc.w    SYS_WinDrawRectangle
+        adda.l  #20,sp
+        addq.l  #1,d3
+        cmpi.l  #4,d3
+        blt.s   ln_rows
+
+ln_loop:
+        move.l  #$ffffffff,-(sp)
+        pea     -16(a6)
+        dc.w    SYS_EvtGetEvent
+        addq.l  #8,sp
+        move.w  -16(a6),d0
+        cmpi.w  #22,d0                  ; appStopEvent
+        beq.s   ln_done
+        cmpi.w  #1,d0                   ; penDownEvent
+        bne.s   ln_loop
+        ; bottom-right corner (x,y >= 140): soft reset control
+        move.w  -12(a6),d0              ; event.x
+        cmpi.w  #140,d0
+        blt.s   ln_row
+        move.w  -10(a6),d0              ; event.y
+        cmpi.w  #140,d0
+        blt.s   ln_row
+        dc.w    SYS_SysReset            ; never returns
+ln_row:
+        ; row = y / 32 -> app id = row + 1
+        moveq   #0,d0
+        move.w  -10(a6),d0              ; event.y
+        lsr.l   #5,d0
+        addq.l  #1,d0
+        move.l  d0,-(sp)
+        dc.w    SYS_SysUIAppSwitch
+        addq.l  #4,sp
+        bra.s   ln_loop
+ln_done:
+        unlk    a6
+        rts
+"""
+
+LAUNCHER = AppSpec(name="launcher", source=LAUNCHER_SOURCE)

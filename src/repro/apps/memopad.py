@@ -1,0 +1,164 @@
+"""MemoPad: a note-taking application exercising the data manager.
+
+Behaviour (driven entirely by pen and button input, like the real
+ROM-resident MemoPad):
+
+* at startup, creates ``MemoDB`` if missing and draws the memo list;
+* a pen tap in the lower half of the screen adds a memo: a new record
+  is appended (``DmNewRecord``) and its text written through
+  ``DmWriteRecord`` — two record-list walks per memo, the access
+  pattern the activity-log hacks themselves use;
+* the UP button redraws the memo list (``DmQueryRecord`` per row);
+* the DOWN button deletes the first memo (``DmRemoveRecord``).
+"""
+
+from __future__ import annotations
+
+from ..palmos.rom import AppSpec
+
+MEMOPAD_SOURCE = """
+app_memopad:
+        link    a6,#-32                 ; -16 event, -24 text buffer
+        ; ensure MemoDB exists
+        pea     mp_dbname(pc)
+        dc.w    SYS_DmFindDatabase
+        addq.l  #4,sp
+        tst.l   d0
+        bne.s   mp_have_db
+        move.l  #0,-(sp)                ; attributes
+        move.l  #$6d656d6f,-(sp)        ; creator 'memo'
+        move.l  #$44415441,-(sp)        ; type 'DATA'
+        pea     mp_dbname(pc)
+        dc.w    SYS_DmCreateDatabase
+        adda.l  #16,sp
+mp_have_db:
+        move.l  d0,d3                   ; d3 = database
+        bsr     mp_draw_list
+
+mp_loop:
+        move.l  #$ffffffff,-(sp)
+        pea     -16(a6)
+        dc.w    SYS_EvtGetEvent
+        addq.l  #8,sp
+        move.w  -16(a6),d0
+        cmpi.w  #22,d0                  ; appStopEvent
+        beq     mp_done
+        cmpi.w  #1,d0                   ; penDownEvent
+        beq     mp_pen
+        cmpi.w  #4,d0                   ; keyDownEvent
+        beq     mp_key
+        bra.s   mp_loop
+
+; ---- pen tap: lower half adds a memo --------------------------------
+mp_pen:
+        move.w  -10(a6),d0              ; event.y
+        cmpi.w  #80,d0
+        blt.s   mp_loop
+        ; append a 16-byte record
+        move.l  #16,-(sp)
+        move.l  #$ffff,-(sp)
+        move.l  d3,-(sp)
+        dc.w    SYS_DmNewRecord
+        adda.l  #12,sp
+        tst.l   d0
+        beq.s   mp_loop
+        ; compose "M" + coordinates + tick into the text buffer
+        lea     -24(a6),a0
+        move.w  #$4d3a,(a0)+            ; "M:"
+        move.w  -12(a6),(a0)+           ; x
+        move.w  -10(a6),(a0)+           ; y
+        dc.w    SYS_TimGetTicks
+        move.w  d0,(a0)
+        ; index of the new record = DmNumRecords - 1
+        move.l  d3,-(sp)
+        dc.w    SYS_DmNumRecords
+        addq.l  #4,sp
+        subq.l  #1,d0
+        ; DmWriteRecord(db, index, 0, &text, 8)
+        move.l  #8,-(sp)
+        pea     -24(a6)
+        move.l  #0,-(sp)
+        move.l  d0,-(sp)
+        move.l  d3,-(sp)
+        dc.w    SYS_DmWriteRecord
+        adda.l  #20,sp
+        ; acknowledge with a status bar
+        move.l  #$07e0,-(sp)
+        move.l  #6,-(sp)
+        move.l  #100,-(sp)
+        move.l  #150,-(sp)
+        move.l  #30,-(sp)
+        dc.w    SYS_WinDrawRectangle
+        adda.l  #20,sp
+        bra     mp_loop
+
+; ---- buttons: UP redraws the list, DOWN deletes memo 0 ----------------
+mp_key:
+        move.w  -8(a6),d0               ; event.key
+        cmpi.w  #2,d0                   ; Button.UP
+        bne.s   mp_key2
+        bsr.s   mp_draw_list
+        bra     mp_loop
+mp_key2:
+        cmpi.w  #4,d0                   ; Button.DOWN
+        bne     mp_loop
+        move.l  d3,-(sp)
+        dc.w    SYS_DmNumRecords
+        addq.l  #4,sp
+        tst.l   d0
+        beq     mp_loop
+        move.l  #0,-(sp)
+        move.l  d3,-(sp)
+        dc.w    SYS_DmRemoveRecord
+        addq.l  #8,sp
+        bsr.s   mp_draw_list
+        bra     mp_loop
+
+mp_done:
+        unlk    a6
+        rts
+
+; ---- draw up to 8 memo rows -------------------------------------------
+mp_draw_list:
+        dc.w    SYS_WinEraseWindow
+        move.l  d3,-(sp)
+        dc.w    SYS_DmNumRecords
+        addq.l  #4,sp
+        move.l  d0,d4                   ; record count
+        cmpi.l  #8,d4
+        ble.s   mp_dl_clamped
+        moveq   #8,d4
+mp_dl_clamped:
+        moveq   #0,d5                   ; row
+mp_dl_loop:
+        cmp.l   d4,d5
+        bge.s   mp_dl_done
+        ; ptr = DmQueryRecord(db, row)
+        move.l  d5,-(sp)
+        move.l  d3,-(sp)
+        dc.w    SYS_DmQueryRecord
+        addq.l  #8,sp
+        tst.l   d0
+        beq.s   mp_dl_next
+        ; WinDrawChars(ptr, 8, 4, 10 + 12*row)
+        move.l  d5,d1
+        mulu    #12,d1
+        add.l   #10,d1
+        move.l  d1,-(sp)
+        move.l  #4,-(sp)
+        move.l  #8,-(sp)
+        move.l  d0,-(sp)
+        dc.w    SYS_WinDrawChars
+        adda.l  #16,sp
+mp_dl_next:
+        addq.l  #1,d5
+        bra.s   mp_dl_loop
+mp_dl_done:
+        rts
+
+mp_dbname:
+        dc.b    "MemoDB",0
+        even
+"""
+
+MEMOPAD = AppSpec(name="memopad", source=MEMOPAD_SOURCE)

@@ -1,0 +1,216 @@
+"""Puzzle: the 4x4 sliding-tile game of the paper's third test workload
+("The final workload illustrated playing a game of Puzzle", §3.2).
+
+Why this app matters to the reproduction:
+
+* at startup it *seeds the RNG from the clock* —
+  ``SysRandom(TimGetSeconds())`` — a non-zero call the SysRandom hack
+  logs and replay overrides from the seed queue (§2.4.2);
+* it shuffles the board with ``SysRandom(0)`` calls, so the board
+  layout depends on the RNG sequence (replay must reproduce it);
+* every pen tap also polls ``KeyCurrentState``, exercising the key
+  bit-field queue.
+
+The board lives in the application's stack frame; tiles are drawn as
+coloured rectangles (40x40 cells).
+"""
+
+from __future__ import annotations
+
+from ..palmos.rom import AppSpec
+
+PUZZLE_SOURCE = """
+; frame layout: -16..-1 event, -32..-17 board (16 bytes, one per cell),
+; -36 blank index (long)
+app_puzzle:
+        link    a6,#-40
+        bsr     pz_init_board
+        bsr     pz_shuffle
+        bsr     pz_draw_all
+
+pz_loop:
+        move.l  #$ffffffff,-(sp)
+        pea     -16(a6)
+        dc.w    SYS_EvtGetEvent
+        addq.l  #8,sp
+        move.w  -16(a6),d0
+        cmpi.w  #22,d0                  ; appStopEvent
+        beq     pz_done
+        cmpi.w  #1,d0                   ; penDownEvent
+        beq.s   pz_pen
+        cmpi.w  #4,d0                   ; keyDownEvent
+        beq.s   pz_key
+        bra.s   pz_loop
+
+pz_key:
+        move.w  -8(a6),d0
+        cmpi.w  #2,d0                   ; Button.UP reshuffles
+        bne.s   pz_loop
+        bsr     pz_shuffle
+        bsr     pz_draw_all
+        bra.s   pz_loop
+
+; ---- pen tap: slide the touched tile if adjacent to the blank ---------
+pz_pen:
+        ; games poll the hardware buttons each tap
+        dc.w    SYS_KeyCurrentState
+        ; cell = (y/40)*4 + x/40
+        moveq   #0,d0
+        move.w  -10(a6),d0              ; y
+        divu    #40,d0
+        and.l   #3,d0
+        lsl.l   #2,d0
+        move.l  d0,d1
+        moveq   #0,d0
+        move.w  -12(a6),d0              ; x
+        divu    #40,d0
+        and.l   #3,d0
+        add.l   d1,d0                   ; d0 = tapped cell index
+        move.l  -36(a6),d1              ; d1 = blank index
+        ; legal when |diff| == 4, or |diff| == 1 within one row
+        move.l  d0,d2
+        sub.l   d1,d2                   ; diff
+        cmpi.l  #4,d2
+        beq.s   pz_slide
+        cmpi.l  #-4,d2
+        beq.s   pz_slide
+        move.l  d0,d3
+        lsr.l   #2,d3
+        move.l  d1,d4
+        lsr.l   #2,d4
+        cmp.l   d3,d4
+        bne     pz_loop                 ; different rows
+        cmpi.l  #1,d2
+        beq.s   pz_slide
+        cmpi.l  #-1,d2
+        bne     pz_loop
+pz_slide:
+        ; board[blank] = board[cell]; board[cell] = 0; blank = cell
+        lea     -32(a6),a0
+        move.b  0(a0,d0.l),d2
+        move.b  d2,0(a0,d1.l)
+        move.b  #0,0(a0,d0.l)
+        move.l  d0,-36(a6)
+        ; redraw the two cells (pz_draw_cell clobbers d0-d3)
+        move.l  d0,d6
+        move.l  d1,d5
+        bsr     pz_draw_cell
+        move.l  d6,d5
+        bsr     pz_draw_cell
+        bra     pz_loop
+
+pz_done:
+        unlk    a6
+        rts
+
+; ---- board setup -------------------------------------------------------
+pz_init_board:
+        lea     -32(a6),a0
+        moveq   #0,d0
+pz_ib_loop:
+        move.b  d0,0(a0,d0.l)
+        addq.l  #1,d0
+        cmpi.l  #16,d0
+        blt.s   pz_ib_loop
+        move.b  #0,(a0)                 ; cell 0 is the blank
+        move.l  #0,-36(a6)
+        rts
+
+; ---- shuffle: seed from the clock, then 32 random blank moves ----------
+pz_shuffle:
+        dc.w    SYS_TimGetSeconds
+        move.l  d0,-(sp)
+        dc.w    SYS_SysRandom           ; non-zero seed: logged + replayed
+        addq.l  #4,sp
+        moveq   #31,d7
+pz_sh_loop:
+        move.l  #0,-(sp)
+        dc.w    SYS_SysRandom
+        addq.l  #4,sp
+        and.l   #3,d0                   ; direction 0..3
+        move.l  -36(a6),d1              ; blank
+        move.l  d1,d2
+        ; 0: up(-4) 1: down(+4) 2: left(-1) 3: right(+1)
+        cmpi.l  #0,d0
+        bne.s   pz_sh_1
+        subq.l  #4,d2
+        bra.s   pz_sh_try
+pz_sh_1:
+        cmpi.l  #1,d0
+        bne.s   pz_sh_2
+        addq.l  #4,d2
+        bra.s   pz_sh_try
+pz_sh_2:
+        cmpi.l  #2,d0
+        bne.s   pz_sh_3
+        ; left only within the row
+        move.l  d1,d3
+        and.l   #3,d3
+        beq.s   pz_sh_next
+        subq.l  #1,d2
+        bra.s   pz_sh_try
+pz_sh_3:
+        move.l  d1,d3
+        and.l   #3,d3
+        cmpi.l  #3,d3
+        beq.s   pz_sh_next
+        addq.l  #1,d2
+pz_sh_try:
+        tst.l   d2
+        blt.s   pz_sh_next
+        cmpi.l  #16,d2
+        bge.s   pz_sh_next
+        ; swap blank and d2
+        lea     -32(a6),a0
+        move.b  0(a0,d2.l),d3
+        move.b  d3,0(a0,d1.l)
+        move.b  #0,0(a0,d2.l)
+        move.l  d2,-36(a6)
+pz_sh_next:
+        dbra    d7,pz_sh_loop
+        rts
+
+; ---- drawing ------------------------------------------------------------
+; draw cell d5 (0..15)
+pz_draw_cell:
+        lea     -32(a6),a0
+        moveq   #0,d1
+        move.b  0(a0,d5.l),d1           ; tile value
+        ; colour = value * $0842 (a spread over RGB565), blank = white
+        mulu    #$0842,d1
+        tst.w   d1
+        bne.s   pz_dc_col
+        move.w  #$ffff,d1
+pz_dc_col:
+        ; x = (cell & 3) * 40 + 1 ; y = (cell >> 2) * 40 + 1
+        move.l  d5,d2
+        and.l   #3,d2
+        mulu    #40,d2
+        addq.l  #1,d2
+        move.l  d5,d3
+        lsr.l   #2,d3
+        mulu    #40,d3
+        addq.l  #1,d3
+        moveq   #0,d0
+        move.w  d1,d0
+        move.l  d0,-(sp)                ; colour
+        move.l  #38,-(sp)               ; h
+        move.l  #38,-(sp)               ; w
+        move.l  d3,-(sp)                ; y
+        move.l  d2,-(sp)                ; x
+        dc.w    SYS_WinDrawRectangle
+        adda.l  #20,sp
+        rts
+
+pz_draw_all:
+        dc.w    SYS_WinEraseWindow
+        moveq   #0,d5
+pz_da_loop:
+        bsr.s   pz_draw_cell
+        addq.l  #1,d5
+        cmpi.l  #16,d5
+        blt.s   pz_da_loop
+        rts
+"""
+
+PUZZLE = AppSpec(name="puzzle", source=PUZZLE_SOURCE)

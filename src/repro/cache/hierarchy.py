@@ -1,0 +1,79 @@
+"""The memory-hierarchy timing model: the paper's Equations 1–3.
+
+The Palm m515 has both RAM (one cycle per access) and flash (three
+cycles); with no cache the average effective memory access time is
+dominated by the flash share of references (§4.2, Equation 3).  Adding
+a cache turns most of both into one-cycle hits (Equation 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: CPU cycles (§4.2): cache hit service time and per-region miss costs.
+T_HIT = 1
+T_RAM_MISS = 1
+T_FLASH_MISS = 3
+
+
+def effective_access_time_eq1(miss_rate: float, t_miss: float,
+                              t_hit: float = T_HIT) -> float:
+    """Equation 1: ``Teff = Thit + MR * Tmiss``."""
+    return t_hit + miss_rate * t_miss
+
+
+def effective_access_time(miss_rate: float, ram_refs: int, flash_refs: int,
+                          t_hit: float = T_HIT,
+                          t_ram_miss: float = T_RAM_MISS,
+                          t_flash_miss: float = T_FLASH_MISS) -> float:
+    """Equation 2: the Palm OS two-backing-store form.
+
+    ``Teff = Thit + (REFram/REFtotal) MR Tram + (REFflash/REFtotal) MR Tflash``
+    """
+    total = ram_refs + flash_refs
+    if total == 0:
+        return t_hit
+    ram_fraction = ram_refs / total
+    flash_fraction = flash_refs / total
+    return t_hit + miss_rate * (ram_fraction * t_ram_miss
+                                + flash_fraction * t_flash_miss)
+
+
+def no_cache_access_time(ram_refs: int, flash_refs: int,
+                         t_ram: float = T_RAM_MISS,
+                         t_flash: float = T_FLASH_MISS) -> float:
+    """Equation 3: the cacheless baseline (Table 1's "Ave Mem Cyc")."""
+    total = ram_refs + flash_refs
+    if total == 0:
+        return 0.0
+    return (ram_refs * t_ram + flash_refs * t_flash) / total
+
+
+@dataclass(frozen=True)
+class RegionMix:
+    """RAM/flash reference composition of a trace."""
+
+    ram_refs: int
+    flash_refs: int
+
+    @property
+    def total(self) -> int:
+        return self.ram_refs + self.flash_refs
+
+    @property
+    def flash_fraction(self) -> float:
+        return self.flash_refs / self.total if self.total else 0.0
+
+    def no_cache_time(self) -> float:
+        return no_cache_access_time(self.ram_refs, self.flash_refs)
+
+    def cached_time(self, miss_rate: float) -> float:
+        return effective_access_time(miss_rate, self.ram_refs,
+                                     self.flash_refs)
+
+    def reduction(self, miss_rate: float) -> float:
+        """Fractional Teff reduction a cache with ``miss_rate`` buys."""
+        base = self.no_cache_time()
+        if base == 0:
+            return 0.0
+        return 1.0 - self.cached_time(miss_rate) / base

@@ -1,0 +1,119 @@
+"""Configuration sweeps: the paper's 56-cache-configuration study.
+
+§4.2: "We simulated 56 different cache configurations by varying the
+cache size, line size and associativity.  The LRU replacement policy
+was used in every configuration."  The grid is seven sizes (1–64 KB) x
+two line sizes (16/32 B) x four associativities (1/2/4/8), and the
+sweep exploits the LRU stack property to simulate each
+(line size, set count) family in a single pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .cache import Cache, CacheConfig
+from .hierarchy import RegionMix
+from .stackdist import collapse_consecutive, misses_by_associativity, to_line_addresses
+
+PAPER_SIZES = [1024 << i for i in range(7)]       # 1 KB .. 64 KB
+PAPER_LINE_SIZES = [16, 32]
+PAPER_ASSOCIATIVITIES = [1, 2, 4, 8]
+
+
+def paper_configurations() -> List[CacheConfig]:
+    """The 56 configurations of Figures 5 and 6."""
+    return [
+        CacheConfig(size=size, line_size=line, associativity=assoc)
+        for line in PAPER_LINE_SIZES
+        for size in PAPER_SIZES
+        for assoc in PAPER_ASSOCIATIVITIES
+    ]
+
+
+@dataclass
+class SweepPoint:
+    """One configuration's results."""
+
+    config: CacheConfig
+    accesses: int
+    misses: int
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def effective_access_time(self, mix: RegionMix) -> float:
+        return mix.cached_time(self.miss_rate)
+
+
+def sweep_reference(addresses: np.ndarray,
+                    configs: Sequence[CacheConfig]) -> List[SweepPoint]:
+    """Simulate each configuration independently (slow, trusted)."""
+    points = []
+    for config in configs:
+        cache = Cache(config)
+        stats = cache.run(addresses)
+        points.append(SweepPoint(config, stats.accesses, stats.misses))
+    return points
+
+
+def sweep_paper_grid(addresses: np.ndarray,
+                     sizes: Sequence[int] = PAPER_SIZES,
+                     line_sizes: Sequence[int] = PAPER_LINE_SIZES,
+                     associativities: Sequence[int] = PAPER_ASSOCIATIVITIES,
+                     ) -> List[SweepPoint]:
+    """All size x line x associativity LRU configurations, fast.
+
+    Configurations sharing (line size, set count) are simulated in one
+    stack pass; consecutive same-line references are collapsed first
+    (they hit in any cache of that line size).
+    """
+    addresses = np.asarray(addresses, dtype=np.uint32)
+    total_refs = len(addresses)
+    points: List[SweepPoint] = []
+    for line in line_sizes:
+        line_addrs = to_line_addresses(addresses, line)
+        collapsed, _guaranteed_hits = collapse_consecutive(line_addrs)
+        # Group the grid by set count.
+        by_sets: Dict[int, List[CacheConfig]] = {}
+        for size in sizes:
+            for assoc in associativities:
+                if size < line * assoc:
+                    continue
+                config = CacheConfig(size=size, line_size=line,
+                                     associativity=assoc)
+                by_sets.setdefault(config.num_sets, []).append(config)
+        for num_sets, family in sorted(by_sets.items()):
+            assocs = sorted({c.associativity for c in family})
+            misses = misses_by_associativity(collapsed, num_sets, assocs)
+            for config in family:
+                points.append(SweepPoint(
+                    config=config,
+                    accesses=total_refs,
+                    misses=misses[config.associativity],
+                ))
+    points.sort(key=lambda p: (p.config.line_size, p.config.size,
+                               p.config.associativity))
+    return points
+
+
+def grid_by_config(points: Sequence[SweepPoint]) -> Dict[tuple, SweepPoint]:
+    return {(p.config.size, p.config.line_size, p.config.associativity): p
+            for p in points}
+
+
+def subsample_trace(addresses: np.ndarray, limit: int,
+                    seed: Optional[int] = None) -> np.ndarray:
+    """Truncate a trace for quick sweeps (contiguous prefix keeps the
+    locality structure intact, unlike random sampling)."""
+    if len(addresses) <= limit:
+        return addresses
+    if seed is None:
+        return addresses[:limit]
+    rng = np.random.default_rng(seed)
+    start = int(rng.integers(0, len(addresses) - limit))
+    return addresses[start:start + limit]

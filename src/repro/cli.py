@@ -1,0 +1,300 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The desktop-side workflow of the paper as a tool: collect sessions,
+archive them, replay them with profiling, run the validation, and
+regenerate the cache study.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from . import __version__
+
+
+def _add_collect(sub) -> None:
+    p = sub.add_parser("collect", help="collect a session on a simulated "
+                                       "m515 and archive it")
+    p.add_argument("--out", required=True, help="output directory")
+    p.add_argument("--session", default="quickstart",
+                   help="quickstart | session1..session4 (Table 1)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="override the synthetic user's seed")
+
+
+def _add_replay(sub) -> None:
+    p = sub.add_parser("replay", help="replay an archived session")
+    p.add_argument("--session", required=True, help="archive directory")
+    p.add_argument("--no-profile", action="store_true",
+                   help="skip profiling (faster)")
+    p.add_argument("--trace", default=None,
+                   help="write the reference trace to this .npz file")
+    p.add_argument("--jitter", type=int, default=None,
+                   help="enable the POSE jitter model with this seed")
+    p.add_argument("--screenshot", default=None, metavar="FILE.ppm",
+                   help="write the final screen as a PPM image")
+    p.add_argument("--screen", action="store_true",
+                   help="print the final screen as ASCII art")
+
+
+def _add_validate(sub) -> None:
+    p = sub.add_parser("validate", help="replay an archive and run the "
+                                        "paper's two-fold validation")
+    p.add_argument("--session", required=True)
+    p.add_argument("--jitter", type=int, default=None)
+
+
+def _add_sweep(sub) -> None:
+    p = sub.add_parser("sweep", help="run the 56-configuration cache "
+                                     "study on a trace")
+    p.add_argument("--trace", required=True, help=".npz reference trace")
+    p.add_argument("--limit", type=int, default=None,
+                   help="cap the number of references")
+
+
+def _add_desktop(sub) -> None:
+    p = sub.add_parser("desktop-trace", help="generate a synthetic "
+                                             "desktop trace (Figure 7)")
+    p.add_argument("--out", required=True, help="output .npz file")
+    p.add_argument("--length", type=int, default=1_000_000)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _add_rom(sub) -> None:
+    p = sub.add_parser("rom", help="build the ROM and inspect it")
+    p.add_argument("--disassemble", type=int, metavar="N", default=0,
+                   help="disassemble N instructions from the reset entry")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="A trace-driven simulator for Palm OS devices "
+                    "(ISPASS 2005 reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_collect(sub)
+    _add_replay(sub)
+    _add_validate(sub)
+    _add_sweep(sub)
+    _add_desktop(sub)
+    _add_rom(sub)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+_EMU_KW = {"ram_size": 8 << 20, "flash_size": 1 << 20}
+
+
+def _demo_script():
+    from .device import Button
+    from .workloads import UserScript
+
+    return (UserScript("quickstart").at(100)
+            .press(Button.MEMO).wait(50)
+            .tap(40, 120).wait(60).tap(90, 140).wait(60)
+            .press(Button.UP).wait(80)
+            .press(Button.DATEBOOK).wait(80)
+            .tap(50, 10).wait(40).tap(90, 50).wait(40))
+
+
+def cmd_collect(args) -> int:
+    from .apps import standard_apps
+    from .palmos.database import DatabaseImage
+    from .workloads import (
+        TABLE1_SESSIONS, collect_session, collect_table1_session)
+
+    out = Path(args.out)
+    if args.session == "quickstart":
+        session = collect_session(standard_apps(), _demo_script(),
+                                  name="quickstart",
+                                  ram_size=_EMU_KW["ram_size"])
+    else:
+        specs = {s.name: s for s in TABLE1_SESSIONS}
+        if args.session not in specs:
+            print(f"unknown session {args.session!r}; choose from "
+                  f"quickstart, {', '.join(specs)}", file=sys.stderr)
+            return 2
+        spec = specs[args.session]
+        if args.seed is not None:
+            import dataclasses
+            spec = dataclasses.replace(spec, seed=args.seed)
+        session = collect_table1_session(spec,
+                                         ram_size=_EMU_KW["ram_size"])
+
+    session.initial_state.save(out / "initial_state")
+    session.log.save(out / "activity_log.pdb")
+    final_dir = out / "final_state"
+    final_dir.mkdir(parents=True, exist_ok=True)
+    for i, image in enumerate(session.final_state):
+        (final_dir / f"db_{i:03d}.pdb").write_bytes(image.to_pdb_bytes())
+    print(f"collected {session.name}: {session.events} events over "
+          f"{session.elapsed_hms()} -> {out}")
+    return 0
+
+
+def _load_archive(directory: str):
+    from .tracelog import ActivityLog, InitialState
+
+    root = Path(directory)
+    state = InitialState.load(root / "initial_state")
+    log = ActivityLog.load(root / "activity_log.pdb")
+    return state, log
+
+
+def _load_final_state(directory: str):
+    from .palmos.database import DatabaseImage
+
+    final_dir = Path(directory) / "final_state"
+    if not final_dir.is_dir():
+        return None
+    return [DatabaseImage.from_pdb_bytes(path.read_bytes())
+            for path in sorted(final_dir.glob("*.pdb"))]
+
+
+def cmd_replay(args) -> int:
+    from .apps import standard_apps
+    from .emulator import JitterModel, replay_session
+
+    state, log = _load_archive(args.session)
+    jitter = JitterModel(seed=args.jitter) if args.jitter is not None else None
+    start = time.time()
+    emulator, profiler, result = replay_session(
+        state, log, apps=standard_apps(), profile=not args.no_profile,
+        jitter=jitter, emulator_kwargs=_EMU_KW)
+    elapsed = time.time() - start
+    if args.screenshot:
+        from .analysis import screenshot_ppm
+        screenshot_ppm(emulator.kernel, args.screenshot)
+        print(f"screenshot    : {args.screenshot}")
+    if args.screen:
+        from .analysis import screen_ascii
+        print(screen_ascii(emulator.kernel))
+    print(f"replayed {result.events_injected} events in {elapsed:.1f}s")
+    if profiler is not None:
+        total = profiler.total_refs
+        print(f"instructions : {profiler.instructions:,}")
+        print(f"references   : {total:,} "
+              f"(RAM {100 * profiler.ram_refs / max(1, total):.1f}%, "
+              f"flash {100 * profiler.flash_refs / max(1, total):.1f}%)")
+        print(f"ave mem cyc  : {profiler.average_memory_cycles():.3f} "
+              f"(paper Table 1: 2.35-2.39)")
+        if args.trace:
+            profiler.reference_trace().save(args.trace)
+            print(f"trace written: {args.trace}")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from .analysis import format_validation
+    from .apps import standard_apps
+    from .emulator import JitterModel, replay_session
+    from .tracelog import read_activity_log
+    from .validation import correlate_final_states, correlate_logs
+
+    state, log = _load_archive(args.session)
+    device_final = _load_final_state(args.session)
+    jitter = JitterModel(seed=args.jitter) if args.jitter is not None else None
+    emulator, _, _ = replay_session(state, log, apps=standard_apps(),
+                                    profile=False, jitter=jitter,
+                                    emulator_kwargs=_EMU_KW)
+    log_corr = correlate_logs(log, read_activity_log(emulator.kernel))
+    summaries = [log_corr.summary()]
+    ok = log_corr.valid
+    if device_final is not None:
+        extra = ["UserInputLog"] if jitter else []
+        state_corr = correlate_final_states(device_final,
+                                            emulator.final_state(),
+                                            extra_expected_databases=extra)
+        summaries.append(state_corr.summary())
+        ok = ok and state_corr.valid
+    else:
+        summaries.append("final state: not archived (re-collect with "
+                         "this version to enable)")
+    print(format_validation(*summaries))
+    return 0 if ok else 1
+
+
+def cmd_sweep(args) -> int:
+    from .analysis import format_access_times, format_miss_rates
+    from .cache import RegionMix, sweep_paper_grid
+    from .emulator import ReferenceTrace
+
+    trace = ReferenceTrace.load(args.trace).memory_only()
+    counts = trace.counts()
+    addresses = trace.addresses
+    if args.limit:
+        addresses = addresses[:args.limit]
+    print(f"sweeping {len(addresses):,} references ...")
+    points = sweep_paper_grid(addresses)
+    print(format_miss_rates(points))
+    print()
+    mix = RegionMix(counts["ram"], counts["flash"])
+    print(format_access_times(points, mix))
+    return 0
+
+
+def cmd_desktop(args) -> int:
+    import numpy as np
+
+    from .traces import generate_desktop_trace
+
+    trace = generate_desktop_trace(args.length, seed=args.seed)
+    # Store in the ReferenceTrace container (all data reads, RAM).
+    from .emulator import ReferenceTrace
+    kinds = np.ones(len(trace), dtype=np.uint8)
+    ReferenceTrace(addresses=trace, kinds=kinds).save(args.out)
+    print(f"wrote {len(trace):,} references to {args.out}")
+    return 0
+
+
+def cmd_rom(args) -> int:
+    from .apps import standard_apps
+    from .device import constants as C
+    from .m68k.disasm import disassemble
+    from .palmos.rom import RomBuilder
+
+    builder = RomBuilder(standard_apps())
+    program = builder.build()
+    image = program.image(C.FLASH_BASE, C.FLASH_SIZE)
+    used = len(program.segments[0][1]) if program.segments else 0
+    print(f"ROM: {used:,} bytes of code/data in a "
+          f"{len(image) // (1 << 20)} MB flash image")
+    print(f"traps: {len(builder.stub_addresses(program))}, "
+          f"applications: {len(builder.apps)}")
+    if args.disassemble:
+        entry = program.symbols["rom_boot"]
+
+        def fetch(addr):
+            off = addr - C.FLASH_BASE
+            return (image[off] << 8) | image[off + 1]
+
+        print(f"\nreset entry ({entry:#x}):")
+        print(disassemble(fetch, entry, count=args.disassemble))
+    return 0
+
+
+_COMMANDS = {
+    "collect": cmd_collect,
+    "replay": cmd_replay,
+    "validate": cmd_validate,
+    "sweep": cmd_sweep,
+    "desktop-trace": cmd_desktop,
+    "rom": cmd_rom,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""The Palm m515 hardware model: memory map, peripherals, virtual time."""
+
+from . import constants
+from .constants import Button
+from .device import PalmDevice
+from .memcard import CardSlot, MemoryCard
+from .memmap import (
+    KIND_FETCH,
+    KIND_READ,
+    KIND_WRITE,
+    MemoryMap,
+    REGION_FLASH,
+    REGION_HW,
+    REGION_RAM,
+)
+from .peripherals import (
+    Buttons,
+    Digitizer,
+    InterruptController,
+    PenSample,
+    RealTimeClock,
+    TickTimer,
+)
+
+__all__ = [
+    "constants",
+    "Button",
+    "PalmDevice",
+    "MemoryMap",
+    "CardSlot",
+    "MemoryCard",
+    "REGION_RAM",
+    "REGION_FLASH",
+    "REGION_HW",
+    "KIND_FETCH",
+    "KIND_READ",
+    "KIND_WRITE",
+    "Buttons",
+    "Digitizer",
+    "InterruptController",
+    "PenSample",
+    "RealTimeClock",
+    "TickTimer",
+]

@@ -1,0 +1,71 @@
+"""Palm m515 hardware constants.
+
+The paper's subject device: 33 MHz Motorola DragonBall MC68VZ328,
+16 MB of RAM, 4 MB of flash, a 160x160 touch screen sampled 50 times a
+second, and the standard Palm button set.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+# -- clocks ------------------------------------------------------------
+CPU_CLOCK_HZ = 33_000_000
+TICKS_PER_SECOND = 100          # Palm OS SysTicksPerSecond on 68k devices
+CYCLES_PER_TICK = CPU_CLOCK_HZ // TICKS_PER_SECOND
+PEN_SAMPLE_HZ = 50              # "samples pen movements 50 times a second"
+PEN_SAMPLE_TICKS = TICKS_PER_SECOND // PEN_SAMPLE_HZ
+
+# -- memory map --------------------------------------------------------
+RAM_BASE = 0x0000_0000
+RAM_SIZE = 16 * 1024 * 1024
+FLASH_BASE = 0x1000_0000
+FLASH_SIZE = 4 * 1024 * 1024
+HWREG_BASE = 0xFFFF_F000
+HWREG_SIZE = 0x1000
+
+SCREEN_WIDTH = 160
+SCREEN_HEIGHT = 160
+SCREEN_BYTES_PER_PIXEL = 2      # the m515 has a 16-bit colour panel
+FRAMEBUFFER_ADDR = 0x0001_0000
+FRAMEBUFFER_SIZE = SCREEN_WIDTH * SCREEN_HEIGHT * SCREEN_BYTES_PER_PIXEL
+
+# -- hardware registers (offsets from HWREG_BASE) ----------------------
+REG_INT_STATUS = HWREG_BASE + 0x000
+REG_INT_ACK = HWREG_BASE + 0x004
+REG_TMR_TICKS = HWREG_BASE + 0x008
+REG_RTC_SECONDS = HWREG_BASE + 0x00C
+REG_PEN_SAMPLE = HWREG_BASE + 0x010
+REG_KEY_STATE = HWREG_BASE + 0x014
+REG_KEY_EVENT = HWREG_BASE + 0x018
+REG_LCD_BASE = HWREG_BASE + 0x020
+REG_DEVICE_ID = HWREG_BASE + 0x024
+REG_RNG_ENTROPY = HWREG_BASE + 0x028
+REG_CARD_EVENT = HWREG_BASE + 0x02C   # notify type of the last transition
+REG_CARD_STATUS = HWREG_BASE + 0x030  # bit 0: card present
+
+DEVICE_ID_M515 = 0x0515_0001
+
+# -- interrupt bits in INT_STATUS ---------------------------------------
+INT_TIMER = 0x01
+INT_PEN = 0x02
+INT_KEY = 0x04
+INT_CARD = 0x08
+
+IRQ_LEVEL = 4  # everything autovectors at level 4 (vector 28)
+
+# Palm epoch: timestamps count seconds since 12:00 A.M., January 1, 1904.
+PALM_EPOCH_OFFSET = 2_082_844_800  # seconds between 1904-01-01 and 1970-01-01
+
+
+class Button(IntEnum):
+    """Hardware buttons, as bits in KEY_STATE."""
+
+    POWER = 0x01
+    UP = 0x02
+    DOWN = 0x04
+    DATEBOOK = 0x08     # the four application buttons
+    ADDRESS = 0x10
+    TODO = 0x20
+    MEMO = 0x40
+    HOTSYNC = 0x80      # cradle button

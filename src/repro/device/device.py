@@ -1,0 +1,263 @@
+"""The Palm m515 device model: CPU + memory + peripherals + virtual time.
+
+The device owns the *stimulus queue*: a schedule of stylus and button
+actions in tick time.  During collection the synthetic user fills it;
+during replay the playback driver does.  Either way the hardware behaves
+identically — pen interrupts fire at the 50 Hz sample rate, button
+transitions latch and interrupt, and the CPU sleeps ("dozes") whenever
+the guest executes STOP, with virtual time skipping ahead to the next
+scheduled event.  Dozing is what lets a multi-hour session replay in
+seconds, mirroring how real sessions are overwhelmingly idle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from ..m68k.cpu import CPU
+from . import constants as C
+from .memmap import MemoryMap
+from .peripherals import (
+    Buttons,
+    Digitizer,
+    InterruptController,
+    RealTimeClock,
+    TickTimer,
+)
+
+
+class PalmDevice:
+    """A complete Palm m515.
+
+    Parameters
+    ----------
+    aline_handler, fline_handler:
+        Host hooks installed on the CPU (supplied by the Palm OS kernel
+        layer and the emulator).
+    rtc_base:
+        RTC value (Palm-epoch seconds) at tick 0.
+    entropy_seed:
+        Seed for the deterministic "entropy" register the kernel reads
+        at boot to seed ``SysRandom``.
+    """
+
+    def __init__(
+        self,
+        aline_handler=None,
+        fline_handler=None,
+        ram_size: int = C.RAM_SIZE,
+        flash_size: int = C.FLASH_SIZE,
+        rtc_base: Optional[int] = None,
+        entropy_seed: int = 0x1234_5678,
+    ):
+        from .memcard import CardSlot
+
+        self.intc = InterruptController()
+        self.digitizer = Digitizer(self.intc)
+        self.buttons = Buttons(self.intc)
+        self.card_slot = CardSlot(self.intc)
+        self.rtc = RealTimeClock(rtc_base)
+        self.timer = TickTimer(self.intc)
+        self.lcd_base = C.FRAMEBUFFER_ADDR
+        self._entropy_state = entropy_seed & 0xFFFFFFFF
+
+        self.mem = MemoryMap(self, ram_size=ram_size, flash_size=flash_size)
+        self.cpu = CPU(self.mem, aline_handler=aline_handler,
+                       fline_handler=fline_handler)
+        self.intc.attach_cpu(self.cpu)
+
+        self._stimuli: List[Tuple[int, int, Callable[[], None]]] = []
+        self._wakes: List[int] = []
+        self._seq = 0
+        #: Guest tick = wall tick - offset.  The offset advances at each
+        #: warm (mid-session) reset: the guest's tick counter restarts
+        #: while the stimulus schedule keeps running on wall time.
+        self.tick_offset = 0
+
+    # ------------------------------------------------------------------
+    # Entropy register (deterministic)
+    # ------------------------------------------------------------------
+    def entropy(self) -> int:
+        self._entropy_state = (self._entropy_state * 1_664_525 + 1_013_904_223) & 0xFFFFFFFF
+        return self._entropy_state
+
+    # ------------------------------------------------------------------
+    # Stimulus scheduling (tick time)
+    # ------------------------------------------------------------------
+    @property
+    def tick(self) -> int:
+        """Wall tick: monotonic across warm resets (drives scheduling)."""
+        return self.timer.tick
+
+    @property
+    def guest_tick(self) -> int:
+        """The tick counter the guest sees; restarts at every reset."""
+        return self.timer.tick - self.tick_offset
+
+    def schedule_call(self, tick: int, fn: Callable[[], None]) -> None:
+        self._seq += 1
+        heapq.heappush(self._stimuli, (tick, self._seq, fn))
+
+    def schedule_pen_down(self, tick: int, x: int, y: int) -> None:
+        self.schedule_call(tick, lambda: self.digitizer.pen_down(x, y))
+
+    def schedule_pen_move(self, tick: int, x: int, y: int) -> None:
+        self.schedule_call(tick, lambda: self.digitizer.move(x, y))
+
+    def schedule_pen_up(self, tick: int) -> None:
+        self.schedule_call(tick, self.digitizer.pen_up)
+
+    def schedule_button_press(self, tick: int, button: int) -> None:
+        self.schedule_call(tick, lambda: self.buttons.press(button))
+
+    def schedule_button_release(self, tick: int, button: int) -> None:
+        self.schedule_call(tick, lambda: self.buttons.release(button))
+
+    def schedule_card_insert(self, tick: int, card) -> None:
+        self.schedule_call(tick, lambda: self.card_slot.insert(card))
+
+    def schedule_card_remove(self, tick: int) -> None:
+        self.schedule_call(tick, self.card_slot.remove)
+
+    def request_wake(self, tick: int) -> None:
+        """Ask for a timer interrupt at ``tick`` (EvtGetEvent timeouts)."""
+        heapq.heappush(self._wakes, tick)
+
+    # ------------------------------------------------------------------
+    # The scheduler
+    # ------------------------------------------------------------------
+    def _apply_due_stimuli(self, now: int) -> None:
+        while self._stimuli and self._stimuli[0][0] <= now:
+            _, _, fn = heapq.heappop(self._stimuli)
+            fn()
+
+    def _fire_due_wakes(self, now: int) -> None:
+        fired = False
+        while self._wakes and self._wakes[0] <= now:
+            heapq.heappop(self._wakes)
+            fired = True
+        if fired:
+            self.intc.raise_int(C.INT_TIMER)
+
+    def _next_event_tick(self, now: int) -> Optional[int]:
+        """The earliest tick > now at which anything is scheduled."""
+        candidates = []
+        if self._stimuli:
+            candidates.append(max(now + 1, self._stimuli[0][0]))
+        if self._wakes:
+            candidates.append(max(now + 1, self._wakes[0]))
+        pen = self.digitizer.next_sample_tick(now + 1)
+        if pen is not None:
+            candidates.append(pen)
+        return min(candidates) if candidates else None
+
+    def advance(self, target_tick: int) -> None:
+        """Run the device until the tick counter reaches ``target_tick``."""
+        cpu = self.cpu
+        while self.timer.tick < target_tick:
+            now = self.timer.tick
+            self._apply_due_stimuli(now)
+            self._fire_due_wakes(now)
+            if self.digitizer.wants_sample(now):
+                self.digitizer.take_sample(now)
+
+            serviceable = self.intc.status and (
+                C.IRQ_LEVEL > cpu.imask or C.IRQ_LEVEL == 7)
+            if cpu.stopped and not serviceable:
+                # Doze: skip to the next scheduled event (or the target).
+                nxt = self._next_event_tick(now)
+                jump = target_tick if nxt is None else min(nxt, target_tick)
+                jump = max(jump, now + 1)
+                self.timer.tick = min(jump, target_tick)
+                cpu.cycles = max(cpu.cycles, self.timer.tick * C.CYCLES_PER_TICK)
+                continue
+
+            # Awake (or waking): execute until the next tick boundary.
+            boundary = (now + 1) * C.CYCLES_PER_TICK
+            self._run_cpu_until_cycles(boundary)
+            self.timer.advance_to(now + 1, cpu_awake=not cpu.stopped)
+
+    def _run_cpu_until_cycles(self, limit: int) -> None:
+        cpu = self.cpu
+        step = cpu.step
+        while True:
+            while cpu.cycles < limit and not cpu.stopped:
+                step()
+            if cpu.cycles >= limit:
+                return
+            # Stopped: a serviceable pending interrupt wakes the CPU
+            # (interrupt service happens inside step()).
+            level = cpu.pending_irq
+            if level and (level > cpu.imask or level == 7):
+                step()
+                continue
+            return
+
+    def run_ticks(self, ticks: int) -> None:
+        self.advance(self.timer.tick + ticks)
+
+    def run_until_idle(self, max_ticks: int = 1_000_000) -> int:
+        """Advance until the CPU sleeps with nothing scheduled.
+
+        Returns the tick at which the device went idle.  Raises if the
+        budget is exhausted first (a guest livelock).
+        """
+        deadline = self.timer.tick + max_ticks
+        while self.timer.tick < deadline:
+            if (self.cpu.stopped and not self.intc.status
+                    and not self._stimuli and not self._wakes
+                    and self.digitizer.next_sample_tick(self.timer.tick + 1) is None):
+                return self.timer.tick
+            nxt = self._next_event_tick(self.timer.tick)
+            target = min(deadline, nxt if nxt is not None else self.timer.tick + 1)
+            self.advance(max(target, self.timer.tick + 1))
+        raise RuntimeError(f"device did not go idle within {max_ticks} ticks")
+
+    # ------------------------------------------------------------------
+    # Reset
+    # ------------------------------------------------------------------
+    def soft_reset(self) -> None:
+        """Soft reset: the CPU restarts from the flash reset vector while
+        RAM contents persist (exactly the state the paper collects
+        sessions from).
+
+        The reset vector pair lives at the start of flash; the memory
+        map's vector fetch at address 0 is redirected there by copying
+        the two longwords into RAM, which is how the DragonBall's boot
+        overlay behaves in effect.
+        """
+        ssp = self.mem.flash.read32(C.FLASH_BASE)
+        entry = self.mem.flash.read32(C.FLASH_BASE + 4)
+        self.mem.ram.write32(0, ssp)
+        self.mem.ram.write32(4, entry)
+        self.cpu.reset()
+        self.intc.status = 0
+        self.intc.attach_cpu(self.cpu)
+        # The tick counter restarts at reset (Palm OS TimGetTicks counts
+        # from boot), keeping cycle and tick time consistent.
+        self.timer.tick = 0
+        self.tick_offset = 0
+        self._wakes.clear()
+        self.digitizer.last_sample_tick = -C.PEN_SAMPLE_TICKS
+
+    def warm_reset(self) -> None:
+        """Mid-session soft reset (the guest pressed reset / called
+        SysReset): the guest tick counter restarts but wall time — and
+        with it the stimulus schedule — keeps running.
+
+        This is the "future work" reset support the paper defers: the
+        inherent problem it mentions is exactly the restarted tick
+        counter, solved here by separating wall time from guest time.
+        """
+        ssp = self.mem.flash.read32(C.FLASH_BASE)
+        entry = self.mem.flash.read32(C.FLASH_BASE + 4)
+        self.mem.ram.write32(0, ssp)
+        self.mem.ram.write32(4, entry)
+        cycles = self.cpu.cycles
+        self.cpu.reset()
+        self.cpu.cycles = cycles          # wall cycle time keeps running
+        self.intc.status = 0
+        self.intc.attach_cpu(self.cpu)
+        self.tick_offset = self.timer.tick
+        self._wakes.clear()               # pending alarms die with the OS

@@ -1,0 +1,109 @@
+"""Memory (expansion) card support — the paper's deferred feature.
+
+§2.3.1: "the insertion, removal, and name of a memory card can be
+detected with our technique.  We have chosen not to use memory cards in
+this study due to the extra complexity ... Allowing memory cards to be
+used would require either storing the contents of the memory card that
+were accessed (and the timing of such events) or the entire contents of
+the memory card and simulating that interface."
+
+This extension takes the second option: the card's *entire contents*
+travel with the initial state, and insert/remove transitions are
+external inputs — they raise a CARD interrupt whose service routine
+broadcasts a notification (``SysNotifyBroadcast``), which is exactly
+how the existing notify hack detects them.  Replay re-inserts the same
+card at the recorded ticks.
+
+The card's storage appears as a read/write window at
+``CARD_WINDOW_BASE``; reads while no card is present float high (0xFF),
+writes raise a bus error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..m68k.errors import BusError
+
+CARD_WINDOW_BASE = 0x2000_0000
+CARD_WINDOW_MAX = 64 << 20        # up to 64 MB mapped
+
+#: Notification types broadcast on card transitions (logged by the
+#: SysNotifyBroadcast hack, so replay can re-inject them).
+NOTIFY_CARD_INSERTED = 0x63617264   # 'card'
+NOTIFY_CARD_REMOVED = 0x63725F6D    # 'cr_m'
+
+INT_CARD = 0x08
+
+
+@dataclass
+class MemoryCard:
+    """A removable card: a name and its full contents."""
+
+    name: str
+    contents: bytearray = field(default_factory=bytearray)
+
+    @classmethod
+    def blank(cls, name: str, size: int) -> "MemoryCard":
+        return cls(name=name, contents=bytearray(b"\xff" * size))
+
+    @property
+    def size(self) -> int:
+        return len(self.contents)
+
+
+class CardSlot:
+    """The expansion slot: presence state, transition latch, storage
+    window."""
+
+    def __init__(self, intc):
+        self._intc = intc
+        self.card: Optional[MemoryCard] = None
+        self.last_event = 0  # the notify type of the last transition
+
+    # -- transitions (external inputs) ----------------------------------
+    def insert(self, card: MemoryCard) -> None:
+        if card.size > CARD_WINDOW_MAX:
+            raise ValueError("card larger than the mapped window")
+        self.card = card
+        self.last_event = NOTIFY_CARD_INSERTED
+        self._intc.raise_int(INT_CARD)
+
+    def remove(self) -> None:
+        if self.card is None:
+            return
+        self.card = None
+        self.last_event = NOTIFY_CARD_REMOVED
+        self._intc.raise_int(INT_CARD)
+
+    @property
+    def present(self) -> bool:
+        return self.card is not None
+
+    # -- storage window ---------------------------------------------------
+    def read8(self, addr: int) -> int:
+        offset = addr - CARD_WINDOW_BASE
+        if self.card is None or offset >= self.card.size:
+            return 0xFF  # floating bus
+        return self.card.contents[offset]
+
+    def read16(self, addr: int) -> int:
+        return (self.read8(addr) << 8) | self.read8(addr + 1)
+
+    def read32(self, addr: int) -> int:
+        return (self.read16(addr) << 16) | self.read16(addr + 2)
+
+    def write8(self, addr: int, value: int) -> None:
+        offset = addr - CARD_WINDOW_BASE
+        if self.card is None or offset >= self.card.size:
+            raise BusError(addr)
+        self.card.contents[offset] = value & 0xFF
+
+    def write16(self, addr: int, value: int) -> None:
+        self.write8(addr, value >> 8)
+        self.write8(addr + 1, value)
+
+    def write32(self, addr: int, value: int) -> None:
+        self.write16(addr, value >> 16)
+        self.write16(addr + 2, value)

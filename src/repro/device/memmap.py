@@ -1,0 +1,187 @@
+"""The Palm m515 memory map: 16 MB RAM, 4 MB flash, hardware registers.
+
+This is the single point through which every guest memory access flows,
+which makes it the natural place to hang the reference tracer (the
+paper's modified POSE records memory references the same way, at the
+bus).  Long accesses count as two references: the DragonBall has a
+16-bit external bus.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from ..m68k.bus import FlatMemory, check_aligned
+from ..m68k.errors import BusError
+from . import constants as C
+
+#: Region codes used by tracers and the cache study.
+REGION_RAM = 0
+REGION_FLASH = 1
+REGION_HW = 2
+REGION_CARD = 3
+
+#: Access kinds.
+KIND_FETCH = 0
+KIND_READ = 1
+KIND_WRITE = 2
+
+from .memcard import CARD_WINDOW_BASE as _CARD_BASE  # noqa: E402
+from .memcard import CARD_WINDOW_MAX as _CARD_MAX  # noqa: E402
+
+_CARD_LIMIT = _CARD_BASE + _CARD_MAX
+
+
+class Tracer(Protocol):
+    """Receives one call per bus-width reference."""
+
+    def reference(self, addr: int, kind: int, region: int) -> None: ...
+
+
+class HardwareRegs:
+    """Routes the 0xFFFFF000 register window to the peripherals."""
+
+    def __init__(self, device):
+        self._device = device
+
+    def read32(self, addr: int) -> int:
+        d = self._device
+        if addr == C.REG_INT_STATUS:
+            return d.intc.status
+        if addr == C.REG_TMR_TICKS:
+            return d.guest_tick & 0xFFFFFFFF
+        if addr == C.REG_RTC_SECONDS:
+            return d.rtc.seconds_at(d.timer.tick)
+        if addr == C.REG_PEN_SAMPLE:
+            return d.digitizer.read_sample_register()
+        if addr == C.REG_KEY_STATE:
+            return d.buttons.state
+        if addr == C.REG_KEY_EVENT:
+            return d.buttons.last_event
+        if addr == C.REG_LCD_BASE:
+            return d.lcd_base
+        if addr == C.REG_DEVICE_ID:
+            return C.DEVICE_ID_M515
+        if addr == C.REG_RNG_ENTROPY:
+            return d.entropy()
+        if addr == C.REG_CARD_EVENT:
+            return d.card_slot.last_event
+        if addr == C.REG_CARD_STATUS:
+            return 1 if d.card_slot.present else 0
+        raise BusError(addr)
+
+    def write32(self, addr: int, value: int) -> None:
+        d = self._device
+        if addr == C.REG_INT_ACK:
+            d.intc.ack(value)
+            return
+        if addr == C.REG_LCD_BASE:
+            d.lcd_base = value & 0xFFFFFFFF
+            return
+        raise BusError(addr)
+
+
+class MemoryMap:
+    """Implements the :class:`repro.m68k.bus.Bus` protocol for the m515."""
+
+    def __init__(self, device, ram_size: int = C.RAM_SIZE,
+                 flash_size: int = C.FLASH_SIZE):
+        self._device = device
+        self.ram = FlatMemory(ram_size, base=C.RAM_BASE)
+        self.flash = FlatMemory(flash_size, base=C.FLASH_BASE)
+        self.hw = HardwareRegs(device)
+        self.ram_limit = C.RAM_BASE + ram_size
+        self.flash_limit = C.FLASH_BASE + flash_size
+        self.tracer: Optional[Tracer] = None
+        #: When True, guest writes to flash raise (real flash needs a
+        #: programming sequence; a stray write is a guest bug).
+        self.flash_write_protect = True
+
+    # -- region helpers -----------------------------------------------------
+    def region_of(self, addr: int) -> int:
+        if addr < self.ram_limit:
+            return REGION_RAM
+        if C.FLASH_BASE <= addr < self.flash_limit:
+            return REGION_FLASH
+        if _CARD_BASE <= addr < _CARD_LIMIT:
+            return REGION_CARD
+        if addr >= C.HWREG_BASE:
+            return REGION_HW
+        raise BusError(addr)
+
+    def _backing(self, addr: int):
+        if addr < self.ram_limit:
+            return self.ram
+        if C.FLASH_BASE <= addr < self.flash_limit:
+            return self.flash
+        if _CARD_BASE <= addr < _CARD_LIMIT:
+            return self._device.card_slot
+        raise BusError(addr)
+
+    def _trace(self, addr: int, kind: int, count: int = 1) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            region = self.region_of(addr)
+            tracer.reference(addr, kind, region)
+            if count == 2:
+                tracer.reference(addr + 2, kind, region)
+
+    # -- Bus protocol ---------------------------------------------------------
+    def read8(self, addr: int) -> int:
+        self._trace(addr, KIND_READ)
+        return self._backing(addr).read8(addr)
+
+    def read16(self, addr: int) -> int:
+        self._trace(addr, KIND_READ)
+        return self._backing(addr).read16(addr)
+
+    def read32(self, addr: int) -> int:
+        if addr >= C.HWREG_BASE:
+            check_aligned(addr, 4)
+            self._trace(addr, KIND_READ, count=2)
+            return self.hw.read32(addr)
+        self._trace(addr, KIND_READ, count=2)
+        return self._backing(addr).read32(addr)
+
+    def write8(self, addr: int, value: int) -> None:
+        self._trace(addr, KIND_WRITE)
+        self._writable(addr).write8(addr, value)
+
+    def write16(self, addr: int, value: int) -> None:
+        self._trace(addr, KIND_WRITE)
+        self._writable(addr).write16(addr, value)
+
+    def write32(self, addr: int, value: int) -> None:
+        if addr >= C.HWREG_BASE:
+            check_aligned(addr, 4)
+            self._trace(addr, KIND_WRITE, count=2)
+            self.hw.write32(addr, value)
+            return
+        self._trace(addr, KIND_WRITE, count=2)
+        self._writable(addr).write32(addr, value)
+
+    def fetch16(self, addr: int) -> int:
+        self._trace(addr, KIND_FETCH)
+        return self._backing(addr).read16(addr)
+
+    def _writable(self, addr: int) -> FlatMemory:
+        backing = self._backing(addr)
+        if backing is self.flash and self.flash_write_protect:
+            raise BusError(addr)
+        return backing
+
+    # -- host-side (untraced) access ------------------------------------------
+    # Loading the initial state and exporting images are host operations
+    # (ROMTransfer / HotSync run over the USB cable, not through the CPU
+    # bus) and must not pollute the reference trace.
+    def load_flash_image(self, blob: bytes, offset: int = 0) -> None:
+        self.flash.load(C.FLASH_BASE + offset, blob)
+
+    def dump_flash_image(self) -> bytes:
+        return self.flash.dump(C.FLASH_BASE, len(self.flash))
+
+    def load_ram(self, addr: int, blob: bytes) -> None:
+        self.ram.load(addr, blob)
+
+    def dump_ram(self, addr: int, length: int) -> bytes:
+        return self.ram.dump(addr, length)

@@ -1,0 +1,169 @@
+"""Peripheral models for the Palm m515.
+
+Each peripheral keeps plain Python state; the guest sees it through the
+hardware-register window that :class:`repro.device.memmap.MemoryMap`
+routes here.  Interrupts are level-triggered: a peripheral sets a bit in
+the interrupt controller's status word and the controller asserts the
+CPU's IRQ line until the guest acknowledges the bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import constants as C
+
+
+class InterruptController:
+    """Funnels peripheral interrupts onto one autovectored IRQ level."""
+
+    def __init__(self):
+        self.status = 0
+        self._cpu = None
+
+    def attach_cpu(self, cpu) -> None:
+        self._cpu = cpu
+
+    def raise_int(self, bit: int) -> None:
+        self.status |= bit
+        self._update()
+
+    def ack(self, mask: int) -> None:
+        """Guest write to INT_ACK: clear the given status bits."""
+        self.status &= ~mask
+        self._update()
+
+    def _update(self) -> None:
+        if self._cpu is not None:
+            self._cpu.set_irq(C.IRQ_LEVEL if self.status else 0)
+
+
+@dataclass
+class PenSample:
+    down: bool
+    x: int
+    y: int
+
+    def pack(self) -> int:
+        flags = 0x80 if self.down else 0
+        return (flags << 24) | ((self.x & 0xFF) << 8) | (self.y & 0xFF)
+
+
+class Digitizer:
+    """The touch screen.
+
+    The stylus state is set by the workload driver (or the replay
+    driver); the device samples it every ``PEN_SAMPLE_TICKS`` ticks while
+    the pen is down, raising a PEN interrupt per sample — which is how a
+    held stylus produces exactly 50 pen events per second, the rate the
+    paper's overhead test observes.
+    """
+
+    def __init__(self, intc: InterruptController):
+        self._intc = intc
+        self.down = False
+        self.x = 0
+        self.y = 0
+        self.sample = PenSample(False, 0, 0)
+        self.last_sample_tick = -C.PEN_SAMPLE_TICKS
+        self._pending_up = False
+
+    # -- driver-facing API ------------------------------------------------
+    def pen_down(self, x: int, y: int) -> None:
+        self.down = True
+        self.move(x, y)
+
+    def move(self, x: int, y: int) -> None:
+        self.x = max(0, min(C.SCREEN_WIDTH - 1, x))
+        self.y = max(0, min(C.SCREEN_HEIGHT - 1, y))
+
+    def pen_up(self) -> None:
+        if self.down:
+            self.down = False
+            self._pending_up = True
+
+    # -- device scheduler hooks --------------------------------------------
+    def wants_sample(self, tick: int) -> bool:
+        if self._pending_up:
+            return True
+        return self.down and tick - self.last_sample_tick >= C.PEN_SAMPLE_TICKS
+
+    def next_sample_tick(self, tick: int) -> int | None:
+        """The next tick at which this digitizer needs servicing."""
+        if self._pending_up:
+            return tick
+        if self.down:
+            return max(tick, self.last_sample_tick + C.PEN_SAMPLE_TICKS)
+        return None
+
+    def take_sample(self, tick: int) -> None:
+        """Latch the current stylus state and raise the PEN interrupt."""
+        if self._pending_up:
+            self.sample = PenSample(False, self.x, self.y)
+            self._pending_up = False
+        else:
+            self.sample = PenSample(True, self.x, self.y)
+        self.last_sample_tick = tick
+        self._intc.raise_int(C.INT_PEN)
+
+    def read_sample_register(self) -> int:
+        return self.sample.pack()
+
+
+class Buttons:
+    """The m515 button set: a held-state bit field plus a transition
+    latch that the key interrupt service routine reads."""
+
+    def __init__(self, intc: InterruptController):
+        self._intc = intc
+        self.state = 0
+        self.last_event = 0  # byte3 = down flag, byte0 = button bit
+
+    def press(self, button: int) -> None:
+        if not self.state & button:
+            self.state |= button
+            self.last_event = 0x8000_0000 | (button & 0xFF)
+            self._intc.raise_int(C.INT_KEY)
+
+    def release(self, button: int) -> None:
+        if self.state & button:
+            self.state &= ~button
+            self.last_event = button & 0xFF
+            self._intc.raise_int(C.INT_KEY)
+
+
+class RealTimeClock:
+    """Real-time clock, in seconds since the Palm epoch (1904-01-01).
+
+    Deterministically derived from the tick counter so that a replayed
+    session observes an identical clock (the paper's emulator had to
+    *approximate* the RTC from host time; see the jitter model in
+    :mod:`repro.emulator` for a reproduction of that behaviour).
+    """
+
+    DEFAULT_BASE = 3_124_137_600  # 2003-01-01 00:00:00 in Palm epoch seconds
+
+    def __init__(self, base_seconds: int | None = None):
+        self.base_seconds = self.DEFAULT_BASE if base_seconds is None else base_seconds
+
+    def seconds_at(self, tick: int) -> int:
+        return (self.base_seconds + tick // C.TICKS_PER_SECOND) & 0xFFFFFFFF
+
+
+class TickTimer:
+    """The 100 Hz system tick source.
+
+    ``tick`` is derived from the CPU cycle counter; while the CPU sleeps
+    the device scheduler advances cycles directly (dozing costs no
+    instructions, exactly like the DragonBall's doze mode).
+    """
+
+    def __init__(self, intc: InterruptController):
+        self._intc = intc
+        self.tick = 0
+
+    def advance_to(self, tick: int, cpu_awake: bool) -> None:
+        if tick > self.tick:
+            self.tick = tick
+            if cpu_awake:
+                self._intc.raise_int(C.INT_TIMER)

@@ -1,0 +1,19 @@
+"""The replay emulator (modified POSE): state import, tick-synchronous
+playback, and profiling."""
+
+from .playback import JitterModel, PlaybackDriver, PlaybackResult, replay_session
+from .pose import Emulator, RomMismatchError
+from .profiling import Profiler, ReferenceTrace, T_FLASH_CYCLES, T_RAM_CYCLES
+
+__all__ = [
+    "Emulator",
+    "RomMismatchError",
+    "JitterModel",
+    "PlaybackDriver",
+    "PlaybackResult",
+    "replay_session",
+    "Profiler",
+    "ReferenceTrace",
+    "T_RAM_CYCLES",
+    "T_FLASH_CYCLES",
+]

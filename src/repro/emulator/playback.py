@@ -1,0 +1,305 @@
+"""Activity-log playback (§2.4.2).
+
+The playback driver schedules the parsed log's synchronous events
+against the emulated tick counter: "the emulated system's tick counter
+is checked to see if it is greater than or equal to the tick timestamp
+of the next event.  If it is time for the next event, the emulator
+simulates the event" — here by latching the recorded sample into the
+peripheral and raising its interrupt, so the ROM ISR, any installed
+hacks, and the kernel all run exactly as they did on the handheld.
+
+``KeyCurrentState`` and non-zero ``SysRandom`` calls are serviced from
+their queues, as the paper describes.
+
+The optional :class:`JitterModel` reproduces the *imperfections* the
+paper observed in §3.3/§3.4 — short bursts of events arriving slightly
+late (< 20 ticks, blamed on emulator thread scheduling) and the
+host-approximated RTC — so the validation experiments can show the same
+benign divergences.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..device import constants as C
+from ..device.peripherals import PenSample
+from ..tracelog import ActivityLog, ParsedLog, parse_log
+from ..tracelog.records import LogEventType, LogRecord
+from .pose import Emulator
+
+
+class JitterModel:
+    """Replay timing imperfections, off by default.
+
+    * Event bursts: with probability ``burst_probability`` per event, a
+      run of following events is delayed by up to ``max_delay`` ticks
+      (the paper saw bursts "< 20 ticks" late, then a return to exact
+      schedule).
+    * RTC drift: the emulated RTC reads as host-approximated time, a
+      few seconds off the tick-derived clock.
+    """
+
+    def __init__(self, seed: int = 0, burst_probability: float = 0.08,
+                 max_delay: int = 19, burst_length: tuple = (2, 5),
+                 rtc_drift_seconds: int = 3):
+        self._rng = random.Random(seed)
+        self.burst_probability = burst_probability
+        self.max_delay = max_delay
+        self.burst_length = burst_length
+        self.rtc_drift_seconds = rtc_drift_seconds
+        self._burst_left = 0
+        self._burst_delay = 0
+
+    def event_delay(self) -> int:
+        if self._burst_left > 0:
+            self._burst_left -= 1
+            return self._burst_delay
+        if self._rng.random() < self.burst_probability:
+            self._burst_left = self._rng.randint(*self.burst_length) - 1
+            self._burst_delay = self._rng.randint(1, self.max_delay)
+            return self._burst_delay
+        return 0
+
+    def rtc_offset(self) -> int:
+        return self._rng.randint(0, self.rtc_drift_seconds)
+
+
+@dataclass
+class PlaybackResult:
+    """What happened during one replay."""
+
+    events_injected: int = 0
+    keystate_lookups: int = 0
+    seeds_served: int = 0
+    seeds_missing: int = 0
+    start_tick: int = 0
+    end_tick: int = 0
+    instructions: int = 0
+    delays_applied: List[int] = field(default_factory=list)
+
+
+class _KeyStateQueue:
+    """Serves the recorded KeyCurrentState bit fields by tick."""
+
+    def __init__(self, records: List[LogRecord], result: PlaybackResult):
+        self._records = records
+        self._pos = 0
+        self._result = result
+
+    def lookup(self, tick: int, raw: int) -> int:
+        self._result.keystate_lookups += 1
+        while (self._pos + 1 < len(self._records)
+               and self._records[self._pos + 1].tick <= tick):
+            self._pos += 1
+        if self._pos < len(self._records) and self._records[self._pos].tick <= tick:
+            return self._records[self._pos].data
+        return raw
+
+
+class _RandomQueue:
+    """Overrides non-zero SysRandom seeds from the recorded queue."""
+
+    def __init__(self, records: List[LogRecord], result: PlaybackResult):
+        self._records = records
+        self._pos = 0
+        self._result = result
+
+    def next_seed(self, original: int) -> int:
+        if self._pos < len(self._records):
+            seed = self._records[self._pos].data
+            self._pos += 1
+            self._result.seeds_served += 1
+            return seed
+        self._result.seeds_missing += 1
+        return original
+
+
+class PlaybackDriver:
+    """Replays one activity log on an emulator.
+
+    Sessions containing soft resets (the RESET extension records) are
+    split into tick epochs: the guest performs each reset *itself* —
+    deterministically, driven by the replayed input — and the driver
+    re-aligns the next epoch's schedule to the restarted tick counter.
+    """
+
+    def __init__(self, emulator: Emulator, log: ActivityLog,
+                 jitter: Optional[JitterModel] = None):
+        from ..tracelog import split_epochs
+
+        self.emulator = emulator
+        self.log = log
+        self.parsed: ParsedLog = parse_log(log)
+        self.epochs = split_epochs(log)
+        self.jitter = jitter
+
+    # -- injection ------------------------------------------------------
+    def _inject_pen(self, record: LogRecord) -> None:
+        device = self.emulator.device
+        device.digitizer.sample = PenSample(record.pen_down, record.pen_x,
+                                            record.pen_y)
+        device.intc.raise_int(C.INT_PEN)
+
+    def _inject_key(self, record: LogRecord) -> None:
+        device = self.emulator.device
+        buttons = device.buttons
+        buttons.last_event = record.data
+        if record.key_down:
+            buttons.state |= record.key_code
+        else:
+            buttons.state &= ~record.key_code
+        device.intc.raise_int(C.INT_KEY)
+
+    # -- the run -----------------------------------------------------------
+    def run(self, idle_grace_ticks: int = 200,
+            max_ticks: int = 100_000_000, reset: bool = False) -> PlaybackResult:
+        """Replay the log.
+
+        With ``reset=True`` the driver performs the session-start soft
+        reset itself, after installing the replay overrides — required
+        so the boot path's ``SysRandom`` seeding is served from the
+        recorded queue (the handheld's hack logged it at collection
+        time).
+        """
+        emulator = self.emulator
+        kernel = emulator.kernel
+        device = emulator.device
+
+        result = PlaybackResult()
+        # The SysRandom seed queue is global: seeds are consumed one per
+        # non-zero call, in session order, across tick epochs (each
+        # epoch's boot consumes the seed its hack logged).
+        randoms = _RandomQueue(self.parsed.random_queue, result)
+        kernel.syscalls.random_seed_override = randoms.next_seed
+        if self.jitter is not None:
+            rtc = device.rtc
+            drift = self.jitter.rtc_offset()
+            kernel.time_override = (
+                lambda: rtc.seconds_at(device.tick) + drift)
+
+        if reset:
+            kernel.boot()
+        result.start_tick = device.tick
+        result.instructions = device.cpu.instructions
+
+        try:
+            prev_boots = kernel.boot_count
+            for index, epoch_log in enumerate(self.epochs):
+                if index > 0:
+                    prev_boots = self._await_guest_reset(prev_boots,
+                                                         max_ticks)
+                ends_with_reset = bool(
+                    epoch_log.records
+                    and epoch_log.records[-1].type == LogEventType.RESET)
+                self._run_epoch(epoch_log, result, idle_grace_ticks,
+                                stop_at_reset=ends_with_reset)
+            device.run_until_idle(max_ticks=max_ticks)
+        finally:
+            kernel.syscalls.key_state_override = None
+            kernel.syscalls.random_seed_override = None
+            kernel.time_override = None
+
+        result.end_tick = device.tick
+        result.instructions = device.cpu.instructions - result.instructions
+        return result
+
+    def _await_guest_reset(self, prev_boots: int, max_ticks: int) -> int:
+        """Advance until the guest performs its recorded soft reset
+        (triggered deterministically by the replayed input)."""
+        kernel = self.emulator.kernel
+        device = self.emulator.device
+        deadline = device.tick + min(max_ticks, 100_000)
+        while kernel.boot_count <= prev_boots:
+            if device.tick >= deadline:
+                raise RuntimeError(
+                    "expected a guest soft reset (RESET record) that "
+                    "never happened during replay")
+            device.advance(device.tick + 1)
+        return kernel.boot_count
+
+    def _run_epoch(self, epoch_log: ActivityLog, result: PlaybackResult,
+                   idle_grace_ticks: int,
+                   stop_at_reset: bool = False) -> None:
+        kernel = self.emulator.kernel
+        device = self.emulator.device
+        parsed = parse_log(epoch_log)
+        keystate = _KeyStateQueue(parsed.keystate_queue, result)
+        kernel.syscalls.key_state_override = keystate.lookup
+
+        # Record ticks are guest-epoch ticks; wall schedule = offset +.
+        epoch_offset = device.tick_offset
+        last_tick = device.tick
+        last_by_type: dict = {}
+        for record in parsed.synchronous:
+            delay = self.jitter.event_delay() if self.jitter else 0
+            tick = epoch_offset + record.tick + delay
+            # A delayed burst must stay in order and must not collapse
+            # two same-peripheral events onto one tick (the second
+            # would overwrite the latched sample before the ISR reads
+            # the first) — the paper's bursts arrive late but intact.
+            prev = last_by_type.get(record.type)
+            if prev is not None and tick <= prev:
+                tick = prev + 1
+            last_by_type[record.type] = tick
+            if delay:
+                result.delays_applied.append(tick - epoch_offset - record.tick)
+            if record.type == LogEventType.PEN:
+                device.schedule_call(
+                    tick, lambda r=record: self._inject_pen(r))
+            else:
+                device.schedule_call(
+                    tick, lambda r=record: self._inject_key(r))
+            result.events_injected += 1
+            last_tick = max(last_tick, tick)
+
+        # Memory-card transitions are external inputs too: re-insert
+        # the session's card at the recorded ticks (card extension).
+        from ..device.memcard import NOTIFY_CARD_INSERTED, NOTIFY_CARD_REMOVED
+        for record in parsed.notifications:
+            tick = epoch_offset + record.tick
+            if record.data == NOTIFY_CARD_INSERTED:
+                if self.emulator.card is None:
+                    raise RuntimeError(
+                        "the log contains a card insertion but the "
+                        "initial state carries no card image")
+                device.schedule_card_insert(tick, self.emulator.card)
+            elif record.data == NOTIFY_CARD_REMOVED:
+                device.schedule_card_remove(tick)
+            else:
+                continue
+            result.events_injected += 1
+            last_tick = max(last_tick, tick)
+
+        if stop_at_reset:
+            # Stop promptly when the guest performs the epoch-ending
+            # reset; overshooting would deliver the next epoch's events
+            # against the wrong restarted tick counter.
+            target = last_tick + idle_grace_ticks
+            boots = kernel.boot_count
+            while device.tick < target and kernel.boot_count == boots:
+                device.advance(device.tick + 1)
+        else:
+            device.advance(last_tick + idle_grace_ticks)
+
+
+def replay_session(state, log: ActivityLog, apps=(), profile: bool = True,
+                   trace_references: bool = True,
+                   jitter: Optional[JitterModel] = None,
+                   emulator_kwargs: Optional[dict] = None):
+    """One-call replay: build the emulator, load β, apply δ.
+
+    Returns ``(emulator, profiler, result)``; ``profiler`` is None when
+    ``profile=False``.
+    """
+    emulator = Emulator(apps=apps, **(emulator_kwargs or {}))
+    emulator.load_state(state, restore_clock=jitter is None,
+                        final_reset=False)
+    profiler = None
+    if profile:
+        profiler = emulator.start_profiling(trace_references=trace_references)
+    driver = PlaybackDriver(emulator, log, jitter=jitter)
+    result = driver.run(reset=True)
+    return emulator, profiler, result

@@ -1,0 +1,196 @@
+"""Profiling: opcode histograms and memory-reference traces.
+
+The paper's modified POSE "track[s] and output[s] statistical execution
+information such as opcodes and memory references ... we treated each
+executed opcode as an index into an array, and incremented the
+respective array element" (§2.4.2).  The profiler here does exactly
+that, plus per-region reference accounting (RAM vs flash — the split
+Table 1 reports) and an optional full reference trace for the cache
+study.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..device import constants as C
+from ..device.memmap import (
+    KIND_FETCH,
+    KIND_READ,
+    KIND_WRITE,
+    REGION_CARD,
+    REGION_FLASH,
+    REGION_HW,
+    REGION_RAM,
+)
+
+#: CPU cycles per reference, by region (§4.2: "The Dragonball
+#: MC68VZ328 requires one cycle for RAM accesses and three cycles for
+#: flash accesses").
+T_RAM_CYCLES = 1
+T_FLASH_CYCLES = 3
+
+
+class Profiler:
+    """Accumulates opcode counts and memory references.
+
+    Attach with :meth:`repro.emulator.pose.Emulator.start_profiling`;
+    the memory map feeds one call per bus-width reference and the CPU
+    feeds one call per executed opcode.
+    """
+
+    def __init__(self, trace_references: bool = True):
+        self.trace_references = trace_references
+        self.opcode_counts: array = array("Q", bytes(8 * 0x10000))
+        self.counts: Dict[tuple, int] = {}
+        self._addr = array("I")
+        self._kind = array("B")  # kind | region << 4
+        self.instructions = 0
+        #: Caches simulated on-line during the replay itself (no trace
+        #: storage; useful when the session is too large to keep a
+        #: trace in memory).  Hardware-register references are skipped,
+        #: as in the off-line pipeline's ``memory_only()``.
+        self.online_caches: list = []
+
+    # -- hooks ---------------------------------------------------------
+    def reference(self, addr: int, kind: int, region: int) -> None:
+        key = (kind, region)
+        self.counts[key] = self.counts.get(key, 0) + 1
+        if self.trace_references:
+            self._addr.append(addr & 0xFFFFFFFF)
+            self._kind.append(kind | (region << 4))
+        if self.online_caches and region != REGION_HW:
+            write = kind == KIND_WRITE
+            for cache in self.online_caches:
+                cache.access(addr, write)
+
+    def opcode(self, op: int) -> None:
+        self.opcode_counts[op] += 1
+        self.instructions += 1
+
+    # -- aggregate statistics ---------------------------------------------
+    def _region_total(self, region: int) -> int:
+        return sum(n for (kind, reg), n in self.counts.items()
+                   if reg == region)
+
+    @property
+    def ram_refs(self) -> int:
+        return self._region_total(REGION_RAM)
+
+    @property
+    def flash_refs(self) -> int:
+        return self._region_total(REGION_FLASH)
+
+    @property
+    def hw_refs(self) -> int:
+        return self._region_total(REGION_HW)
+
+    @property
+    def card_refs(self) -> int:
+        return self._region_total(REGION_CARD)
+
+    @property
+    def total_refs(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def fetch_refs(self) -> int:
+        return sum(n for (kind, _), n in self.counts.items()
+                   if kind == KIND_FETCH)
+
+    @property
+    def read_refs(self) -> int:
+        return sum(n for (kind, _), n in self.counts.items()
+                   if kind == KIND_READ)
+
+    @property
+    def write_refs(self) -> int:
+        return sum(n for (kind, _), n in self.counts.items()
+                   if kind == KIND_WRITE)
+
+    def average_memory_cycles(self) -> float:
+        """Equation 3: average effective memory access time without a
+        cache, in cycles per reference."""
+        ram = self.ram_refs + self.hw_refs  # registers behave like RAM
+        flash = self.flash_refs + self.card_refs  # cards cost like flash
+        total = ram + flash
+        if total == 0:
+            return 0.0
+        return (ram * T_RAM_CYCLES + flash * T_FLASH_CYCLES) / total
+
+    # -- the reference trace -------------------------------------------------
+    def reference_trace(self) -> "ReferenceTrace":
+        if not self.trace_references:
+            raise RuntimeError("profiler was created with trace_references=False")
+        return ReferenceTrace(
+            addresses=np.frombuffer(self._addr, dtype=np.uint32).copy(),
+            kinds=np.frombuffer(self._kind, dtype=np.uint8).copy(),
+        )
+
+    # -- opcode statistics -----------------------------------------------------
+    def top_opcodes(self, n: int = 10) -> list[tuple[int, int]]:
+        """The ``n`` most-executed opcode words as (opcode, count)."""
+        counts = np.frombuffer(self.opcode_counts, dtype=np.uint64)
+        order = np.argsort(counts)[::-1][:n]
+        return [(int(op), int(counts[op])) for op in order if counts[op]]
+
+    def opcode_histogram(self) -> np.ndarray:
+        return np.frombuffer(self.opcode_counts, dtype=np.uint64).copy()
+
+
+class ReferenceTrace:
+    """A memory-reference trace as parallel numpy arrays.
+
+    ``kinds`` packs the access kind in the low nibble and the region in
+    the high nibble; helpers below unpack.
+    """
+
+    def __init__(self, addresses: np.ndarray, kinds: np.ndarray):
+        self.addresses = addresses
+        self.kinds = kinds
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    @property
+    def kind(self) -> np.ndarray:
+        return self.kinds & 0x0F
+
+    @property
+    def region(self) -> np.ndarray:
+        return self.kinds >> 4
+
+    @property
+    def is_write(self) -> np.ndarray:
+        return (self.kinds & 0x0F) == KIND_WRITE
+
+    def ram_only(self) -> "ReferenceTrace":
+        mask = self.region == REGION_RAM
+        return ReferenceTrace(self.addresses[mask], self.kinds[mask])
+
+    def memory_only(self) -> "ReferenceTrace":
+        """Drop hardware-register references (not cacheable)."""
+        mask = self.region != REGION_HW
+        return ReferenceTrace(self.addresses[mask], self.kinds[mask])
+
+    def counts(self) -> dict:
+        out = {}
+        for region, name in [(REGION_RAM, "ram"), (REGION_FLASH, "flash"),
+                             (REGION_HW, "hw")]:
+            out[name] = int(np.count_nonzero(self.region == region))
+        for kind, name in [(KIND_FETCH, "fetch"), (KIND_READ, "read"),
+                           (KIND_WRITE, "write")]:
+            out[name] = int(np.count_nonzero(self.kind == kind))
+        return out
+
+    # -- persistence ---------------------------------------------------------
+    def save(self, path) -> None:
+        np.savez_compressed(path, addresses=self.addresses, kinds=self.kinds)
+
+    @classmethod
+    def load(cls, path) -> "ReferenceTrace":
+        data = np.load(path)
+        return cls(addresses=data["addresses"], kinds=data["kinds"])

@@ -1,0 +1,36 @@
+"""System extensions ("hacks"): trap patching and input collection."""
+
+from .logging_hacks import (
+    HackSpec,
+    evt_enqueue_key_hack,
+    evt_enqueue_pen_point_hack,
+    key_current_state_hack,
+    standard_hacks,
+    sys_notify_broadcast_hack,
+    sys_random_hack,
+)
+from .manager import HackManager, InstalledHack
+from .overhead import (
+    OverheadPoint,
+    measure_hack_overhead,
+    measure_pen_sampling_rate,
+    prefill_log,
+    run_trap_loop,
+)
+
+__all__ = [
+    "HackSpec",
+    "HackManager",
+    "InstalledHack",
+    "standard_hacks",
+    "evt_enqueue_key_hack",
+    "evt_enqueue_pen_point_hack",
+    "key_current_state_hack",
+    "sys_notify_broadcast_hack",
+    "sys_random_hack",
+    "OverheadPoint",
+    "measure_hack_overhead",
+    "measure_pen_sampling_rate",
+    "prefill_log",
+    "run_trap_loop",
+]

@@ -1,0 +1,187 @@
+"""The five activity-log collection hacks (§2.3.2).
+
+Each hack is a self-contained, position-independent 68k routine whose
+address is inserted into the trap dispatch table in place of the
+original system routine.  When its trap fires it "opens a common
+database, inserts a record with the current tick counter and the real
+time clock values, the event type and any necessary data.  It then
+closes the common database.  Each hack also makes a call to the
+original system routine."
+
+Hacks live in records of the extensions database in the storage heap,
+so they execute from RAM (as real HackMaster hacks did) and survive
+soft resets via the boot-time reinstall.
+
+The ``isolate=True`` variant omits the chain to the original routine —
+the paper's §2.3.3 microbenchmark uses exactly this to measure pure
+hack overhead (Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..device import constants as C
+from ..palmos.traps import Trap
+from ..tracelog.log import LOG_DB_NAME
+from ..tracelog.records import LogEventType
+
+
+@dataclass(frozen=True)
+class HackSpec:
+    """A hack ready to assemble: name, patched trap, asm source."""
+
+    name: str
+    trap: Trap
+    source: str
+
+
+_HACK_TEMPLATE = """
+; ---- hack: {name} (trap {trap_name}) -------------------------------
+; Record payload header consumed by the boot-time reinstaller:
+        dc.w    {trap}                  ; patched trap number
+        dc.w    horig-4                 ; offset of the chain slot
+hack_code:
+        movem.l d0-d3/a0-a1,-(sp)       ; trap args now at 30(sp)
+{capture}
+{skip_zero}
+        ; open the common database
+        pea     hname(pc)
+        dc.w    ${find:04x}             ; DmFindDatabase
+        addq.l  #4,sp
+        tst.l   d0
+        beq     hk_out
+        move.l  d0,d2                   ; d2 = database
+        move.l  d2,-(sp)
+        dc.w    ${open:04x}             ; DmOpenDatabase
+        addq.l  #4,sp
+        ; append a {size}-byte record
+        move.l  #{size},-(sp)
+        move.l  #$ffff,-(sp)            ; dmMaxRecordIndex
+        move.l  d2,-(sp)
+        dc.w    ${newrec:04x}           ; DmNewRecord
+        adda.l  #12,sp
+        tst.l   d0
+        beq     hk_close                ; database full: skip
+        movea.l d0,a1
+        ; record: type, tick, rtc, data
+        move.w  #{etype},(a1)+
+        dc.w    ${getticks:04x}         ; TimGetTicks
+        move.l  d0,(a1)+
+        dc.w    ${getseconds:04x}       ; TimGetSeconds
+        move.l  d0,(a1)+
+{store}
+hk_close:
+        move.l  d2,-(sp)
+        dc.w    ${close:04x}            ; DmCloseDatabase
+        addq.l  #4,sp
+hk_out:
+        movem.l (sp)+,d0-d3/a0-a1
+{chain}
+hname:  dc.b    "{db_name}",0
+        even
+horig:  dc.l    0                       ; chain target, set at install
+"""
+
+_CHAIN = """\
+        move.l  horig(pc),-(sp)
+        rts                             ; jump to the original routine"""
+
+_CHAIN_ISOLATED = """\
+        rte                             ; isolated: original elided (fig. 3 test)"""
+
+
+def _build(name: str, trap: Trap, etype: LogEventType, capture: str,
+           short: bool = False, skip_zero: bool = False,
+           isolate: bool = False, db_name: str = LOG_DB_NAME) -> HackSpec:
+    if short:
+        size = 12
+        store = "        move.w  d3,(a1)+"
+    else:
+        size = 16
+        store = "        move.l  d3,(a1)+\n        clr.w   (a1)"
+    source = _HACK_TEMPLATE.format(
+        name=name,
+        trap=int(trap),
+        trap_name=trap.name,
+        capture=capture,
+        skip_zero=("        tst.l   d3\n        beq     hk_out"
+                   if skip_zero else ""),
+        etype=int(etype),
+        size=size,
+        store=store,
+        chain=_CHAIN_ISOLATED if isolate else _CHAIN,
+        db_name=db_name,
+        find=0xA000 | Trap.DmFindDatabase,
+        open=0xA000 | Trap.DmOpenDatabase,
+        newrec=0xA000 | Trap.DmNewRecord,
+        getticks=0xA000 | Trap.TimGetTicks,
+        getseconds=0xA000 | Trap.TimGetSeconds,
+        close=0xA000 | Trap.DmCloseDatabase,
+    )
+    return HackSpec(name=name, trap=trap, source=source)
+
+
+_ARG0_CAPTURE = "        move.l  30(sp),d3               ; first trap argument"
+_KEYSTATE_CAPTURE = (
+    f"        move.l  ${C.REG_KEY_STATE:08x},d3       ; key bit field")
+
+
+def evt_enqueue_key_hack(isolate: bool = False,
+                         db_name: str = LOG_DB_NAME) -> HackSpec:
+    return _build("EvtEnqueueKeyHack", Trap.EvtEnqueueKey, LogEventType.KEY,
+                  _ARG0_CAPTURE, isolate=isolate, db_name=db_name)
+
+
+def evt_enqueue_pen_point_hack(isolate: bool = False,
+                               db_name: str = LOG_DB_NAME) -> HackSpec:
+    return _build("EvtEnqueuePenPointHack", Trap.EvtEnqueuePenPoint,
+                  LogEventType.PEN, _ARG0_CAPTURE, isolate=isolate,
+                  db_name=db_name)
+
+
+def key_current_state_hack(isolate: bool = False,
+                           db_name: str = LOG_DB_NAME) -> HackSpec:
+    return _build("KeyCurrentStateHack", Trap.KeyCurrentState,
+                  LogEventType.KEYSTATE, _KEYSTATE_CAPTURE, short=True,
+                  isolate=isolate, db_name=db_name)
+
+
+def sys_notify_broadcast_hack(isolate: bool = False,
+                              db_name: str = LOG_DB_NAME) -> HackSpec:
+    return _build("SysNotifyBroadcastHack", Trap.SysNotifyBroadcast,
+                  LogEventType.NOTIFY, _ARG0_CAPTURE, isolate=isolate,
+                  db_name=db_name)
+
+
+def sys_random_hack(isolate: bool = False,
+                    db_name: str = LOG_DB_NAME) -> HackSpec:
+    # Only non-zero parameters (seedings) are logged, per §2.4.2.
+    return _build("SysRandomHack", Trap.SysRandom, LogEventType.RANDOM,
+                  _ARG0_CAPTURE, skip_zero=True, isolate=isolate,
+                  db_name=db_name)
+
+
+def sys_reset_hack(isolate: bool = False,
+                   db_name: str = LOG_DB_NAME) -> HackSpec:
+    """Extension (the paper's future work): log soft resets so replay
+    can reconstruct the session's tick epochs."""
+    return _build("SysResetHack", Trap.SysReset, LogEventType.RESET,
+                  "        moveq   #0,d3",
+                  short=True, isolate=isolate, db_name=db_name)
+
+
+def standard_hacks(isolate: bool = False,
+                   db_name: str = LOG_DB_NAME,
+                   with_reset: bool = True) -> list[HackSpec]:
+    """The paper's five hacks (plus the reset extension by default)."""
+    hacks = [
+        evt_enqueue_key_hack(isolate, db_name),
+        evt_enqueue_pen_point_hack(isolate, db_name),
+        key_current_state_hack(isolate, db_name),
+        sys_notify_broadcast_hack(isolate, db_name),
+        sys_random_hack(isolate, db_name),
+    ]
+    if with_reset:
+        hacks.append(sys_reset_hack(isolate, db_name))
+    return hacks

@@ -1,0 +1,147 @@
+"""Hack-overhead instrumentation (§2.3.3, Figure 3).
+
+Two measurements from the paper:
+
+* :func:`measure_pen_sampling_rate` — hold the stylus against the
+  screen and count pen records per second in the log database.  The
+  paper's m515 recorded an average of 50.0/s, i.e. no perceptible
+  overhead at the 50 Hz sample rate.
+
+* :func:`measure_hack_overhead` — "a test that called a hack in a
+  tight loop on a handheld ... The test eliminated the call to the
+  original system routine to isolate the overhead associated with the
+  hack."  Average execution time per call is measured at a range of
+  log-database sizes; the paper found ~6.4 ms/call at 0–10 K records
+  growing to ~15.5 ms/call at 50–60 K, blamed on the OS memory
+  manager.  In this reproduction the growth arises organically from
+  the record-list walk each insert performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..device import constants as C
+from ..m68k.asm import assemble
+from ..palmos import PalmOS, Trap
+from ..tracelog.log import LOG_DB_NAME, create_log_database, read_activity_log
+from ..tracelog.records import LogEventType
+from .manager import HackManager
+from .logging_hacks import HackSpec
+
+
+@dataclass
+class OverheadPoint:
+    """Average per-call hack overhead at one database size."""
+
+    records: int
+    calls: int
+    avg_cycles: float
+
+    @property
+    def avg_ms(self) -> float:
+        return self.avg_cycles / C.CPU_CLOCK_HZ * 1000.0
+
+
+def run_trap_loop(kernel: PalmOS, trap: Trap, arg: int, calls: int,
+                  max_ticks: int = 5_000_000) -> float:
+    """Invoke ``trap(arg)`` ``calls`` times from a guest loop; returns
+    average cycles per call."""
+    thunk_addr = kernel.device.mem.ram.base + 0x0E00  # inside stack reserve
+    source = f"""
+        org     ${thunk_addr:x}
+        move.l  #{calls - 1},d4
+tl_loop:
+        move.l  #${arg & 0xFFFFFFFF:x},-(sp)
+        dc.w    ${0xA000 | int(trap):04x}
+        addq.l  #4,sp
+        dbra    d4,tl_loop
+        dc.w    $ffff
+"""
+    program = assemble(source)
+    for addr, blob in program.segments:
+        kernel.device.mem.load_ram(addr, blob)
+
+    cpu = kernel.device.cpu
+    saved = (cpu.pc, cpu.stopped)
+    done = {"end_cycles": None}
+    prev_fline = cpu.fline_handler
+
+    def fline(c, op):
+        if op == 0xFFFF:
+            # Capture the cycle counter *here*: once the CPU stops, the
+            # scheduler dozes it to the next tick boundary and those
+            # skipped cycles must not pollute the measurement.
+            done["end_cycles"] = c.cycles
+            c.stopped = True
+            return True
+        return prev_fline(c, op) if prev_fline else False
+
+    cpu.fline_handler = fline
+    cpu.stopped = False
+    cpu.pc = thunk_addr
+    start_cycles = cpu.cycles
+    deadline = kernel.device.tick + max_ticks
+    while done["end_cycles"] is None and kernel.device.tick < deadline:
+        kernel.device.advance(kernel.device.tick + 50)
+    cpu.fline_handler = prev_fline
+    cpu.pc, cpu.stopped = saved
+    if done["end_cycles"] is None:
+        raise RuntimeError("trap loop did not finish")
+    return (done["end_cycles"] - start_cycles) / calls
+
+
+def prefill_log(kernel: PalmOS, count: int,
+                db_name: str = LOG_DB_NAME) -> None:
+    """Host-side construction of a log database with ``count`` records
+    (fast state injection; the measurement path stays fully guest)."""
+    db = create_log_database(kernel, db_name)
+    if count:
+        payload = bytes(16)
+        kernel.dm_host.bulk_append(db, [payload] * count)
+
+
+def measure_hack_overhead(
+    kernel: PalmOS,
+    spec: HackSpec,
+    arg: int,
+    db_sizes: Sequence[int],
+    calls_per_size: int = 20,
+) -> List[OverheadPoint]:
+    """Figure 3's measurement: isolated-hack cost vs. database size.
+
+    ``spec`` should be built with ``isolate=True`` so the original
+    routine is elided, exactly as in the paper's test.
+    """
+    manager = HackManager(kernel)
+    manager.install(spec)
+    try:
+        points = []
+        for size in db_sizes:
+            prefill_log(kernel, size)
+            avg = run_trap_loop(kernel, spec.trap, arg, calls_per_size)
+            points.append(OverheadPoint(records=size, calls=calls_per_size,
+                                        avg_cycles=avg))
+        return points
+    finally:
+        manager.uninstall_all()
+
+
+def measure_pen_sampling_rate(kernel: PalmOS, seconds: int = 4) -> float:
+    """§2.3.3's pen test: stylus held against the screen, count pen
+    records per second landing in the (initially empty) log database."""
+    create_log_database(kernel)
+    manager = HackManager(kernel)
+    manager.install_standard()
+    try:
+        start = kernel.device.tick
+        kernel.device.schedule_pen_down(start + 10, 80, 80)
+        hold_ticks = seconds * C.TICKS_PER_SECOND
+        kernel.device.schedule_pen_up(start + 10 + hold_ticks)
+        kernel.device.run_until_idle(max_ticks=hold_ticks + 10_000)
+        log = read_activity_log(kernel)
+        pen_records = [r for r in log.of_type(LogEventType.PEN) if r.pen_down]
+        return len(pen_records) / seconds
+    finally:
+        manager.uninstall_all()

@@ -1,0 +1,45 @@
+"""From-scratch Motorola 68000 (DragonBall MC68VZ328) toolchain.
+
+The Palm m515's processor core, an assembler for writing guest software
+(ROM routines, hacks, applications), and a disassembler for debugging.
+"""
+
+from .bus import Bus, FlatMemory
+from .cpu import CPU
+from .errors import (
+    AddressError,
+    AssemblerError,
+    BusError,
+    CpuHalted,
+    IllegalInstructionError,
+    M68kError,
+)
+
+__all__ = [
+    "Bus",
+    "FlatMemory",
+    "CPU",
+    "AddressError",
+    "AssemblerError",
+    "BusError",
+    "CpuHalted",
+    "IllegalInstructionError",
+    "M68kError",
+    "Assembler",
+    "assemble",
+    "disassemble",
+]
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro.m68k` light; the assembler pulls in
+    # a sizeable parser table.
+    if name in ("Assembler", "assemble"):
+        from .asm import Assembler, assemble
+
+        return {"Assembler": Assembler, "assemble": assemble}[name]
+    if name == "disassemble":
+        from .disasm import disassemble
+
+        return disassemble
+    raise AttributeError(name)

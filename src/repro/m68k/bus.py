@@ -1,0 +1,103 @@
+"""Memory bus protocol and a simple flat-memory implementation.
+
+The CPU core talks to the outside world exclusively through a ``Bus``.
+A bus distinguishes *instruction fetches* (``fetch16``) from data reads
+so that a profiling bus can classify references the way the paper's
+modified POSE does (opcode fetches vs. data references, RAM vs. flash).
+
+All values are big-endian, as on the 68000.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from .errors import AddressError
+
+
+class Bus(Protocol):
+    """Minimal interface the CPU requires of its memory system."""
+
+    def read8(self, addr: int) -> int: ...
+
+    def read16(self, addr: int) -> int: ...
+
+    def read32(self, addr: int) -> int: ...
+
+    def write8(self, addr: int, value: int) -> None: ...
+
+    def write16(self, addr: int, value: int) -> None: ...
+
+    def write32(self, addr: int, value: int) -> None: ...
+
+    def fetch16(self, addr: int) -> int:
+        """Read one instruction word.  Semantically a read16; kept
+        separate so profiling buses can classify it as a fetch."""
+        ...
+
+
+def check_aligned(addr: int, size: int) -> None:
+    """Raise :class:`AddressError` for misaligned word/long accesses."""
+    if size != 1 and addr & 1:
+        raise AddressError(addr, size)
+
+
+class FlatMemory:
+    """A flat big-endian byte-addressable memory.
+
+    Used directly in unit tests and as the building block for the device
+    memory map's RAM and flash regions.
+    """
+
+    def __init__(self, size: int, base: int = 0):
+        self.base = base
+        self.data = bytearray(size)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # -- byte / word / long accessors -----------------------------------
+    def read8(self, addr: int) -> int:
+        return self.data[addr - self.base]
+
+    def read16(self, addr: int) -> int:
+        check_aligned(addr, 2)
+        off = addr - self.base
+        return (self.data[off] << 8) | self.data[off + 1]
+
+    def read32(self, addr: int) -> int:
+        check_aligned(addr, 4)
+        off = addr - self.base
+        d = self.data
+        return (d[off] << 24) | (d[off + 1] << 16) | (d[off + 2] << 8) | d[off + 3]
+
+    def write8(self, addr: int, value: int) -> None:
+        self.data[addr - self.base] = value & 0xFF
+
+    def write16(self, addr: int, value: int) -> None:
+        check_aligned(addr, 2)
+        off = addr - self.base
+        self.data[off] = (value >> 8) & 0xFF
+        self.data[off + 1] = value & 0xFF
+
+    def write32(self, addr: int, value: int) -> None:
+        check_aligned(addr, 4)
+        off = addr - self.base
+        d = self.data
+        d[off] = (value >> 24) & 0xFF
+        d[off + 1] = (value >> 16) & 0xFF
+        d[off + 2] = (value >> 8) & 0xFF
+        d[off + 3] = value & 0xFF
+
+    def fetch16(self, addr: int) -> int:
+        return self.read16(addr)
+
+    # -- bulk helpers ----------------------------------------------------
+    def load(self, addr: int, blob: bytes) -> None:
+        """Copy ``blob`` into memory starting at ``addr``."""
+        off = addr - self.base
+        self.data[off:off + len(blob)] = blob
+
+    def dump(self, addr: int, length: int) -> bytes:
+        off = addr - self.base
+        return bytes(self.data[off:off + length])

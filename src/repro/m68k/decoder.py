@@ -1,0 +1,18 @@
+"""Dispatch-table construction for the 68000 interpreter.
+
+Every 16-bit opcode word is decoded once, up front, into a handler
+closure; the interpreter loop then runs with a single list index per
+instruction.  Building the table costs well under a second and is done
+once per process (cached on :class:`repro.m68k.cpu.CPU`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .instructions import Handler, build_handler
+
+
+def build_dispatch_table() -> List[Optional[Handler]]:
+    """Build the 65536-entry opcode dispatch table."""
+    return [build_handler(op) for op in range(0x10000)]

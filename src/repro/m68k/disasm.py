@@ -1,0 +1,282 @@
+"""A 68000 disassembler for debugging guest code.
+
+Covers the same subset the interpreter executes; anything else renders
+as ``dc.w``.  A-line words render as ``sys $xxx`` (Palm OS system trap)
+and F-line words as ``emucall $xxx`` (emulator callback), matching how
+this reproduction uses those opcode spaces.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+SIZES = {0: "b", 1: "w", 2: "l"}
+CONDS = ["t", "f", "hi", "ls", "cc", "cs", "ne", "eq",
+         "vc", "vs", "pl", "mi", "ge", "lt", "gt", "le"]
+
+
+class _Stream:
+    def __init__(self, fetch: Callable[[int], int], addr: int):
+        self.fetch = fetch
+        self.addr = addr
+        self.start = addr
+
+    def next16(self) -> int:
+        word = self.fetch(self.addr)
+        self.addr += 2
+        return word
+
+    def next32(self) -> int:
+        return (self.next16() << 16) | self.next16()
+
+
+def _signed(value: int, bits: int) -> int:
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def _ea_text(s: _Stream, mode: int, reg: int, size: int) -> str:
+    if mode == 0:
+        return f"d{reg}"
+    if mode == 1:
+        return f"a{reg}"
+    if mode == 2:
+        return f"(a{reg})"
+    if mode == 3:
+        return f"(a{reg})+"
+    if mode == 4:
+        return f"-(a{reg})"
+    if mode == 5:
+        return f"{_signed(s.next16(), 16)}(a{reg})"
+    if mode == 6:
+        ext = s.next16()
+        x = f"{'a' if ext & 0x8000 else 'd'}{(ext >> 12) & 7}"
+        x += ".l" if ext & 0x0800 else ".w"
+        return f"{_signed(ext & 0xFF, 8)}(a{reg},{x})"
+    if reg == 0:
+        return f"${s.next16():x}.w"
+    if reg == 1:
+        return f"${s.next32():x}"
+    if reg == 2:
+        base = s.addr
+        return f"${(base + _signed(s.next16(), 16)) & 0xFFFFFFFF:x}(pc)"
+    if reg == 3:
+        ext = s.next16()
+        x = f"{'a' if ext & 0x8000 else 'd'}{(ext >> 12) & 7}"
+        x += ".l" if ext & 0x0800 else ".w"
+        return f"{_signed(ext & 0xFF, 8)}(pc,{x})"
+    if reg == 4:
+        if size == 4:
+            return f"#${s.next32():x}"
+        return f"#${s.next16() & (0xFF if size == 1 else 0xFFFF):x}"
+    return "?"
+
+
+def _size_of(bits: int) -> int:
+    return {0: 1, 1: 2, 2: 4}[bits]
+
+
+def disassemble_one(fetch: Callable[[int], int], addr: int) -> Tuple[str, int]:
+    """Disassemble the instruction at ``addr``.
+
+    ``fetch`` reads a 16-bit word at an address.  Returns the text and
+    the instruction length in bytes.
+    """
+    s = _Stream(fetch, addr)
+    op = s.next16()
+    text = _decode(s, op)
+    return text, s.addr - addr
+
+
+def _decode(s: _Stream, op: int) -> str:  # noqa: C901 - a disassembler is a switch
+    group = op >> 12
+    mode, reg = (op >> 3) & 7, op & 7
+    szbits = (op >> 6) & 3
+
+    if group == 0xA:
+        return f"sys ${op & 0xFFF:03x}"
+    if group == 0xF:
+        return f"emucall ${op & 0xFFF:03x}"
+
+    fixed = {0x4E70: "reset", 0x4E71: "nop", 0x4E73: "rte", 0x4E75: "rts",
+             0x4E77: "rtr", 0x4AFC: "illegal"}
+    if op in fixed:
+        return fixed[op]
+    if op == 0x4E72:
+        return f"stop #${s.next16():x}"
+    if op & 0xFFF0 == 0x4E40:
+        return f"trap #{op & 15}"
+    if op & 0xFFF8 == 0x4E50:
+        return f"link a{reg},#{_signed(s.next16(), 16)}"
+    if op & 0xFFF8 == 0x4E58:
+        return f"unlk a{reg}"
+    if op & 0xFFF8 == 0x4E60:
+        return f"move a{reg},usp"
+    if op & 0xFFF8 == 0x4E68:
+        return f"move usp,a{reg}"
+
+    if group in (1, 2, 3):
+        size = {1: 1, 3: 2, 2: 4}[group]
+        src = _ea_text(s, mode, reg, size)
+        dmode, dreg = (op >> 6) & 7, (op >> 9) & 7
+        dst = _ea_text(s, dmode, dreg, size)
+        name = "movea" if dmode == 1 else "move"
+        return f"{name}.{SIZES[{1: 0, 2: 1, 4: 2}[size]]} {src},{dst}"
+
+    if group == 0:
+        if op & 0x0100:  # dynamic bit op
+            btype = ["btst", "bchg", "bclr", "bset"][(op >> 6) & 3]
+            return f"{btype} d{(op >> 9) & 7},{_ea_text(s, mode, reg, 1)}"
+        kind = (op >> 9) & 7
+        if kind == 4:  # static bit op
+            btype = ["btst", "bchg", "bclr", "bset"][(op >> 6) & 3]
+            num = s.next16() & 0xFF
+            return f"{btype} #{num},{_ea_text(s, mode, reg, 1)}"
+        names = {0: "ori", 1: "andi", 2: "subi", 3: "addi", 5: "eori", 6: "cmpi"}
+        if kind in names and szbits != 3:
+            size = _size_of(szbits)
+            if mode == 7 and reg == 4:
+                imm = s.next16()
+                return f"{names[kind]} #${imm:x},{'ccr' if size == 1 else 'sr'}"
+            imm = s.next32() if size == 4 else s.next16()
+            return f"{names[kind]}.{SIZES[szbits]} #${imm:x},{_ea_text(s, mode, reg, size)}"
+        return f"dc.w ${op:04x}"
+
+    if group == 4:
+        if op & 0xF1C0 == 0x41C0:
+            return f"lea {_ea_text(s, mode, reg, 4)},a{(op >> 9) & 7}"
+        if op & 0xFFC0 == 0x4E80:
+            return f"jsr {_ea_text(s, mode, reg, 4)}"
+        if op & 0xFFC0 == 0x4EC0:
+            return f"jmp {_ea_text(s, mode, reg, 4)}"
+        if op & 0xFFC0 == 0x40C0:
+            return f"move sr,{_ea_text(s, mode, reg, 2)}"
+        if op & 0xFFC0 == 0x44C0:
+            return f"move {_ea_text(s, mode, reg, 2)},ccr"
+        if op & 0xFFC0 == 0x46C0:
+            return f"move {_ea_text(s, mode, reg, 2)},sr"
+        if op & 0xFFF8 == 0x4840:
+            return f"swap d{reg}"
+        if op & 0xFFC0 == 0x4840:
+            return f"pea {_ea_text(s, mode, reg, 4)}"
+        if op & 0xFFB8 == 0x4880 and mode == 0:
+            return f"ext.{'l' if op & 0x40 else 'w'} d{reg}"
+        if op & 0xFB80 == 0x4880:
+            to_regs = bool(op & 0x0400)
+            size = 4 if op & 0x0040 else 2
+            mask = s.next16()
+            regs = _reglist_text(mask, reverse=(not to_regs and mode == 4))
+            ea = _ea_text(s, mode, reg, size)
+            sz = "l" if size == 4 else "w"
+            return (f"movem.{sz} {ea},{regs}" if to_regs
+                    else f"movem.{sz} {regs},{ea}")
+        names = {0x4000: "negx", 0x4200: "clr", 0x4400: "neg", 0x4600: "not",
+                 0x4A00: "tst"}
+        if op & 0xFF00 in names and szbits != 3:
+            size = _size_of(szbits)
+            return f"{names[op & 0xFF00]}.{SIZES[szbits]} {_ea_text(s, mode, reg, size)}"
+        return f"dc.w ${op:04x}"
+
+    if group == 5:
+        if szbits == 3:
+            cc = CONDS[(op >> 8) & 15]
+            if mode == 1:
+                target = (s.addr + _signed(s.next16(), 16)) & 0xFFFFFFFF
+                return f"db{cc} d{reg},${target:x}"
+            return f"s{cc} {_ea_text(s, mode, reg, 1)}"
+        data = ((op >> 9) & 7) or 8
+        name = "subq" if op & 0x0100 else "addq"
+        size = _size_of(szbits)
+        return f"{name}.{SIZES[szbits]} #{data},{_ea_text(s, mode, reg, size)}"
+
+    if group == 6:
+        cc = (op >> 8) & 15
+        disp8 = op & 0xFF
+        if disp8:
+            target = (s.addr + _signed(disp8, 8)) & 0xFFFFFFFF
+            suffix = ".s"
+        else:
+            target = (s.addr + _signed(s.next16(), 16)) & 0xFFFFFFFF
+            suffix = ""
+        name = {0: "bra", 1: "bsr"}.get(cc, f"b{CONDS[cc]}")
+        return f"{name}{suffix} ${target:x}"
+
+    if group == 7:
+        return f"moveq #{_signed(op & 0xFF, 8)},d{(op >> 9) & 7}"
+
+    if group in (8, 9, 0xB, 0xC, 0xD):
+        opmode = (op >> 6) & 7
+        dreg = (op >> 9) & 7
+        name = {8: "or", 9: "sub", 0xB: "cmp", 0xC: "and", 0xD: "add"}[group]
+        if group in (8, 0xC) and opmode in (3, 7):
+            muldiv = {(8, 3): "divu", (8, 7): "divs",
+                      (0xC, 3): "mulu", (0xC, 7): "muls"}[(group, opmode)]
+            return f"{muldiv} {_ea_text(s, mode, reg, 2)},d{dreg}"
+        if group == 0xC and op & 0x01F8 in (0x0140, 0x0148, 0x0188):
+            variant = op & 0x01F8
+            pairs = {0x0140: (f"d{dreg}", f"d{reg}"), 0x0148: (f"a{dreg}", f"a{reg}"),
+                     0x0188: (f"d{dreg}", f"a{reg}")}[variant]
+            return f"exg {pairs[0]},{pairs[1]}"
+        if opmode in (3, 7) and group in (9, 0xB, 0xD):
+            size = 2 if opmode == 3 else 4
+            sz = "w" if size == 2 else "l"
+            return f"{name}a.{sz} {_ea_text(s, mode, reg, size)},a{dreg}"
+        size = _size_of(opmode & 3)
+        sz = SIZES[opmode & 3]
+        if opmode < 3:
+            return f"{name}.{sz} {_ea_text(s, mode, reg, size)},d{dreg}"
+        if group == 0xB:
+            if mode == 1:
+                return f"cmpm.{sz} (a{reg})+,(a{dreg})+"
+            return f"eor.{sz} d{dreg},{_ea_text(s, mode, reg, size)}"
+        if mode in (0, 1) and group in (9, 0xD):
+            xname = "subx" if group == 9 else "addx"
+            if mode == 0:
+                return f"{xname}.{sz} d{reg},d{dreg}"
+            return f"{xname}.{sz} -(a{reg}),-(a{dreg})"
+        return f"{name}.{sz} d{dreg},{_ea_text(s, mode, reg, size)}"
+
+    if group == 0xE:
+        names = ["as", "ls", "rox", "ro"]
+        direction = "l" if op & 0x0100 else "r"
+        if szbits == 3:
+            kind = (op >> 9) & 3
+            return f"{names[kind]}{direction} {_ea_text(s, mode, reg, 2)}"
+        kind = (op >> 3) & 3
+        sz = SIZES[szbits]
+        if op & 0x0020:
+            return f"{names[kind]}{direction}.{sz} d{(op >> 9) & 7},d{reg}"
+        cnt = ((op >> 9) & 7) or 8
+        return f"{names[kind]}{direction}.{sz} #{cnt},d{reg}"
+
+    return f"dc.w ${op:04x}"
+
+
+def _reglist_text(mask: int, reverse: bool) -> str:
+    if reverse:
+        mask = int(f"{mask:016b}", 2)
+        mask = sum(((mask >> i) & 1) << (15 - i) for i in range(16))
+    names = [f"d{i}" for i in range(8)] + [f"a{i}" for i in range(8)]
+    parts: List[str] = []
+    i = 0
+    while i < 16:
+        if mask & (1 << i):
+            j = i
+            while j + 1 < 16 and mask & (1 << (j + 1)) and (j + 1) // 8 == i // 8:
+                j += 1
+            parts.append(names[i] if i == j else f"{names[i]}-{names[j]}")
+            i = j + 1
+        else:
+            i += 1
+    return "/".join(parts) or "(none)"
+
+
+def disassemble(fetch: Callable[[int], int], addr: int, count: int = 16) -> str:
+    """Disassemble ``count`` instructions starting at ``addr``."""
+    lines = []
+    for _ in range(count):
+        text, length = disassemble_one(fetch, addr)
+        lines.append(f"{addr:08x}  {text}")
+        addr += length
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Exception types raised by the m68k core.
+
+Guest-visible CPU exceptions (illegal instruction, address error, divide
+by zero, ...) are normally *processed* by the CPU as 68000 exception
+vectors rather than raised to the host.  The Python exceptions here are
+for host-level errors: malformed programs, emulator misconfiguration,
+and the CPU halting because no exception handler is installed.
+"""
+
+from __future__ import annotations
+
+
+class M68kError(Exception):
+    """Base class for all m68k core errors."""
+
+
+class CpuHalted(M68kError):
+    """The CPU entered a halted state it cannot leave.
+
+    Raised when exception processing itself faults (double fault), which
+    on a real 68000 asserts HALT and freezes the processor.
+    """
+
+
+class IllegalInstructionError(M68kError):
+    """An opcode could not be decoded and no guest handler is installed."""
+
+    def __init__(self, opcode: int, pc: int):
+        super().__init__(f"illegal opcode {opcode:#06x} at pc={pc:#010x}")
+        self.opcode = opcode
+        self.pc = pc
+
+
+class AddressError(M68kError):
+    """A word or long access used an odd address.
+
+    The MC68VZ328 (68EC000 core) faults on misaligned word/long accesses;
+    surfacing these as host errors catches guest-code bugs early.
+    """
+
+    def __init__(self, address: int, size: int):
+        super().__init__(f"misaligned size-{size} access at {address:#010x}")
+        self.address = address
+        self.size = size
+
+
+class BusError(M68kError):
+    """An access fell outside every mapped region."""
+
+    def __init__(self, address: int):
+        super().__init__(f"access to unmapped address {address:#010x}")
+        self.address = address
+
+
+class AssemblerError(M68kError):
+    """The assembler rejected a source program."""
+
+    def __init__(self, message: str, line: int | None = None):
+        where = f" (line {line})" if line is not None else ""
+        super().__init__(f"{message}{where}")
+        self.line = line

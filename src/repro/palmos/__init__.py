@@ -1,0 +1,38 @@
+"""A from-scratch Palm OS kernel model.
+
+Trap dispatch, the event manager, the memory manager (dynamic and
+storage heaps), the data manager (record databases in the classic PDB
+layout), and the boot sequence — everything resident in guest RAM as
+real bytes, executed by a mix of ROM 68k code and Python "microcode"
+that charges bus cycles for every access.
+"""
+
+from . import layout
+from .database import DatabaseImage, DatabaseManager, DmError, RecordImage, fourcc
+from .events import Event, EventQueue, EventType
+from .heap import Heap, HeapError
+from .kernel import EXTENSIONS_DB_NAME, LAUNCH_DB_NAME, PalmOS, RegisteredApp
+from .rom import AppSpec, RomBuilder
+from .traps import EVT_WAIT_FOREVER, Trap
+
+__all__ = [
+    "layout",
+    "DatabaseImage",
+    "DatabaseManager",
+    "DmError",
+    "RecordImage",
+    "fourcc",
+    "Event",
+    "EventQueue",
+    "EventType",
+    "Heap",
+    "HeapError",
+    "EXTENSIONS_DB_NAME",
+    "LAUNCH_DB_NAME",
+    "PalmOS",
+    "RegisteredApp",
+    "AppSpec",
+    "RomBuilder",
+    "EVT_WAIT_FOREVER",
+    "Trap",
+]

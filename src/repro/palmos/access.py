@@ -1,0 +1,125 @@
+"""Guest-memory accessors.
+
+Kernel data structures live in guest RAM; host Python code manipulates
+them through one of two accessors:
+
+* :class:`TracedAccess` — goes through the CPU's read/write helpers, so
+  every access is charged bus cycles and seen by the reference tracer.
+  Used by trap semantics: this is the "microcode" path, and it is what
+  makes hack overhead and memory-reference statistics come out of the
+  system organically.
+* :class:`HostAccess` — raw access to the backing store, free and
+  invisible.  Used for host-side operations the real system performs
+  over the HotSync cable (state import/export) and by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+
+class GuestAccess(Protocol):
+    def read8(self, addr: int) -> int: ...
+    def read16(self, addr: int) -> int: ...
+    def read32(self, addr: int) -> int: ...
+    def write8(self, addr: int, value: int) -> None: ...
+    def write16(self, addr: int, value: int) -> None: ...
+    def write32(self, addr: int, value: int) -> None: ...
+    def read_bytes(self, addr: int, length: int) -> bytes: ...
+    def write_bytes(self, addr: int, data: bytes) -> None: ...
+
+
+class TracedAccess:
+    """Access through the CPU: cycle-charged and reference-traced.
+
+    Kernel semantics executed in Python stand in for ROM code a native
+    kernel would run; on real hardware every such memory operation is
+    interleaved with instruction fetches of that ROM code.  To keep the
+    profiled fetch/data and flash/RAM mixes honest, each microcode
+    access is therefore accompanied by one instruction fetch at the
+    current PC — which during a trap's F-line callback is the servicing
+    ROM stub in flash.  The companion fetch only happens while a tracer
+    is attached (profiled runs); it costs the same four cycles a real
+    fetch would.
+    """
+
+    def __init__(self, cpu, microcode_fetch: bool = True):
+        self._cpu = cpu
+        self.microcode_fetch = microcode_fetch
+
+    def _note_fetch(self) -> None:
+        cpu = self._cpu
+        if self.microcode_fetch and getattr(cpu.bus, "tracer", None) is not None:
+            cpu.bus.fetch16(cpu.pc & 0xFFFFFFFE)
+            cpu.cycles += 4
+
+    def read8(self, addr: int) -> int:
+        self._note_fetch()
+        return self._cpu.read(addr, 1)
+
+    def read16(self, addr: int) -> int:
+        self._note_fetch()
+        return self._cpu.read(addr, 2)
+
+    def read32(self, addr: int) -> int:
+        self._note_fetch()
+        return self._cpu.read(addr, 4)
+
+    def write8(self, addr: int, value: int) -> None:
+        self._note_fetch()
+        self._cpu.write(addr, 1, value)
+
+    def write16(self, addr: int, value: int) -> None:
+        self._note_fetch()
+        self._cpu.write(addr, 2, value)
+
+    def write32(self, addr: int, value: int) -> None:
+        self._note_fetch()
+        self._cpu.write(addr, 4, value)
+
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        cpu = self._cpu
+        out = bytearray()
+        for i in range(length):
+            if i % 2 == 0:
+                self._note_fetch()
+            out.append(cpu.read(addr + i, 1))
+        return bytes(out)
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        cpu = self._cpu
+        for i, byte in enumerate(data):
+            if i % 2 == 0:
+                self._note_fetch()
+            cpu.write(addr + i, 1, byte)
+
+
+class HostAccess:
+    """Raw access to a :class:`repro.m68k.bus.FlatMemory` (no tracing)."""
+
+    def __init__(self, memory):
+        self._memory = memory
+
+    def read8(self, addr: int) -> int:
+        return self._memory.read8(addr)
+
+    def read16(self, addr: int) -> int:
+        return self._memory.read16(addr)
+
+    def read32(self, addr: int) -> int:
+        return self._memory.read32(addr)
+
+    def write8(self, addr: int, value: int) -> None:
+        self._memory.write8(addr, value)
+
+    def write16(self, addr: int, value: int) -> None:
+        self._memory.write16(addr, value)
+
+    def write32(self, addr: int, value: int) -> None:
+        self._memory.write32(addr, value)
+
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        return self._memory.dump(addr, length)
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        self._memory.load(addr, bytes(data))

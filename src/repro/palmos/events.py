@@ -1,0 +1,112 @@
+"""The event manager: event codes, the guest-resident event queue.
+
+The queue is a fixed ring buffer in guest RAM (header + 16-byte slots);
+every enqueue and dequeue walks through the accessor so the references
+are real.  Applications receive events via the ``EvtGetEvent`` trap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from . import layout as L
+from .access import GuestAccess
+
+
+class EventType(IntEnum):
+    nilEvent = 0
+    penDownEvent = 1
+    penUpEvent = 2
+    penMoveEvent = 3
+    keyDownEvent = 4
+    keyUpEvent = 5
+    appStopEvent = 22
+    appRaiseEvent = 23      # custom: launcher raised an app
+    notifyEvent = 24        # custom: SysNotifyBroadcast delivery
+    firstUserEvent = 0x6000
+
+
+@dataclass
+class Event:
+    """Host-side view of one 16-byte guest event record.
+
+    Layout: eType u16 | flags u16 | x u16 | y u16 | key u16 | data u32
+    (2 bytes pad).
+    """
+
+    etype: int = EventType.nilEvent
+    flags: int = 0
+    x: int = 0
+    y: int = 0
+    key: int = 0
+    data: int = 0
+
+    def write_to(self, access: GuestAccess, addr: int) -> None:
+        access.write16(addr, self.etype)
+        access.write16(addr + 2, self.flags)
+        access.write16(addr + 4, self.x)
+        access.write16(addr + 6, self.y)
+        access.write16(addr + 8, self.key)
+        access.write32(addr + 10, self.data)
+        access.write16(addr + 14, 0)
+
+    @classmethod
+    def read_from(cls, access: GuestAccess, addr: int) -> "Event":
+        return cls(
+            etype=access.read16(addr),
+            flags=access.read16(addr + 2),
+            x=access.read16(addr + 4),
+            y=access.read16(addr + 6),
+            key=access.read16(addr + 8),
+            data=access.read32(addr + 10),
+        )
+
+
+class EventQueue:
+    """Operations on the guest ring buffer at ``layout.EVENT_QUEUE``."""
+
+    def __init__(self, access: GuestAccess):
+        self._access = access
+
+    def reset(self) -> None:
+        a = self._access
+        a.write16(L.EVENT_QUEUE, 0)       # head (next slot to pop)
+        a.write16(L.EVENT_QUEUE + 2, 0)   # tail (next slot to fill)
+        a.write16(L.EVENT_QUEUE + 4, 0)   # count
+        a.write16(L.EVENT_QUEUE + 6, L.EVENT_QUEUE_CAPACITY)
+
+    @property
+    def count(self) -> int:
+        return self._access.read16(L.EVENT_QUEUE + 4)
+
+    def enqueue(self, event: Event) -> bool:
+        """Append an event; returns False when the ring is full."""
+        a = self._access
+        count = a.read16(L.EVENT_QUEUE + 4)
+        capacity = a.read16(L.EVENT_QUEUE + 6)
+        if count >= capacity:
+            return False
+        tail = a.read16(L.EVENT_QUEUE + 2)
+        event.write_to(a, L.EVENT_QUEUE_SLOTS + tail * L.EVENT_SIZE)
+        a.write16(L.EVENT_QUEUE + 2, (tail + 1) % capacity)
+        a.write16(L.EVENT_QUEUE + 4, count + 1)
+        return True
+
+    def dequeue(self) -> Event | None:
+        a = self._access
+        count = a.read16(L.EVENT_QUEUE + 4)
+        if count == 0:
+            return None
+        head = a.read16(L.EVENT_QUEUE)
+        capacity = a.read16(L.EVENT_QUEUE + 6)
+        event = Event.read_from(a, L.EVENT_QUEUE_SLOTS + head * L.EVENT_SIZE)
+        a.write16(L.EVENT_QUEUE, (head + 1) % capacity)
+        a.write16(L.EVENT_QUEUE + 4, count - 1)
+        return event
+
+    def flush(self) -> None:
+        a = self._access
+        a.write16(L.EVENT_QUEUE, 0)
+        a.write16(L.EVENT_QUEUE + 2, 0)
+        a.write16(L.EVENT_QUEUE + 4, 0)

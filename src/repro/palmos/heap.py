@@ -1,0 +1,200 @@
+"""The memory manager: chunked heaps in guest RAM.
+
+Palm OS divides RAM into a small *dynamic heap* (working storage,
+wiped at reset) and a large *storage heap* (databases, persistent
+across soft resets).  Both are managed here as chunk lists with
+next-fit allocation.
+
+Every header read and write goes through the accessor, so allocation
+cost is proportional to the number of chunks walked — the organic
+source of the "OS memory manager" overhead the paper measures growing
+with database size (§2.3.3, Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+from . import layout as L
+from .access import GuestAccess
+
+
+class ChunkInfo(NamedTuple):
+    addr: int        # header address
+    size: int        # total size including header
+    free: bool
+    owner: int
+
+
+class HeapError(Exception):
+    """Heap corruption detected (a guest or kernel bug)."""
+
+
+def _align(n: int) -> int:
+    return (n + 1) & ~1
+
+
+class Heap:
+    """A chunked next-fit heap over ``[base, limit)`` of guest memory.
+
+    ``rover_global`` is the guest address of the next-fit rover pointer
+    (kept in guest RAM so it is part of the machine state and survives
+    state export/import like everything else).
+    """
+
+    def __init__(self, access: GuestAccess, base: int, limit: int,
+                 rover_global: int, first_chunk_offset: int = 0):
+        self.access = access
+        self.base = base
+        self.limit = limit
+        self.rover_global = rover_global
+        self.first_chunk = base + first_chunk_offset
+
+    def with_access(self, access: GuestAccess) -> "Heap":
+        """The same heap viewed through a different accessor."""
+        return Heap(access, self.base, self.limit, self.rover_global,
+                    self.first_chunk - self.base)
+
+    # ------------------------------------------------------------------
+    def format(self) -> None:
+        """Initialise the heap as one big free chunk."""
+        a = self.access
+        a.write32(self.first_chunk, self.limit - self.first_chunk)
+        a.write16(self.first_chunk + 4, L.CHUNK_FLAG_FREE)
+        a.write16(self.first_chunk + 6, 0)
+        a.write32(self.rover_global, self.first_chunk)
+
+    # ------------------------------------------------------------------
+    def _read_header(self, addr: int) -> tuple[int, int, int]:
+        a = self.access
+        size = a.read32(addr)
+        flags = a.read16(addr + 4)
+        owner = a.read16(addr + 6)
+        if size < L.CHUNK_HEADER_SIZE or addr + size > self.limit or size & 1:
+            raise HeapError(
+                f"corrupt chunk at {addr:#x}: size={size:#x} flags={flags:#x}")
+        return size, flags, owner
+
+    def alloc(self, size: int, owner: int = L.OWNER_KERNEL,
+              _retry: bool = True) -> int:
+        """Allocate ``size`` payload bytes; returns the payload address
+        or 0 when the heap is exhausted.
+
+        Frees only coalesce forward (O(1)); when a next-fit pass finds
+        nothing, a full coalescing sweep runs and the search retries
+        once — the classic lazy-coalescing design.
+        """
+        if size <= 0:
+            return 0
+        a = self.access
+        need = _align(size) + L.CHUNK_HEADER_SIZE
+        rover = a.read32(self.rover_global)
+        if not self.first_chunk <= rover < self.limit:
+            rover = self.first_chunk
+        addr = rover
+        wrapped = False
+        while True:
+            csize, flags, _ = self._read_header(addr)
+            if flags & L.CHUNK_FLAG_FREE and csize >= need:
+                break
+            addr += csize
+            if addr >= self.limit:
+                addr = self.first_chunk
+                wrapped = True
+            if wrapped and addr >= rover:
+                if _retry:
+                    self.coalesce_all()
+                    return self.alloc(size, owner, _retry=False)
+                return 0  # out of memory
+        # Split the tail off when it is big enough to be useful.
+        if csize - need >= L.MIN_CHUNK_SPLIT:
+            a.write32(addr + need, csize - need)
+            a.write16(addr + need + 4, L.CHUNK_FLAG_FREE)
+            a.write16(addr + need + 6, 0)
+            csize = need
+        a.write32(addr, csize)
+        a.write16(addr + 4, 0)
+        a.write16(addr + 6, owner)
+        nxt = addr + csize
+        a.write32(self.rover_global, nxt if nxt < self.limit else self.first_chunk)
+        return addr + L.CHUNK_HEADER_SIZE
+
+    def free(self, payload: int) -> None:
+        """Free the chunk whose payload starts at ``payload``."""
+        a = self.access
+        addr = payload - L.CHUNK_HEADER_SIZE
+        size, flags, _ = self._read_header(addr)
+        if flags & L.CHUNK_FLAG_FREE:
+            raise HeapError(f"double free of chunk at {addr:#x}")
+        # Coalesce forward while the neighbour is free.
+        end = addr + size
+        while end < self.limit:
+            nsize, nflags, _ = self._read_header(end)
+            if not nflags & L.CHUNK_FLAG_FREE:
+                break
+            size += nsize
+            end += nsize
+        a.write32(addr, size)
+        a.write16(addr + 4, L.CHUNK_FLAG_FREE)
+        a.write16(addr + 6, 0)
+        # Keep the rover out of the coalesced region.
+        rover = a.read32(self.rover_global)
+        if addr <= rover < addr + size:
+            a.write32(self.rover_global, addr)
+
+    def coalesce_all(self) -> None:
+        """Merge every run of adjacent free chunks (lazy sweep)."""
+        a = self.access
+        addr = self.first_chunk
+        while addr < self.limit:
+            size, flags, _ = self._read_header(addr)
+            if flags & L.CHUNK_FLAG_FREE:
+                end = addr + size
+                while end < self.limit:
+                    nsize, nflags, _ = self._read_header(end)
+                    if not nflags & L.CHUNK_FLAG_FREE:
+                        break
+                    size += nsize
+                    end += nsize
+                a.write32(addr, size)
+            addr += size
+        a.write32(self.rover_global, self.first_chunk)
+
+    # ------------------------------------------------------------------
+    def payload_size(self, payload: int) -> int:
+        size, _, _ = self._read_header(payload - L.CHUNK_HEADER_SIZE)
+        return size - L.CHUNK_HEADER_SIZE
+
+    def chunks(self) -> Iterator[ChunkInfo]:
+        """Walk every chunk (host diagnostics and tests)."""
+        addr = self.first_chunk
+        while addr < self.limit:
+            size, flags, owner = self._read_header(addr)
+            yield ChunkInfo(addr, size, bool(flags & L.CHUNK_FLAG_FREE), owner)
+            addr += size
+
+    def free_bytes(self) -> int:
+        return sum(c.size - L.CHUNK_HEADER_SIZE for c in self.chunks() if c.free)
+
+    def used_chunks(self) -> int:
+        return sum(1 for c in self.chunks() if not c.free)
+
+
+def make_dynamic_heap(access: GuestAccess) -> Heap:
+    return Heap(access, L.DYNAMIC_HEAP_BASE, L.DYNAMIC_HEAP_LIMIT,
+                L.G_HEAP_ROVER_DYN)
+
+
+def make_storage_heap(access: GuestAccess, ram_size: int) -> Heap:
+    # The first 8 bytes of the storage heap hold the "formatted" magic.
+    return Heap(access, L.STORAGE_HEAP_BASE, L.storage_heap_limit(ram_size),
+                L.G_HEAP_ROVER_STO, first_chunk_offset=8)
+
+
+def storage_is_formatted(access: GuestAccess) -> bool:
+    return access.read32(L.STORAGE_HEAP_BASE) == L.STORAGE_MAGIC
+
+
+def format_storage_magic(access: GuestAccess) -> None:
+    access.write32(L.STORAGE_HEAP_BASE, L.STORAGE_MAGIC)
+    access.write32(L.STORAGE_HEAP_BASE + 4, 0)

@@ -1,0 +1,330 @@
+"""The Palm OS kernel: device + ROM + trap semantics, assembled.
+
+:class:`PalmOS` is the "whole handheld": it builds the ROM (with any
+registered applications), loads it into a :class:`PalmDevice`, and
+provides the host-side kernel services — boot initialisation, the app
+launcher, and the HotSync/ROMTransfer state operations the paper's
+collection procedure uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..device import PalmDevice, constants as C
+from .access import HostAccess, TracedAccess
+from .database import DatabaseImage, DatabaseManager
+from .events import Event, EventQueue, EventType
+from .heap import (
+    format_storage_magic,
+    make_dynamic_heap,
+    make_storage_heap,
+    storage_is_formatted,
+)
+from . import layout as L
+from .rom import AppSpec, RomBuilder
+from .syscalls import SysCalls
+from .traps import Trap
+
+#: Database that holds installed system extensions (hacks).  Records
+#: survive soft resets in the storage heap; boot re-patches the trap
+#: table from them — the job X-Master does on a real device.
+EXTENSIONS_DB_NAME = "psysExtensions"
+LAUNCH_DB_NAME = "psysLaunchDB"
+
+#: Extension record layout: trap u16 | orig slot offset u16 | code...
+EXT_TRAP = 0
+EXT_ORIG_OFFSET = 2
+EXT_CODE = 4
+
+
+@dataclass
+class RegisteredApp:
+    app_id: int
+    spec: AppSpec
+    entry: int
+
+
+class PalmOS:
+    """A booted (or bootable) Palm m515 with this kernel in flash."""
+
+    def __init__(
+        self,
+        apps: Sequence[AppSpec] = (),
+        ram_size: int = C.RAM_SIZE,
+        flash_size: int = C.FLASH_SIZE,
+        rtc_base: Optional[int] = None,
+        entropy_seed: int = 0x1234_5678,
+        default_app: Optional[str] = None,
+    ):
+        self.rom_builder = RomBuilder(apps)
+        self.rom_program = self.rom_builder.build()
+        self.device = PalmDevice(
+            aline_handler=self._on_aline,
+            fline_handler=self._on_fline,
+            ram_size=ram_size,
+            flash_size=flash_size,
+            rtc_base=rtc_base,
+            entropy_seed=entropy_seed,
+        )
+        image = self.rom_program.image(C.FLASH_BASE, flash_size)
+        self.device.mem.load_flash_image(bytes(image))
+
+        cpu = self.device.cpu
+        self.traced = TracedAccess(cpu)
+        self.host = HostAccess(self.device.mem.ram)
+        self.dyn_heap = make_dynamic_heap(self.traced)
+        self.sto_heap = make_storage_heap(self.traced, ram_size)
+        self.dm = DatabaseManager(self.traced, self.sto_heap, self.now_seconds)
+        #: Host-side view for HotSync/tests: same guest state, untraced.
+        self.dm_host = self.dm.with_access(self.host)
+        self.queue = EventQueue(self.traced)
+        self.syscalls = SysCalls(self)
+
+        #: POSE-style native fast path for unpatched traps.  The
+        #: emulator turns this off when profiling.
+        self.allow_native = True
+        #: Optional host time source (the replay jitter model).
+        self.time_override = None
+
+        self.default_stubs: Dict[int, int] = self.rom_builder.stub_addresses(
+            self.rom_program)
+        self.null_entry = self.rom_program.symbols["app_null"]
+        self.unimplemented_stub = self.rom_program.symbols["rom_unimplemented"]
+
+        self.apps: Dict[int, RegisteredApp] = {}
+        self.button_map: Dict[int, int] = {}
+        for i, (spec, entry) in enumerate(
+                self.rom_builder.app_entries(self.rom_program), start=1):
+            self.apps[i] = RegisteredApp(i, spec, entry)
+            if spec.button:
+                self.button_map[spec.button] = i
+        self._default_app_id = 0
+        if default_app is not None:
+            for app in self.apps.values():
+                if app.spec.name == default_app:
+                    self._default_app_id = app.app_id
+                    break
+            else:
+                raise ValueError(f"unknown default app {default_app!r}")
+        elif self.apps:
+            self._default_app_id = 1
+
+    # ------------------------------------------------------------------
+    # CPU hooks
+    # ------------------------------------------------------------------
+    def _on_aline(self, cpu, op: int) -> bool:
+        return self.syscalls.aline(cpu, op)
+
+    def _on_fline(self, cpu, op: int) -> bool:
+        return self.syscalls.fline(cpu, op)
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    def now_seconds(self, charge: bool = False) -> int:
+        """Current time in Palm-epoch seconds.
+
+        Deterministic (tick-derived) unless a ``time_override`` is
+        installed — that hook models the paper's emulator, which had to
+        approximate the RTC from host time during replay (§2.4.4).
+        """
+        if charge:
+            value = self.traced.read32(C.REG_RTC_SECONDS)
+        else:
+            value = self.device.rtc.seconds_at(self.device.tick)
+        if self.time_override is not None:
+            value = self.time_override() & 0xFFFFFFFF
+        return value
+
+    # ------------------------------------------------------------------
+    # Boot
+    # ------------------------------------------------------------------
+    def boot(self, max_ticks: int = 1_000_000) -> None:
+        """Soft-reset the device and run until the first idle sleep."""
+        self.device.soft_reset()
+        self.device.run_until_idle(max_ticks)
+
+    def on_boot(self) -> None:
+        """EC_BOOT semantics: initialise kernel state in guest RAM."""
+        a = self.traced
+        boots = self.host.read32(L.G_BOOT_COUNT)
+        for addr in range(L.GLOBALS_BASE, L.GLOBALS_BASE + 0x40, 4):
+            a.write32(addr, 0)
+        a.write32(L.G_BOOT_COUNT, boots + 1)
+        a.write32(L.G_RAND_SEED, 1)
+        self.queue.reset()
+        # Dispatch table: defaults everywhere, real stubs where we have
+        # them.
+        for idx in range(L.MAX_TRAPS):
+            a.write32(L.TRAP_TABLE + idx * 4,
+                      self.default_stubs.get(idx, self.unimplemented_stub))
+        self.dyn_heap.format()
+        # The storage heap persists across soft resets; format only a
+        # factory-fresh device.
+        if not storage_is_formatted(self.host):
+            format_storage_magic(self.traced)
+            self.sto_heap.format()
+        if not self.dm.find(LAUNCH_DB_NAME):
+            db = self.dm.create(LAUNCH_DB_NAME, "lnch", "psys")
+            self.dm.new_record(db, 0, 16)
+        self._reinstall_extensions()
+        a.write32(L.G_CURRENT_APP, self._default_app_id)
+
+    def _reinstall_extensions(self) -> None:
+        """Re-patch the trap table from the extensions database — what
+        X-Master does for hacks after every reset (§2.3.2)."""
+        a = self.traced
+        db = self.dm.find(EXTENSIONS_DB_NAME)
+        if not db:
+            return
+        for index in range(self.dm.num_records(db)):
+            data, _length = self.dm.get_record(db, index)
+            trap = a.read16(data + EXT_TRAP)
+            orig_offset = a.read16(data + EXT_ORIG_OFFSET)
+            entry = L.TRAP_TABLE + trap * 4
+            current = a.read32(entry)
+            a.write32(data + EXT_CODE + orig_offset, current)
+            a.write32(entry, data + EXT_CODE)
+
+    # ------------------------------------------------------------------
+    # Application management
+    # ------------------------------------------------------------------
+    def app_id(self, name: str) -> int:
+        for app in self.apps.values():
+            if app.spec.name == name:
+                return app.app_id
+        raise KeyError(name)
+
+    def select_app(self) -> int:
+        """EC_GET_APP semantics: decide which application to run."""
+        a = self.traced
+        nxt = a.read32(L.G_NEXT_APP)
+        if nxt:
+            a.write32(L.G_CURRENT_APP, nxt)
+            a.write32(L.G_NEXT_APP, 0)
+        app_id = a.read32(L.G_CURRENT_APP)
+        if app_id not in self.apps:
+            # Unknown target (e.g. the launcher tapped an empty row):
+            # fall back to the default application.
+            app_id = self._default_app_id
+            a.write32(L.G_CURRENT_APP, app_id)
+        entry = self.apps[app_id].entry if app_id in self.apps else self.null_entry
+        self._stamp_launch(app_id)
+        return entry
+
+    def _stamp_launch(self, app_id: int) -> None:
+        """Update psysLaunchDB — the kernel-private database whose raw
+        contents the paper could only guess at ("we estimate from its
+        name ... that it stores information about applications that can
+        be run from the home screen")."""
+        db = self.dm.find(LAUNCH_DB_NAME)
+        if not db:
+            return
+        data, _length = self.dm.get_record(db, 0)
+        a = self.traced
+        count = a.read32(data)
+        a.write32(data, count + 1)
+        a.write32(data + 4, app_id)
+        a.write32(data + 8, self.device.tick & 0xFFFFFFFF)
+        a.write32(data + 12, self.now_seconds())
+        self.dm.touch(db)
+
+    @property
+    def boot_count(self) -> int:
+        """How many times this machine has booted (monotonic across
+        both cold boots and warm resets)."""
+        return self.host.read32(L.G_BOOT_COUNT)
+
+    def on_app_returned(self) -> None:
+        """EC_APP_RETURNED semantics (hook point; nothing to do)."""
+
+    def map_hard_button(self, event: Event) -> Event:
+        """Map hardware application buttons to app switches (the job
+        SysHandleEvent does on real Palm OS)."""
+        if event.etype == EventType.keyDownEvent and event.key in self.button_map:
+            target = self.button_map[event.key]
+            if target != self.traced.read32(L.G_CURRENT_APP):
+                self.traced.write32(L.G_NEXT_APP, target)
+                return Event(EventType.appStopEvent)
+        return event
+
+    def current_app_name(self) -> str:
+        app_id = self.host.read32(L.G_CURRENT_APP)
+        return self.apps[app_id].spec.name if app_id in self.apps else "<null>"
+
+    # ------------------------------------------------------------------
+    # Host-side state transfer (ROMTransfer + HotSync)
+    # ------------------------------------------------------------------
+    def rom_transfer(self) -> bytes:
+        """ROMTransfer.prc equivalent: dump the flash image."""
+        return self.device.mem.dump_flash_image()
+
+    def hotsync_backup(self, all_databases: bool = True) -> List[DatabaseImage]:
+        """HotSync: export databases to the desktop.
+
+        The paper sets the backup bit on everything first; passing
+        ``all_databases=False`` honours the bits instead.
+        """
+        return self.dm_host.export_all(backup_only=not all_databases)
+
+    def hotsync_install(self, images: Sequence[DatabaseImage]) -> None:
+        """Install database images (import procedure: dates zeroed)."""
+        for image in images:
+            self.dm_host.import_database(image, imported=True)
+
+    def set_backup_bits(self) -> None:
+        self.dm_host.set_backup_bits_all()
+
+    # ------------------------------------------------------------------
+    # Trap call helper (host-driven guest calls, for tests and tools)
+    # ------------------------------------------------------------------
+    def call_trap(self, trap: Trap, *args: int, max_ticks: int = 10_000) -> int:
+        """Execute one system trap from a host-built code thunk.
+
+        Builds a tiny driver routine in scratch RAM that pushes ``args``
+        and issues the trap, runs it to completion, and returns D0.
+        Intended for tests and host tooling (FileZ-style inspection),
+        not for workload generation.
+        """
+        from ..m68k.asm import assemble
+
+        thunk_addr = L.STACK_BOTTOM - 0x200
+        lines = ["        org     $%x" % thunk_addr]
+        for arg in reversed(args):
+            lines.append(f"        move.l  #${arg & 0xFFFFFFFF:x},-(sp)")
+        lines.append(f"        dc.w    ${0xA000 | int(trap):x}")
+        if args:
+            lines.append(f"        adda.l  #{4 * len(args)},sp")
+        lines.append("        dc.w    $ffff          ; host exit marker")
+        program = assemble("\n".join(lines))
+        for addr, blob in program.segments:
+            self.device.mem.load_ram(addr, blob)
+
+        cpu = self.device.cpu
+        saved_pc = cpu.pc
+        saved_stopped = cpu.stopped
+        done = {"flag": False}
+        prev_fline = cpu.fline_handler
+
+        def fline(c, op):
+            if op == 0xFFFF:
+                done["flag"] = True
+                c.stopped = True
+                return True
+            return prev_fline(c, op) if prev_fline else False
+
+        cpu.fline_handler = fline
+        cpu.stopped = False
+        cpu.pc = thunk_addr
+        deadline = self.device.tick + max_ticks
+        while not done["flag"] and self.device.tick < deadline:
+            self.device.advance(self.device.tick + 1)
+        cpu.fline_handler = prev_fline
+        if not done["flag"]:
+            raise RuntimeError(f"trap {trap!r} did not complete")
+        result = cpu.d[0]
+        cpu.pc = saved_pc
+        cpu.stopped = saved_stopped
+        return result

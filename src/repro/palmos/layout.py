@@ -1,0 +1,124 @@
+"""Guest RAM layout of the Palm OS kernel model.
+
+Everything the kernel owns lives in guest memory as real bytes — the
+trap dispatch table, the event queue, both heaps, and every database.
+That is what makes the reproduction honest: profiled replays see the
+kernel's actual loads and stores, hack overhead grows with database
+size because the index really is walked, and final-state validation
+diffs real memory images.
+"""
+
+from __future__ import annotations
+
+from ..device import constants as C
+
+# -- vectors and globals -------------------------------------------------
+VECTOR_TABLE = 0x0000            # 64 exception vectors
+GLOBALS_BASE = 0x0100
+
+G_TICKS = GLOBALS_BASE + 0x00        # tick mirror kept by the timer ISR
+G_RAND_SEED = GLOBALS_BASE + 0x04    # SysRandom LCG state
+G_EVT_DEADLINE = GLOBALS_BASE + 0x08  # EvtGetEvent timeout deadline (0 = none)
+G_EVT_PTR = GLOBALS_BASE + 0x0C      # EvtGetEvent destination pointer
+G_CURRENT_APP = GLOBALS_BASE + 0x10  # entry address of the running app
+G_NEXT_APP = GLOBALS_BASE + 0x14     # pending SysUIAppSwitch target (0 = none)
+G_PEN_PREV = GLOBALS_BASE + 0x18     # previous pen sample (transition detect)
+G_UNUSED_1C = GLOBALS_BASE + 0x1C
+G_HEAP_ROVER_DYN = GLOBALS_BASE + 0x20   # next-fit rover, dynamic heap
+G_HEAP_ROVER_STO = GLOBALS_BASE + 0x24   # next-fit rover, storage heap
+G_DM_LAST_ERR = GLOBALS_BASE + 0x28
+G_STORAGE_MAGIC = GLOBALS_BASE + 0x2C    # unused (magic lives in the heap)
+G_IDLE_COUNT = GLOBALS_BASE + 0x30       # EvtGetEvent sleep counter
+G_BOOT_COUNT = GLOBALS_BASE + 0x34
+G_DELAY_DEADLINE = GLOBALS_BASE + 0x38   # SysTaskDelay deadline
+
+# -- trap dispatch table ---------------------------------------------------
+TRAP_TABLE = 0x0400
+MAX_TRAPS = 512                   # 4-byte handler address per trap
+TRAP_TABLE_END = TRAP_TABLE + MAX_TRAPS * 4   # 0x0C00
+
+# -- kernel / application stack --------------------------------------------
+STACK_BOTTOM = 0x1000
+STACK_TOP = 0x8000
+
+# -- event queue -------------------------------------------------------------
+EVENT_QUEUE = 0x8000              # header + ring storage
+EVENT_QUEUE_CAPACITY = 64
+EVENT_SIZE = 16
+# Header: head u16, tail u16, count u16, capacity u16.
+EVENT_QUEUE_SLOTS = EVENT_QUEUE + 8
+
+# -- framebuffer -------------------------------------------------------------
+FRAMEBUFFER = C.FRAMEBUFFER_ADDR              # 0x10000
+FRAMEBUFFER_END = FRAMEBUFFER + C.FRAMEBUFFER_SIZE
+
+# -- heaps -------------------------------------------------------------------
+DYNAMIC_HEAP_BASE = 0x0001_D000
+DYNAMIC_HEAP_LIMIT = 0x0004_0000
+STORAGE_HEAP_BASE = 0x0004_0000
+# The storage heap runs to the end of RAM; computed from the device.
+
+STORAGE_MAGIC = 0x50414C4D        # "PALM": storage heap is formatted
+#: Head of the database list.  Lives in the storage heap header (not
+#: the kernel globals) because databases must survive soft resets.
+DB_LIST_HEAD = STORAGE_HEAP_BASE + 4
+
+# -- chunk headers ------------------------------------------------------------
+CHUNK_HEADER_SIZE = 8             # size u32 | flags u16 | owner u16
+CHUNK_FLAG_FREE = 0x0001
+MIN_CHUNK_SPLIT = 24              # do not split off fragments smaller than this
+
+OWNER_KERNEL = 0x0001
+OWNER_DATABASE = 0x0002
+OWNER_APP = 0x0003
+
+# -- database layout -----------------------------------------------------------
+# A database header chunk payload:
+#   +0   next database (u32)
+#   +4   first record (u32)
+#   +8   open count (u16)
+#   +10  reserved (u16)
+#   +12  PDB header (78 bytes, classic Palm layout)
+DB_NEXT = 0
+DB_FIRST_RECORD = 4
+DB_OPEN_COUNT = 8
+DB_PDB = 12
+
+PDB_NAME = 0          # 32 bytes, NUL padded
+PDB_ATTRIBUTES = 32   # u16
+PDB_VERSION = 34      # u16
+PDB_CREATION_DATE = 36       # u32, Palm epoch seconds
+PDB_MODIFICATION_DATE = 40   # u32
+PDB_LAST_BACKUP_DATE = 44    # u32
+PDB_MODIFICATION_NUMBER = 48  # u32
+PDB_APP_INFO_ID = 52  # u32
+PDB_SORT_INFO_ID = 56  # u32
+PDB_TYPE = 60         # u32 four-character code
+PDB_CREATOR = 64      # u32 four-character code
+PDB_UNIQUE_ID_SEED = 68  # u32
+PDB_NEXT_RECORD_LIST = 72  # u32
+PDB_NUM_RECORDS = 76  # u16
+PDB_SIZE = 78
+DB_HEADER_PAYLOAD = DB_PDB + PDB_SIZE  # 90 bytes
+
+# A record chunk payload:
+#   +0  next record (u32)
+#   +4  attributes (u8) | unique id (u24)
+#   +8  data length (u32)
+#   +12 data bytes
+REC_NEXT = 0
+REC_ATTR_UID = 4
+REC_LEN = 8
+REC_DATA = 12
+REC_OVERHEAD = 12
+
+# Database attribute bits (subset of Palm's dmHdrAttr*).
+DM_ATTR_BACKUP = 0x0008
+DM_ATTR_READONLY = 0x0002
+DM_ATTR_RESOURCE = 0x0001
+
+DM_MAX_RECORD_INDEX = 0xFFFF     # "append" sentinel
+
+
+def storage_heap_limit(ram_size: int) -> int:
+    return ram_size

@@ -1,0 +1,121 @@
+"""System trap numbers.
+
+Palm OS system calls are A-line instructions: the trap word is
+``0xA000 | index`` and the OS dispatches through a table of handler
+addresses, which is what makes the paper's hacks possible — installing
+a hack is one pointer swap in this table (see
+:func:`repro.palmos.syscalls`, ``SysSetTrapAddress``).
+
+The indices below are this kernel's own numbering (the real Palm OS 3.5
+table has 880 entries; we implement the surface the paper's workloads
+and instrumentation exercise).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class Trap(IntEnum):
+    # Event manager
+    EvtGetEvent = 0x01
+    EvtEnqueueKey = 0x02
+    EvtEnqueuePenPoint = 0x03
+    EvtEnqueueEvent = 0x04
+    EvtFlushQueue = 0x05
+    # Key manager
+    KeyCurrentState = 0x08
+    # System
+    SysRandom = 0x10
+    SysNotifyBroadcast = 0x11
+    SysUIAppSwitch = 0x12
+    SysTaskDelay = 0x13
+    SysTicksPerSecond = 0x14
+    SysSetTrapAddress = 0x15
+    SysGetTrapAddress = 0x16
+    SysCurrentApp = 0x17
+    # Time manager
+    TimGetTicks = 0x18
+    TimGetSeconds = 0x19
+    SysReset = 0x1A
+    # Memory manager
+    MemPtrNew = 0x20
+    MemPtrFree = 0x21
+    MemMove = 0x22
+    MemSet = 0x23
+    MemPtrSize = 0x24
+    MemHeapFreeBytes = 0x25
+    # Data (database) manager
+    DmCreateDatabase = 0x30
+    DmDeleteDatabase = 0x31
+    DmFindDatabase = 0x32
+    DmOpenDatabase = 0x33
+    DmCloseDatabase = 0x34
+    DmDatabaseInfo = 0x35
+    DmSetDatabaseInfo = 0x36
+    DmNumRecords = 0x37
+    DmGetRecord = 0x38
+    DmQueryRecord = 0x39
+    DmNewRecord = 0x3A
+    DmRemoveRecord = 0x3B
+    DmWriteRecord = 0x3C
+    DmRecordInfo = 0x3D
+    DmSetRecordInfo = 0x3E
+    DmReleaseRecord = 0x3F
+    DmGetLastErr = 0x40
+    DmNextDatabase = 0x41
+    # Expansion manager (memory cards - the future-work extension)
+    ExpCardPresent = 0x48
+    ExpCardInfo = 0x49
+    # Window manager (drawing)
+    WinEraseWindow = 0x50
+    WinDrawRectangle = 0x51
+    WinDrawChars = 0x52
+    WinDrawLine = 0x53
+    WinDrawPixel = 0x54
+    WinGetPixel = 0x55
+
+
+ALINE_BASE = 0xA000
+FLINE_BASE = 0xF000
+
+# F-line emucall encoding: 0xF000 | (code << 1) | phase.
+PHASE_PREP = 0
+PHASE_DONE = 1
+
+# Reserved emucall codes above the trap range (traps use their own index).
+CALL_BOOT = 0x700
+CALL_GET_APP = 0x701
+CALL_EVT_TRY = 0x702
+CALL_APP_RETURNED = 0x703
+CALL_DELAY_TRY = 0x704
+CALL_PANIC = 0x7FF
+
+
+def aline_word(trap: int) -> int:
+    return ALINE_BASE | int(trap)
+
+
+def emucall_word(code: int, phase: int = PHASE_PREP) -> int:
+    return FLINE_BASE | (int(code) << 1) | phase
+
+
+def decode_emucall(word: int) -> tuple[int, int]:
+    payload = word & 0x0FFF
+    return payload >> 1, payload & 1
+
+
+#: Error codes (subset of Palm's dmErr*/memErr* space).
+ERR_NONE = 0
+ERR_MEM_NOT_ENOUGH = 0x0101
+ERR_MEM_INVALID_PTR = 0x0102
+ERR_DM_NOT_FOUND = 0x0201
+ERR_DM_INDEX_OUT_OF_RANGE = 0x0202
+ERR_DM_READ_ONLY = 0x0203
+ERR_DM_DATABASE_EXISTS = 0x0204
+ERR_DM_FULL = 0x0205
+ERR_EVT_QUEUE_FULL = 0x0301
+ERR_SYS_INVALID_TRAP = 0x0401
+
+#: EvtGetEvent "wait forever" timeout value.
+EVT_WAIT_FOREVER = 0xFFFFFFFF

@@ -1,0 +1,26 @@
+"""Activity logs: record formats, collection, parsing, state transfer."""
+
+from .log import (
+    ActivityLog,
+    LOG_DB_NAME,
+    MAX_LOG_RECORDS,
+    create_log_database,
+    read_activity_log,
+)
+from .parser import ParsedLog, parse_log, split_epochs
+from .records import LogEventType, LogRecord
+from .transfer import InitialState
+
+__all__ = [
+    "ActivityLog",
+    "LOG_DB_NAME",
+    "MAX_LOG_RECORDS",
+    "create_log_database",
+    "read_activity_log",
+    "ParsedLog",
+    "parse_log",
+    "split_epochs",
+    "LogEventType",
+    "LogRecord",
+    "InitialState",
+]

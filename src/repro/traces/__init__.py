@@ -1,0 +1,7 @@
+"""Address traces: the profiler's reference traces plus synthetic
+desktop workloads for the Figure 7 comparison."""
+
+from ..emulator.profiling import ReferenceTrace
+from .desktop import DesktopTraceConfig, generate_desktop_trace
+
+__all__ = ["ReferenceTrace", "DesktopTraceConfig", "generate_desktop_trace"]

@@ -1,0 +1,65 @@
+"""Dinero-format trace interchange.
+
+The BYU Trace Distribution Center (the paper's Figure 7 source, [21])
+distributed traces consumable by dineroIII/IV; this module round-trips
+our reference traces through that classic text format so they can be
+fed to other cache simulators — and traces from elsewhere can be fed
+to ours.
+
+Format: one access per line, ``<label> <hex address>``, where label is
+0 = data read, 1 = data write, 2 = instruction fetch.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from ..device.memmap import KIND_FETCH, KIND_READ, KIND_WRITE
+from ..emulator.profiling import ReferenceTrace
+
+#: dinero labels.
+DIN_READ = 0
+DIN_WRITE = 1
+DIN_FETCH = 2
+
+_KIND_TO_DIN = {KIND_READ: DIN_READ, KIND_WRITE: DIN_WRITE,
+                KIND_FETCH: DIN_FETCH}
+_DIN_TO_KIND = {DIN_READ: KIND_READ, DIN_WRITE: KIND_WRITE,
+                DIN_FETCH: KIND_FETCH}
+
+
+def write_dinero(trace: ReferenceTrace, path: Union[str, Path]) -> int:
+    """Write a reference trace as a dinero text file; returns the
+    number of records written."""
+    kinds = trace.kind
+    addresses = trace.addresses
+    with open(path, "w") as handle:
+        for kind, addr in zip(kinds, addresses):
+            handle.write(f"{_KIND_TO_DIN[int(kind)]} {int(addr):x}\n")
+    return len(addresses)
+
+
+def read_dinero(path: Union[str, Path]) -> ReferenceTrace:
+    """Read a dinero text file into a reference trace.
+
+    Region nibbles are synthesised from the address (below 16 MB = RAM,
+    otherwise flash) since the format does not carry them.
+    """
+    labels = []
+    addresses = []
+    with open(path) as handle:
+        for line in handle:
+            parts = line.split()
+            if len(parts) < 2:
+                continue
+            labels.append(int(parts[0]))
+            addresses.append(int(parts[1], 16))
+    addr_arr = np.array(addresses, dtype=np.uint32)
+    kind_arr = np.array([_DIN_TO_KIND.get(label, KIND_READ)
+                         for label in labels], dtype=np.uint8)
+    region = np.where(addr_arr < (16 << 20), 0, 1).astype(np.uint8)
+    return ReferenceTrace(addresses=addr_arr,
+                          kinds=(kind_arr | (region << 4)).astype(np.uint8))

@@ -1,0 +1,27 @@
+"""System validation: the paper's two-fold approach (§3)."""
+
+from .log_correlation import (
+    BURST_TICK_BOUND,
+    LogCorrelation,
+    TypeCorrelation,
+    correlate_logs,
+)
+from .state_correlation import (
+    EXPECTED_DIFF_DATABASES,
+    EXPECTED_DIFF_FIELDS,
+    FieldDiff,
+    StateCorrelation,
+    correlate_final_states,
+)
+
+__all__ = [
+    "BURST_TICK_BOUND",
+    "LogCorrelation",
+    "TypeCorrelation",
+    "correlate_logs",
+    "EXPECTED_DIFF_DATABASES",
+    "EXPECTED_DIFF_FIELDS",
+    "FieldDiff",
+    "StateCorrelation",
+    "correlate_final_states",
+]

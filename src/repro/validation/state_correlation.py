@@ -1,0 +1,148 @@
+"""Final-state correlation (§3.4).
+
+"To further validate the simulator, we compared the final state of a
+test session on a handheld and the final state of the emulated session.
+... we compared the respective databases field by field.  The databases
+correlated extremely well.  The only exceptions are three fields
+entitled CREATION DATE, LAST BACKUP DATE and MODIFICATION DATE and the
+database named psysLaunchDB."
+
+:func:`correlate_final_states` performs the same field-by-field diff
+and classifies each difference as *expected* (the paper's benign
+import/replay artifacts) or *unexpected* (a genuine divergence)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..palmos.database import DatabaseImage
+
+#: Header fields whose divergence the paper attributes to the
+#: import/export procedure.
+EXPECTED_DIFF_FIELDS = frozenset({
+    "creation_date", "last_backup_date", "modification_date",
+})
+
+#: Databases whose record contents may legitimately differ (the paper
+#: singles out psysLaunchDB, whose replay-time values depend on the
+#: emulator's RTC approximation).
+EXPECTED_DIFF_DATABASES = frozenset({"psysLaunchDB"})
+
+#: All header fields compared.
+HEADER_FIELDS = (
+    "name", "type", "creator", "attributes", "version",
+    "creation_date", "modification_date", "last_backup_date",
+    "modification_number", "unique_id_seed",
+)
+
+
+@dataclass
+class FieldDiff:
+    database: str
+    field: str               # header field name or "record[i].<what>"
+    device_value: object
+    emulated_value: object
+    expected: bool
+
+    def __str__(self) -> str:
+        tag = "expected" if self.expected else "UNEXPECTED"
+        return (f"{self.database}.{self.field}: device={self.device_value!r} "
+                f"emulated={self.emulated_value!r} [{tag}]")
+
+
+@dataclass
+class StateCorrelation:
+    """The §3.4 verdict."""
+
+    databases_compared: int = 0
+    fields_compared: int = 0
+    diffs: List[FieldDiff] = field(default_factory=list)
+    missing_databases: List[str] = field(default_factory=list)
+    extra_databases: List[str] = field(default_factory=list)
+
+    @property
+    def expected_diffs(self) -> List[FieldDiff]:
+        return [d for d in self.diffs if d.expected]
+
+    @property
+    def unexpected_diffs(self) -> List[FieldDiff]:
+        return [d for d in self.diffs if not d.expected]
+
+    @property
+    def valid(self) -> bool:
+        """True when every difference is one the paper classifies as a
+        benign import/replay artifact."""
+        return (not self.unexpected_diffs and not self.missing_databases
+                and not self.extra_databases)
+
+    def summary(self) -> str:
+        lines = [
+            f"final state correlation: {self.databases_compared} databases, "
+            f"{self.fields_compared} fields compared",
+            f"  expected diffs   : {len(self.expected_diffs)} "
+            f"(date fields / {'/'.join(sorted(EXPECTED_DIFF_DATABASES))})",
+            f"  unexpected diffs : {len(self.unexpected_diffs)}",
+            f"  verdict          : {'VALID' if self.valid else 'DIVERGED'}",
+        ]
+        for diff in self.unexpected_diffs[:20]:
+            lines.append(f"    {diff}")
+        return "\n".join(lines)
+
+
+def _diff_records(name: str, device: DatabaseImage,
+                  emulated: DatabaseImage, out: StateCorrelation,
+                  benign_databases: frozenset) -> None:
+    benign_db = name in benign_databases
+    if len(device.records) != len(emulated.records):
+        out.diffs.append(FieldDiff(name, "record_count",
+                                   len(device.records),
+                                   len(emulated.records), benign_db))
+        return
+    for i, (d_rec, e_rec) in enumerate(zip(device.records, emulated.records)):
+        out.fields_compared += 3
+        if d_rec.data != e_rec.data:
+            out.diffs.append(FieldDiff(name, f"record[{i}].data",
+                                       d_rec.data, e_rec.data, benign_db))
+        if d_rec.attr != e_rec.attr:
+            out.diffs.append(FieldDiff(name, f"record[{i}].attr",
+                                       d_rec.attr, e_rec.attr, benign_db))
+        if d_rec.uid != e_rec.uid:
+            out.diffs.append(FieldDiff(name, f"record[{i}].uid",
+                                       d_rec.uid, e_rec.uid, benign_db))
+
+
+def correlate_final_states(device_state: Sequence[DatabaseImage],
+                           emulated_state: Sequence[DatabaseImage],
+                           extra_expected_databases: Sequence[str] = (),
+                           ) -> StateCorrelation:
+    """Field-by-field comparison of two HotSync exports.
+
+    ``extra_expected_databases`` marks additional databases whose
+    content differences are benign — jitter-mode replays pass the
+    activity-log database here, since the collection instrument itself
+    records the (intentionally) shifted replay timing.
+    """
+    benign_databases = EXPECTED_DIFF_DATABASES | frozenset(
+        extra_expected_databases)
+    result = StateCorrelation()
+    device_by_name = {db.name: db for db in device_state}
+    emulated_by_name = {db.name: db for db in emulated_state}
+    result.missing_databases = sorted(set(device_by_name) - set(emulated_by_name))
+    result.extra_databases = sorted(set(emulated_by_name) - set(device_by_name))
+
+    for name in sorted(set(device_by_name) & set(emulated_by_name)):
+        device_db = device_by_name[name]
+        emulated_db = emulated_by_name[name]
+        result.databases_compared += 1
+        benign_db = name in benign_databases
+        for field_name in HEADER_FIELDS:
+            result.fields_compared += 1
+            d_val = getattr(device_db, field_name)
+            e_val = getattr(emulated_db, field_name)
+            if d_val != e_val:
+                expected = benign_db or field_name in EXPECTED_DIFF_FIELDS
+                result.diffs.append(FieldDiff(name, field_name, d_val,
+                                              e_val, expected))
+        _diff_records(name, device_db, emulated_db, result, benign_databases)
+    return result

@@ -1,0 +1,82 @@
+"""Gremlins: random-input torture testing.
+
+The real Palm OS Emulator ships a "Gremlins" mode that batters an
+application with pseudo-random pen and key input to shake out crashes.
+This module recreates it on top of the collection pipeline — with the
+twist that a Gremlins session here is *collected and replayable* like
+any other session, so a crash found by a gremlin run can be replayed
+instruction-for-instruction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..device import constants as C
+from ..device.constants import Button
+from .scripts import UserScript
+
+#: Buttons a gremlin may mash (POWER and HOTSYNC excluded: power
+#: handling and sync are out of the model's scope).
+_GREMLIN_BUTTONS = [Button.UP, Button.DOWN, Button.DATEBOOK,
+                    Button.ADDRESS, Button.TODO, Button.MEMO]
+
+
+@dataclass
+class GremlinConfig:
+    events: int = 300            # approximate number of input gestures
+    min_gap_ticks: int = 5
+    max_gap_ticks: int = 120
+    drag_probability: float = 0.2
+    button_probability: float = 0.25
+    max_drag_points: int = 12
+
+
+class Gremlins:
+    """A seeded random user."""
+
+    def __init__(self, seed: int, config: GremlinConfig | None = None):
+        self.seed = seed
+        self.config = config or GremlinConfig()
+
+    def build_script(self) -> UserScript:
+        rng = random.Random(self.seed)
+        cfg = self.config
+        script = UserScript(name=f"gremlins-{self.seed}")
+        script.at(rng.randint(80, 150))
+        for _ in range(cfg.events):
+            roll = rng.random()
+            if roll < cfg.button_probability:
+                script.press(rng.choice(_GREMLIN_BUTTONS),
+                             hold_ticks=rng.randint(2, 8))
+            elif roll < cfg.button_probability + cfg.drag_probability:
+                points = []
+                x = rng.randrange(C.SCREEN_WIDTH)
+                y = rng.randrange(C.SCREEN_HEIGHT)
+                for _ in range(rng.randint(2, cfg.max_drag_points)):
+                    x = max(0, min(C.SCREEN_WIDTH - 1,
+                                   x + rng.randint(-25, 25)))
+                    y = max(0, min(C.SCREEN_HEIGHT - 1,
+                                   y + rng.randint(-25, 25)))
+                    points.append((x, y))
+                script.drag(points, ticks_per_point=rng.randint(2, 4))
+            else:
+                script.tap(rng.randrange(C.SCREEN_WIDTH),
+                           rng.randrange(C.SCREEN_HEIGHT),
+                           hold_ticks=rng.randint(2, 10))
+            script.wait(rng.randint(cfg.min_gap_ticks, cfg.max_gap_ticks))
+        return script
+
+
+def gremlin_session(seed: int, apps=None, events: int = 300,
+                    ram_size: int = 8 << 20):
+    """Collect one Gremlins session; returns the CollectedSession."""
+    from ..apps import standard_apps
+    from .sessions import collect_session
+
+    script = Gremlins(seed, GremlinConfig(events=events)).build_script()
+    return collect_session(apps if apps is not None else standard_apps(),
+                           script, name=script.name,
+                           entropy_seed=0x6E6E + seed, ram_size=ram_size,
+                           default_app="launcher")

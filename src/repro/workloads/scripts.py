@@ -1,0 +1,118 @@
+"""User action scripts.
+
+A :class:`UserScript` is the reproduction's stand-in for the volunteer
+user's hands: a deterministic schedule of stylus and button actions in
+tick time, applied to a device's stimulus queue.  The paper's first two
+test workloads "followed a predefined script of actions" (§3.2) —
+exactly this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..device import constants as C
+
+
+@dataclass
+class UserScript:
+    """A deterministic schedule of user input."""
+
+    name: str = "script"
+    actions: List[Tuple[int, str, tuple]] = field(default_factory=list)
+    _cursor: int = 0  # running tick for the fluent builders
+
+    # -- fluent builders ------------------------------------------------
+    def at(self, tick: int) -> "UserScript":
+        """Move the script cursor to an absolute tick."""
+        self._cursor = tick
+        return self
+
+    def wait(self, ticks: int) -> "UserScript":
+        self._cursor += ticks
+        return self
+
+    def wait_seconds(self, seconds: float) -> "UserScript":
+        self._cursor += int(seconds * C.TICKS_PER_SECOND)
+        return self
+
+    def tap(self, x: int, y: int, hold_ticks: int = 4) -> "UserScript":
+        """Tap the screen: pen down, short hold, pen up."""
+        self.actions.append((self._cursor, "pen_down", (x, y)))
+        self.actions.append((self._cursor + hold_ticks, "pen_up", ()))
+        self._cursor += hold_ticks + 2
+        return self
+
+    def drag(self, points: List[Tuple[int, int]],
+             ticks_per_point: int = 2) -> "UserScript":
+        """Drag the stylus through ``points``."""
+        if not points:
+            return self
+        x0, y0 = points[0]
+        self.actions.append((self._cursor, "pen_down", (x0, y0)))
+        tick = self._cursor
+        for x, y in points[1:]:
+            tick += ticks_per_point
+            self.actions.append((tick, "pen_move", (x, y)))
+        self.actions.append((tick + ticks_per_point, "pen_up", ()))
+        self._cursor = tick + ticks_per_point + 2
+        return self
+
+    def press(self, button: int, hold_ticks: int = 3) -> "UserScript":
+        """Press and release a hardware button."""
+        self.actions.append((self._cursor, "button_down", (button,)))
+        self.actions.append((self._cursor + hold_ticks, "button_up", (button,)))
+        self._cursor += hold_ticks + 2
+        return self
+
+    def insert_card(self) -> "UserScript":
+        """Insert the session's memory card (supplied to ``apply``)."""
+        self.actions.append((self._cursor, "card_insert", ()))
+        self._cursor += 2
+        return self
+
+    def remove_card(self) -> "UserScript":
+        self.actions.append((self._cursor, "card_remove", ()))
+        self._cursor += 2
+        return self
+
+    # -- composition ------------------------------------------------------
+    def extend(self, other: "UserScript") -> "UserScript":
+        offset = self._cursor
+        for tick, kind, args in other.actions:
+            self.actions.append((tick + offset, kind, args))
+        self._cursor = offset + other.duration_ticks()
+        return self
+
+    def duration_ticks(self) -> int:
+        last = max((tick for tick, _, _ in self.actions), default=0)
+        return max(last, self._cursor)
+
+    # -- application --------------------------------------------------------
+    def apply(self, device, card=None) -> None:
+        """Schedule every action on the device's stimulus queue.
+
+        ``card`` is the session's memory card, required when the script
+        contains ``insert_card`` actions.
+        """
+        for tick, kind, args in sorted(self.actions, key=lambda a: a[0]):
+            if kind == "pen_down":
+                device.schedule_pen_down(tick, *args)
+            elif kind == "pen_move":
+                device.schedule_pen_move(tick, *args)
+            elif kind == "pen_up":
+                device.schedule_pen_up(tick)
+            elif kind == "button_down":
+                device.schedule_button_press(tick, *args)
+            elif kind == "button_up":
+                device.schedule_button_release(tick, *args)
+            elif kind == "card_insert":
+                if card is None:
+                    raise ValueError("script inserts a card but none "
+                                     "was supplied")
+                device.schedule_card_insert(tick, card)
+            elif kind == "card_remove":
+                device.schedule_card_remove(tick)
+            else:
+                raise ValueError(f"unknown action kind {kind!r}")

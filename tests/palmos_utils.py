@@ -1,0 +1,84 @@
+"""Shared fixtures for kernel-level tests: a recorder application that
+logs every event it receives to a RAM area the host can inspect."""
+
+from __future__ import annotations
+
+from repro.palmos import AppSpec, PalmOS
+
+# Event log written by the recorder app (inside the dynamic heap area,
+# safe as long as the test does not also allocate).
+REC_COUNT = 0x30000
+REC_ENTRIES = 0x30010
+
+RECORDER_APP = AppSpec(
+    name="recorder",
+    source="""
+app_recorder:
+        link    a6,#-16
+rec_loop:
+        move.l  #$ffffffff,-(sp)        ; evtWaitForever
+        pea     -16(a6)
+        dc.w    SYS_EvtGetEvent
+        addq.l  #8,sp
+        ; append the 16-byte event to the log
+        move.l  $30000,d0
+        move.l  d0,d1
+        lsl.l   #4,d1
+        lea     $30010,a0
+        adda.l  d1,a0
+        move.l  -16(a6),(a0)
+        move.l  -12(a6),4(a0)
+        move.l  -8(a6),8(a0)
+        move.l  -4(a6),12(a0)
+        addq.l  #1,d0
+        move.l  d0,$30000
+        move.w  -16(a6),d0
+        cmpi.w  #22,d0                  ; appStopEvent
+        bne.s   rec_loop
+        unlk    a6
+        rts
+""",
+)
+
+BLANK_APP = AppSpec(
+    name="blank",
+    source="""
+app_blank:
+        link    a6,#-16
+blank_loop:
+        move.l  #$ffffffff,-(sp)
+        pea     -16(a6)
+        dc.w    SYS_EvtGetEvent
+        addq.l  #8,sp
+        move.w  -16(a6),d0
+        cmpi.w  #22,d0
+        bne.s   blank_loop
+        unlk    a6
+        rts
+""",
+)
+
+
+def make_kernel(apps=None, **kwargs) -> PalmOS:
+    kwargs.setdefault("ram_size", 1 << 21)
+    kwargs.setdefault("flash_size", 1 << 20)
+    kernel = PalmOS(apps if apps is not None else [RECORDER_APP], **kwargs)
+    kernel.boot()
+    return kernel
+
+
+def recorded_events(kernel: PalmOS) -> list[tuple[int, int, int, int, int]]:
+    """(etype, x, y, key, data) tuples from the recorder app's log."""
+    host = kernel.host
+    count = host.read32(REC_COUNT)
+    events = []
+    for i in range(count):
+        base = REC_ENTRIES + i * 16
+        events.append((
+            host.read16(base),        # eType
+            host.read16(base + 4),    # x
+            host.read16(base + 6),    # y
+            host.read16(base + 8),    # key
+            host.read32(base + 10),   # data
+        ))
+    return events

@@ -1,0 +1,247 @@
+"""Tests for the guest applications and synthetic workloads."""
+
+import pytest
+
+from repro.apps import standard_apps
+from repro.device import Button
+from repro.palmos import PalmOS, layout as L
+from repro.workloads import (
+    SyntheticUser,
+    TABLE1_SESSIONS,
+    UserScript,
+    build_session_script,
+    preload_contacts,
+)
+
+
+def make_suite(**kwargs) -> PalmOS:
+    kwargs.setdefault("ram_size", 4 << 20)
+    kwargs.setdefault("flash_size", 1 << 20)
+    kwargs.setdefault("default_app", "launcher")
+    kernel = PalmOS(apps=standard_apps(), **kwargs)
+    kernel.boot()
+    return kernel
+
+
+def press(kernel, tick, button):
+    kernel.device.schedule_button_press(tick, button)
+    kernel.device.schedule_button_release(tick + 3, button)
+
+
+def tap(kernel, tick, x, y):
+    kernel.device.schedule_pen_down(tick, x, y)
+    kernel.device.schedule_pen_up(tick + 4)
+
+
+class TestLauncher:
+    def test_boots_into_launcher(self):
+        kernel = make_suite()
+        assert kernel.current_app_name() == "launcher"
+
+    def test_tap_row_launches_app(self):
+        kernel = make_suite()
+        tap(kernel, 50, 60, 40)  # row 1 -> app id 2 = memopad
+        kernel.device.run_until_idle()
+        assert kernel.current_app_name() == "memopad"
+
+    def test_tap_empty_row_returns_to_launcher(self):
+        kernel = make_suite()
+        tap(kernel, 50, 60, 150)  # row 4 -> app id 5 (unknown)
+        kernel.device.run_until_idle()
+        assert kernel.current_app_name() == "launcher"
+
+    def test_draws_home_screen(self):
+        kernel = make_suite()
+        fb = kernel.host.read_bytes(L.FRAMEBUFFER, 160 * 160 * 2)
+        assert any(b != 0xFF for b in fb)
+
+
+class TestMemoPad:
+    def _memopad(self):
+        kernel = make_suite()
+        press(kernel, 30, Button.MEMO)
+        kernel.device.run_until_idle()
+        assert kernel.current_app_name() == "memopad"
+        return kernel
+
+    def test_creates_database_on_start(self):
+        kernel = self._memopad()
+        assert kernel.dm_host.find("MemoDB")
+
+    def test_tap_lower_half_adds_memo(self):
+        kernel = self._memopad()
+        tap(kernel, 100, 50, 120)
+        tap(kernel, 130, 80, 140)
+        kernel.device.run_until_idle()
+        db = kernel.dm_host.find("MemoDB")
+        assert kernel.dm_host.num_records(db) == 2
+        rec = kernel.dm_host.read_record(db, 0)
+        assert rec[:2] == b"M:"
+        assert rec[2:4] == (50).to_bytes(2, "big")
+        assert rec[4:6] == (120).to_bytes(2, "big")
+
+    def test_tap_upper_half_ignored(self):
+        kernel = self._memopad()
+        tap(kernel, 100, 50, 20)
+        kernel.device.run_until_idle()
+        db = kernel.dm_host.find("MemoDB")
+        assert kernel.dm_host.num_records(db) == 0
+
+    def test_down_button_deletes_first_memo(self):
+        kernel = self._memopad()
+        tap(kernel, 100, 50, 120)
+        tap(kernel, 130, 80, 140)
+        press(kernel, 170, Button.DOWN)
+        kernel.device.run_until_idle()
+        db = kernel.dm_host.find("MemoDB")
+        assert kernel.dm_host.num_records(db) == 1
+        assert kernel.dm_host.read_record(db, 0)[2:4] == (80).to_bytes(2, "big")
+
+    def test_memos_survive_reset(self):
+        kernel = self._memopad()
+        tap(kernel, 100, 50, 120)
+        kernel.device.run_until_idle()
+        kernel.boot()
+        db = kernel.dm_host.find("MemoDB")
+        assert kernel.dm_host.num_records(db) == 1
+
+
+class TestPuzzle:
+    def _puzzle(self, **kwargs):
+        kernel = make_suite(**kwargs)
+        press(kernel, 30, Button.DATEBOOK)
+        kernel.device.run_until_idle()
+        assert kernel.current_app_name() == "puzzle"
+        return kernel
+
+    def test_board_is_shuffled_permutation(self):
+        kernel = self._puzzle()
+        # Board lives in the puzzle's frame; read it via the blank
+        # pointer invariants instead: the framebuffer has 15 coloured
+        # tiles and one white cell.
+        fb = kernel.host.read_bytes(L.FRAMEBUFFER, 160 * 160 * 2)
+        assert any(b != 0xFF for b in fb)
+
+    def test_shuffle_depends_on_clock(self):
+        # Puzzle seeds SysRandom from TimGetSeconds at startup, so the
+        # board depends on the device clock, not the boot entropy.
+        boards = []
+        for base in (3_124_137_600, 3_124_199_999):
+            kernel = self._puzzle(rtc_base=base)
+            boards.append(kernel.host.read_bytes(L.FRAMEBUFFER, 160 * 160 * 2))
+        assert boards[0] != boards[1]
+
+    def test_shuffle_deterministic_for_same_clock(self):
+        boards = []
+        for _ in range(2):
+            kernel = self._puzzle(rtc_base=3_124_137_600)
+            boards.append(kernel.host.read_bytes(L.FRAMEBUFFER, 160 * 160 * 2))
+        assert boards[0] == boards[1]
+
+    def test_taps_slide_tiles(self):
+        kernel = self._puzzle(entropy_seed=5)
+        before = kernel.host.read_bytes(L.FRAMEBUFFER, 160 * 160 * 2)
+        tick = kernel.device.tick + 20
+        for i in range(8):
+            for (x, y) in [(20, 20), (60, 20), (60, 60), (20, 60),
+                           (100, 60), (100, 100)]:
+                tap(kernel, tick, x, y)
+                tick += 10
+        kernel.device.run_until_idle()
+        after = kernel.host.read_bytes(L.FRAMEBUFFER, 160 * 160 * 2)
+        assert after != before  # at least one slide happened
+
+    def test_pen_taps_poll_keycurrentstate(self):
+        from repro.hacks import HackManager
+        from repro.tracelog import LogEventType, create_log_database, read_activity_log
+        kernel = self._puzzle()
+        create_log_database(kernel)
+        HackManager(kernel).install_standard()
+        tap(kernel, kernel.device.tick + 20, 60, 60)
+        kernel.device.run_until_idle()
+        log = read_activity_log(kernel)
+        assert len(log.of_type(LogEventType.KEYSTATE)) == 1
+
+
+class TestAddressBook:
+    def test_scroll_and_draw(self):
+        kernel = make_suite()
+        preload_contacts(kernel, 10)
+        press(kernel, 30, Button.ADDRESS)
+        kernel.device.run_until_idle()
+        assert kernel.current_app_name() == "addressbook"
+        press(kernel, kernel.device.tick + 20, Button.DOWN)
+        press(kernel, kernel.device.tick + 60, Button.UP)
+        kernel.device.run_until_idle()
+        fb = kernel.host.read_bytes(L.FRAMEBUFFER, 160 * 160 * 2)
+        assert any(b != 0xFF for b in fb)
+
+    def test_tap_broadcasts_notification(self):
+        from repro.hacks import HackManager
+        from repro.tracelog import LogEventType, create_log_database, read_activity_log
+        kernel = make_suite()
+        press(kernel, 30, Button.ADDRESS)
+        kernel.device.run_until_idle()
+        create_log_database(kernel)
+        HackManager(kernel).install_standard()
+        tap(kernel, kernel.device.tick + 20, 40, 40)
+        kernel.device.run_until_idle()
+        log = read_activity_log(kernel)
+        notifies = log.of_type(LogEventType.NOTIFY)
+        assert len(notifies) == 1
+        assert notifies[0].data == 0x61627470  # 'abtp'
+
+
+class TestSyntheticUser:
+    def test_script_deterministic_per_seed(self):
+        a = SyntheticUser(42).build_script(TABLE1_SESSIONS[0])
+        b = SyntheticUser(42).build_script(TABLE1_SESSIONS[0])
+        assert a.actions == b.actions
+
+    def test_script_differs_across_seeds(self):
+        spec = TABLE1_SESSIONS[0]
+        a = SyntheticUser(1).build_script(spec)
+        b = SyntheticUser(2).build_script(spec)
+        assert a.actions != b.actions
+
+    def test_duration_matches_spec(self):
+        for spec in TABLE1_SESSIONS[:2]:
+            script = build_session_script(spec)
+            assert script.duration_ticks() == pytest.approx(spec.ticks,
+                                                            rel=0.05)
+
+    def test_actions_well_formed(self):
+        script = build_session_script(TABLE1_SESSIONS[0])
+        pen_depth = 0
+        for _, kind, args in sorted(script.actions, key=lambda a: a[0]):
+            if kind == "pen_down":
+                assert pen_depth == 0
+                pen_depth += 1
+                assert 0 <= args[0] < 160 and 0 <= args[1] < 160
+            elif kind == "pen_up":
+                assert pen_depth == 1
+                pen_depth -= 1
+        assert pen_depth == 0
+
+
+class TestUserScript:
+    def test_tap_produces_down_up(self):
+        script = UserScript().at(100).tap(10, 20)
+        kinds = [a[1] for a in script.actions]
+        assert kinds == ["pen_down", "pen_up"]
+
+    def test_drag_produces_moves(self):
+        script = UserScript().drag([(0, 0), (5, 5), (9, 9)])
+        kinds = [a[1] for a in script.actions]
+        assert kinds == ["pen_down", "pen_move", "pen_move", "pen_up"]
+
+    def test_wait_advances_cursor(self):
+        script = UserScript().at(10).wait_seconds(2).tap(1, 1)
+        assert script.actions[0][0] == 210
+
+    def test_extend_offsets(self):
+        first = UserScript().at(50).tap(1, 1)
+        second = UserScript().at(10).tap(2, 2)
+        first.extend(second)
+        later = [a for a in first.actions if a[2] == (2, 2)]
+        assert later[0][0] >= 50

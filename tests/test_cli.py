@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def archive(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli") / "session"
+    rc = main(["collect", "--out", str(out), "--session", "quickstart"])
+    assert rc == 0
+    return out
+
+
+class TestCollect:
+    def test_creates_archive_layout(self, archive, capsys):
+        assert (archive / "initial_state" / "flash.rom").exists()
+        assert (archive / "initial_state" / "state.json").exists()
+        assert (archive / "activity_log.pdb").exists()
+        assert list((archive / "final_state").glob("*.pdb"))
+
+    def test_unknown_session_rejected(self, tmp_path, capsys):
+        rc = main(["collect", "--out", str(tmp_path / "x"),
+                   "--session", "bogus"])
+        assert rc == 2
+
+
+class TestReplay:
+    def test_replay_prints_statistics(self, archive, capsys):
+        rc = main(["replay", "--session", str(archive)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ave mem cyc" in out
+        assert "references" in out
+
+    def test_replay_writes_trace(self, archive, tmp_path, capsys):
+        trace_path = tmp_path / "trace.npz"
+        rc = main(["replay", "--session", str(archive),
+                   "--trace", str(trace_path)])
+        assert rc == 0
+        assert trace_path.exists()
+
+    def test_no_profile_mode(self, archive, capsys):
+        rc = main(["replay", "--session", str(archive), "--no-profile"])
+        assert rc == 0
+        assert "ave mem cyc" not in capsys.readouterr().out
+
+
+class TestValidate:
+    def test_validate_passes_deterministic(self, archive, capsys):
+        rc = main(["validate", "--session", str(archive)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("VALID") >= 2
+
+    def test_validate_with_jitter(self, archive, capsys):
+        rc = main(["validate", "--session", str(archive), "--jitter", "3"])
+        # Jittered replays may shift tick-stamped record contents; both
+        # outcomes are legitimate, but the report must render.
+        out = capsys.readouterr().out
+        assert "activity log correlation" in out
+        assert rc in (0, 1)
+
+
+class TestSweepPipeline:
+    def test_trace_to_sweep(self, archive, tmp_path, capsys):
+        trace_path = tmp_path / "t.npz"
+        assert main(["replay", "--session", str(archive),
+                     "--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+        rc = main(["sweep", "--trace", str(trace_path),
+                   "--limit", "120000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out and "Figure 6" in out
+
+    def test_desktop_trace_generation(self, tmp_path, capsys):
+        out_path = tmp_path / "d.npz"
+        rc = main(["desktop-trace", "--out", str(out_path),
+                   "--length", "50000", "--seed", "1"])
+        assert rc == 0
+        assert out_path.exists()
+        rc = main(["sweep", "--trace", str(out_path)])
+        assert rc == 0
+
+
+class TestRom:
+    def test_rom_summary(self, capsys):
+        rc = main(["rom"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "traps" in out and "applications: 4" in out
+
+    def test_rom_disassembly(self, capsys):
+        rc = main(["rom", "--disassemble", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "reset entry" in out
+        assert "lea" in out  # boot installs vectors

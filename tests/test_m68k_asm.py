@@ -1,0 +1,341 @@
+"""Tests for the assembler: expressions, directives, encodings, errors,
+and disassembler round-trips."""
+
+import pytest
+
+from repro.m68k.asm import assemble, parse_operand, _parse_reglist
+from repro.m68k.disasm import disassemble_one
+from repro.m68k.errors import AssemblerError
+
+
+def words(source, origin=0x1000, symbols=None):
+    """Assemble and return the image as a list of 16-bit words."""
+    blob = assemble(source, origin=origin, symbols=symbols).blob
+    assert len(blob) % 2 == 0
+    return [(blob[i] << 8) | blob[i + 1] for i in range(0, len(blob), 2)]
+
+
+class TestExpressions:
+    def test_number_bases(self):
+        assert words("dc.w $ff, %101, 10, 'A'") == [0xFF, 5, 10, 65]
+
+    def test_arithmetic(self):
+        assert words("dc.w 2+3*4, (2+3)*4, 16/4, 7-2") == [14, 20, 4, 5]
+
+    def test_bitwise(self):
+        assert words("dc.w $f0|$0f, $ff&$3c, $ff^$0f, 1<<4, $100>>4") == [
+            0xFF, 0x3C, 0xF0, 0x10, 0x10]
+
+    def test_unary(self):
+        assert words("dc.w -1, ~0") == [0xFFFF, 0xFFFF]
+
+    def test_symbols_and_equ(self):
+        src = """
+    BASE    equ $3000
+    COUNT   = 5
+            dc.w BASE+COUNT
+        """
+        assert words(src) == [0x3005]
+
+    def test_predefined_symbols(self):
+        assert words("dc.w FOO+1", symbols={"FOO": 0x41}) == [0x42]
+
+    def test_forward_reference(self):
+        src = """
+            dc.w  later
+    later:  dc.w  $1234
+        """
+        assert words(src, origin=0x100) == [0x102, 0x1234]
+
+    def test_undefined_symbol_raises(self):
+        with pytest.raises(AssemblerError, match="undefined symbol"):
+            assemble("dc.w nothere")
+
+    def test_label_arithmetic(self):
+        src = """
+    a:      dc.l 0
+    b:      dc.l 0
+            dc.w b-a
+        """
+        assert words(src)[-1] == 4
+
+
+class TestDirectives:
+    def test_dc_sizes(self):
+        blob = assemble("dc.b 1,2\n dc.w $1234\n dc.l $56789abc").blob
+        assert blob == bytes([1, 2, 0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC])
+
+    def test_dc_string(self):
+        blob = assemble('dc.b "Hi",0').blob
+        assert blob == b"Hi\x00"
+
+    def test_ds_reserves_zeroed(self):
+        blob = assemble("ds.l 2\n dc.b 1").blob
+        assert blob == bytes(8) + b"\x01"
+
+    def test_even_alignment(self):
+        src = """
+            dc.b 1
+            even
+    here:   dc.w $aa55
+        """
+        prog = assemble(src, origin=0x100)
+        assert prog.symbols["here"] == 0x102
+
+    def test_org_creates_segments(self):
+        src = """
+            org $100
+            dc.w 1
+            org $200
+            dc.w 2
+        """
+        prog = assemble(src)
+        assert [(a, len(b)) for a, b in prog.segments] == [(0x100, 2), (0x200, 2)]
+        img = prog.image(0x100, 0x200)
+        assert img[0:2] == bytes([0, 1])
+        assert img[0x100:0x102] == bytes([0, 2])
+
+    def test_comments_ignored(self):
+        assert words("dc.w 1 ; trailing\n ; full line\n dc.w 2") == [1, 2]
+
+
+class TestEncodings:
+    """Spot checks against hand-assembled reference words."""
+
+    def test_moveq(self):
+        assert words("moveq #1,d0") == [0x7001]
+        assert words("moveq #-1,d7") == [0x7EFF]
+
+    def test_move_register_direct(self):
+        assert words("move.l d0,d1") == [0x2200]
+        assert words("move.w d3,d4") == [0x3803]
+        assert words("move.b d1,d2") == [0x1401]
+
+    def test_move_memory_forms(self):
+        assert words("move.w (a0),(a1)") == [0x3290]
+        assert words("move.w (a0)+,d0") == [0x3018]
+        assert words("move.w d0,-(a7)") == [0x3F00]
+
+    def test_move_immediate(self):
+        assert words("move.l #$12345678,d0") == [0x203C, 0x1234, 0x5678]
+        assert words("move.w #$ff,d0") == [0x303C, 0x00FF]
+
+    def test_lea_pc_relative(self):
+        ws = words("""
+    table:  dc.w 0
+            lea table(pc),a0
+        """, origin=0x1000)
+        # lea at 0x1002: ext word displacement = 0x1000 - 0x1004 = -4.
+        assert ws[1] == 0x41FA
+        assert ws[2] == 0xFFFC
+
+    def test_addq_subq(self):
+        assert words("addq.l #1,d0") == [0x5280]
+        assert words("subq.w #8,d3") == [0x5143]
+
+    def test_add_directions(self):
+        assert words("add.l d1,d0") == [0xD081]
+        assert words("add.l d0,(a0)") == [0xD190]
+
+    def test_adda(self):
+        assert words("adda.l d0,a1") == [0xD3C0]
+        assert words("add.w d0,a1") == [0xD2C0]  # promotes to ADDA
+
+    def test_immediate_promotion(self):
+        # add #imm,Dn assembles as ADDI.
+        assert words("add.l #4,d0") == [0x0680, 0x0000, 0x0004]
+        assert words("cmp.w #3,d2") == [0x0C42, 0x0003]
+
+    def test_branches(self):
+        # bra.s to next instruction+2.
+        ws = words("""
+            bra.s over
+            nop
+    over:   nop
+        """)
+        assert ws[0] == 0x6002
+        ws = words("""
+            beq target
+            nop
+    target: nop
+        """)
+        assert ws[0] == 0x6700 and ws[1] == 0x0004
+
+    def test_backward_branch(self):
+        ws = words("""
+    loop:   nop
+            bra.s loop
+        """)
+        assert ws[1] == 0x60FC  # -4
+
+    def test_dbra(self):
+        ws = words("""
+    loop:   nop
+            dbra d1,loop
+        """)
+        assert ws[1] == 0x51C9 and ws[2] == 0xFFFC
+
+    def test_jsr_jmp(self):
+        assert words("jsr $2000") == [0x4EB9, 0x0000, 0x2000]
+        assert words("jmp (a0)") == [0x4ED0]
+
+    def test_trap_and_misc(self):
+        assert words("trap #15") == [0x4E4F]
+        assert words("nop\n rts\n rte") == [0x4E71, 0x4E75, 0x4E73]
+        assert words("stop #$2700") == [0x4E72, 0x2700]
+
+    def test_link_unlk(self):
+        assert words("link a6,#-8") == [0x4E56, 0xFFF8]
+        assert words("unlk a6") == [0x4E5E]
+
+    def test_movem_predec_mask_reversed(self):
+        # movem.l d0-d1,-(sp): normal mask d0|d1 = 0x0003, reversed = 0xC000.
+        assert words("movem.l d0-d1,-(sp)") == [0x48E7, 0xC000]
+
+    def test_movem_postinc(self):
+        assert words("movem.l (sp)+,d0-d1") == [0x4CDF, 0x0003]
+
+    def test_shifts(self):
+        assert words("lsl.l #1,d0") == [0xE388]
+        assert words("lsr.w #4,d2") == [0xE84A]
+        assert words("asr.l d1,d0") == [0xE2A0]
+        assert words("rol.b #1,d3") == [0xE31B]
+
+    def test_bit_ops(self):
+        assert words("btst #4,d0") == [0x0800, 0x0004]
+        assert words("bset d1,(a0)") == [0x03D0]
+
+    def test_clr_tst(self):
+        assert words("clr.l d0") == [0x4280]
+        assert words("tst.w (a0)") == [0x4A50]
+
+    def test_mul_div(self):
+        assert words("mulu d1,d0") == [0xC0C1]
+        assert words("divs d2,d3") == [0x87C2]
+
+    def test_exg(self):
+        assert words("exg d0,d1") == [0xC141]
+        assert words("exg a0,a1") == [0xC149]
+        assert words("exg d0,a1") == [0xC189]
+
+    def test_sr_ccr_moves(self):
+        assert words("move #$2700,sr") == [0x46FC, 0x2700]
+        assert words("move sr,d0") == [0x40C0]
+        assert words("move #$1f,ccr") == [0x44FC, 0x001F]
+        assert words("andi #$fe,ccr") == [0x023C, 0x00FE]
+
+    def test_aline_via_dc(self):
+        assert words("dc.w $a000+$123") == [0xA123]
+
+
+class TestOperandParsing:
+    def test_register_kinds(self):
+        assert parse_operand("d3").kind == "dreg"
+        assert parse_operand("a5").kind == "areg"
+        assert parse_operand("sp").reg == 7
+        assert parse_operand("(a2)").kind == "ind"
+        assert parse_operand("(a2)+").kind == "postinc"
+        assert parse_operand("-(a2)").kind == "predec"
+
+    def test_displacement_forms(self):
+        assert parse_operand("8(a0)").kind == "disp"
+        assert parse_operand("(8,a0)").kind == "disp"
+        assert parse_operand("-4(a0)").kind == "disp"
+
+    def test_index_forms(self):
+        op = parse_operand("2(a0,d1.l)")
+        assert op.kind == "index" and op.xlong and not op.xa
+        op = parse_operand("(a0,a2.w)")
+        assert op.kind == "index" and op.xa and not op.xlong
+
+    def test_pc_forms(self):
+        assert parse_operand("label(pc)").kind == "pcdisp"
+        assert parse_operand("label(pc,d0.w)").kind == "pcindex"
+
+    def test_absolute(self):
+        assert parse_operand("$3000.w").kind == "abs_w"
+        assert parse_operand("$3000.l").kind == "abs_l"
+        assert parse_operand("label").kind == "abs_l"
+
+    def test_immediate(self):
+        assert parse_operand("#42").kind == "imm"
+
+    def test_reglist(self):
+        assert _parse_reglist("d0-d3") == 0x000F
+        assert _parse_reglist("a0/a2") == 0x0500
+        assert _parse_reglist("d0-d7/a0-a7") == 0xFFFF
+        assert _parse_reglist("d7/a6-sp") == 0xC080
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate d0")
+
+    def test_bad_short_branch(self):
+        src = "bra.s far\n" + "nop\n" * 100 + "far: nop"
+        with pytest.raises(AssemblerError, match="short branch"):
+            assemble(src)
+
+    def test_shift_count_out_of_range(self):
+        with pytest.raises(AssemblerError):
+            assemble("lsl.l #9,d0")
+
+    def test_byte_to_address_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("add.b #1,a0")
+
+    def test_error_reports_line(self):
+        try:
+            assemble("nop\nnop\nbogus d0\n")
+        except AssemblerError as exc:
+            assert exc.line == 3
+        else:
+            pytest.fail("expected AssemblerError")
+
+
+class TestDisassemblerRoundTrip:
+    SNIPPETS = [
+        "moveq #5,d0",
+        "move.l d0,d1",
+        "move.w (a0)+,d2",
+        "move.b #$ff,d0",
+        "lea $1234,a0",
+        "addq.l #1,d0",
+        "subq.w #8,d3",
+        "add.l d1,d0",
+        "cmpi.l #$64,d0",
+        "jsr $2000",
+        "rts",
+        "nop",
+        "trap #3",
+        "lsl.l #2,d0",
+        "clr.w d5",
+        "swap d2",
+        "movem.l d0-d2/a0,-(sp)",
+        "dbra d1,$1000",
+        "link a6,#-8",
+    ]
+
+    @pytest.mark.parametrize("snippet", SNIPPETS)
+    def test_reassembles_identically(self, snippet):
+        """asm -> disasm -> asm is a fixed point."""
+        original = assemble(snippet, origin=0x1000).blob
+
+        def fetch(addr):
+            off = addr - 0x1000
+            return (original[off] << 8) | original[off + 1]
+
+        text, length = disassemble_one(fetch, 0x1000)
+        assert length == len(original)
+        again = assemble(text, origin=0x1000).blob
+        assert again == original, f"{snippet!r} -> {text!r}"
+
+    def test_aline_fline_rendering(self):
+        blob = assemble("dc.w $a123\n dc.w $f042", origin=0).blob
+
+        def fetch(addr):
+            return (blob[addr] << 8) | blob[addr + 1]
+
+        assert disassemble_one(fetch, 0)[0] == "sys $123"
+        assert disassemble_one(fetch, 2)[0] == "emucall $042"

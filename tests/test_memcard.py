@@ -1,0 +1,195 @@
+"""Tests for the memory-card extension (§2.3.1's deferred feature):
+slot model, the card window, detection through SysNotifyBroadcast, and
+full collect-replay of a card session."""
+
+import pytest
+
+from repro import UserScript, collect_session, replay_session, standard_apps
+from repro.device.memcard import (
+    CARD_WINDOW_BASE,
+    MemoryCard,
+    NOTIFY_CARD_INSERTED,
+    NOTIFY_CARD_REMOVED,
+)
+from repro.m68k.errors import BusError
+from repro.palmos import AppSpec, PalmOS, Trap
+from repro.tracelog import InitialState, LogEventType, read_activity_log
+
+EMU_KW = {"ram_size": 8 << 20, "flash_size": 1 << 20}
+
+# A guest app that, on every notification, copies the first 16 bytes of
+# the card window into RAM at $31000 (if a card is present).
+CARD_READER = AppSpec(name="cardreader", source="""
+app_cardreader:
+        link    a6,#-16
+cr_loop:
+        move.l  #$ffffffff,-(sp)
+        pea     -16(a6)
+        dc.w    SYS_EvtGetEvent
+        addq.l  #8,sp
+        move.w  -16(a6),d0
+        cmpi.w  #22,d0                  ; appStopEvent
+        beq.s   cr_done
+        cmpi.w  #24,d0                  ; notifyEvent
+        bne.s   cr_loop
+        dc.w    SYS_ExpCardPresent
+        tst.l   d0
+        beq.s   cr_loop
+        lea     $20000000,a0            ; the card window
+        lea     $31000,a1
+        moveq   #15,d1
+cr_copy:
+        move.b  (a0)+,(a1)+
+        dbra    d1,cr_copy
+        addq.l  #1,$31010               ; copy counter
+        bra.s   cr_loop
+cr_done:
+        unlk    a6
+        rts
+""")
+
+
+def make_kernel(apps=None, **kwargs):
+    kwargs.setdefault("ram_size", EMU_KW["ram_size"])
+    kwargs.setdefault("flash_size", EMU_KW["flash_size"])
+    kernel = PalmOS(apps=apps if apps is not None else [CARD_READER],
+                    **kwargs)
+    kernel.boot()
+    return kernel
+
+
+class TestCardSlot:
+    def test_insert_and_remove(self):
+        kernel = make_kernel()
+        slot = kernel.device.card_slot
+        assert not slot.present
+        slot.insert(MemoryCard.blank("SD-1", 4096))
+        assert slot.present
+        assert slot.last_event == NOTIFY_CARD_INSERTED
+        slot.remove()
+        assert not slot.present
+        assert slot.last_event == NOTIFY_CARD_REMOVED
+
+    def test_window_reads_card_contents(self):
+        kernel = make_kernel()
+        card = MemoryCard("SD-1", bytearray(b"HELLO-CARD!!" + bytes(100)))
+        kernel.device.card_slot.insert(card)
+        assert kernel.device.mem.read8(CARD_WINDOW_BASE) == ord("H")
+        assert kernel.device.mem.read16(CARD_WINDOW_BASE + 2) == 0x4C4C  # "LL"
+
+    def test_window_floats_high_without_card(self):
+        kernel = make_kernel()
+        assert kernel.device.mem.read8(CARD_WINDOW_BASE) == 0xFF
+        assert kernel.device.mem.read32(CARD_WINDOW_BASE + 8) == 0xFFFFFFFF
+
+    def test_window_write_without_card_faults(self):
+        kernel = make_kernel()
+        with pytest.raises(BusError):
+            kernel.device.mem.write8(CARD_WINDOW_BASE, 1)
+
+    def test_window_writes_persist_on_card(self):
+        kernel = make_kernel()
+        card = MemoryCard.blank("SD-1", 256)
+        kernel.device.card_slot.insert(card)
+        kernel.device.mem.write16(CARD_WINDOW_BASE + 10, 0xBEEF)
+        assert card.contents[10:12] == b"\xbe\xef"
+
+    def test_reads_past_card_end_float(self):
+        kernel = make_kernel()
+        kernel.device.card_slot.insert(MemoryCard.blank("S", 16))
+        assert kernel.device.mem.read8(CARD_WINDOW_BASE + 100) == 0xFF
+
+
+class TestCardTraps:
+    def test_exp_card_present(self):
+        kernel = make_kernel()
+        assert kernel.call_trap(Trap.ExpCardPresent) == 0
+        kernel.device.card_slot.insert(MemoryCard.blank("SD-1", 64))
+        assert kernel.call_trap(Trap.ExpCardPresent) == 1
+
+    def test_exp_card_info_returns_name(self):
+        kernel = make_kernel()
+        kernel.device.card_slot.insert(MemoryCard.blank("MyCard", 64))
+        buf = 0x32000
+        assert kernel.call_trap(Trap.ExpCardInfo, buf) == 0
+        raw = kernel.host.read_bytes(buf, 7)
+        assert raw == b"MyCard\x00"
+
+    def test_exp_card_info_errors_without_card(self):
+        kernel = make_kernel()
+        assert kernel.call_trap(Trap.ExpCardInfo, 0x32000) != 0
+
+
+class TestCardDetection:
+    def test_insertion_broadcasts_and_is_logged(self):
+        """'The insertion, removal, and name of a memory card can be
+        detected with our technique' — via the SysNotifyBroadcast hack."""
+        from repro.hacks import HackManager
+        from repro.tracelog import create_log_database
+        kernel = make_kernel()
+        create_log_database(kernel)
+        HackManager(kernel).install_standard()
+        kernel.device.schedule_card_insert(50, MemoryCard.blank("SD-1", 64))
+        kernel.device.schedule_card_remove(80)
+        kernel.device.run_until_idle()
+        notifies = read_activity_log(kernel).of_type(LogEventType.NOTIFY)
+        assert [n.data for n in notifies] == [NOTIFY_CARD_INSERTED,
+                                              NOTIFY_CARD_REMOVED]
+        assert [n.tick for n in notifies] == [50, 80]
+
+
+class TestCardSessionReplay:
+    @pytest.fixture(scope="class")
+    def run(self):
+        apps = [CARD_READER]
+        card = MemoryCard("SD-1", bytearray(b"CARD-PAYLOAD-16B" + bytes(240)))
+        script = (UserScript("card-session").at(60)
+                  .insert_card().wait(60)
+                  .remove_card().wait(40))
+        session = collect_session(apps, script, name="card", card=card,
+                                  ram_size=EMU_KW["ram_size"])
+        emulator, _, result = replay_session(
+            session.initial_state, session.log, apps=apps,
+            profile=False, emulator_kwargs=EMU_KW)
+        return session, emulator, result
+
+    def test_card_contents_snapshotted(self, run):
+        session, _, _ = run
+        assert session.initial_state.card_name == "SD-1"
+        assert session.initial_state.card_image[:4] == b"CARD"
+
+    def test_guest_read_card_during_collection(self, run):
+        session, _, _ = run
+        # The reader app copied the payload into RAM; it then appears
+        # in no database, so verify via the emulated run below instead.
+        notifies = session.log.of_type(LogEventType.NOTIFY)
+        assert len(notifies) == 2
+
+    def test_replay_reinjects_card_and_matches_log(self, run):
+        session, emulator, _ = run
+        original = [(r.type, r.tick, r.data) for r in session.log]
+        replayed = [(r.type, r.tick, r.data)
+                    for r in read_activity_log(emulator.kernel)]
+        assert replayed == original
+
+    def test_replayed_guest_read_same_card_bytes(self, run):
+        _, emulator, _ = run
+        copied = emulator.kernel.host.read_bytes(0x31000, 16)
+        assert copied == b"CARD-PAYLOAD-16B"
+        assert emulator.kernel.host.read32(0x31010) >= 1
+
+    def test_state_roundtrip_with_card(self, run, tmp_path):
+        session, _, _ = run
+        session.initial_state.save(tmp_path / "s")
+        back = InitialState.load(tmp_path / "s")
+        assert back.card_name == "SD-1"
+        assert back.card_image == session.initial_state.card_image
+
+    def test_replay_without_card_image_fails_clearly(self, run):
+        session, _, _ = run
+        import dataclasses
+        stripped = dataclasses.replace(session.initial_state,
+                                       card_name=None, card_image=None)
+        with pytest.raises(RuntimeError, match="card"):
+            replay_session(stripped, session.log, apps=[CARD_READER],
+                           profile=False, emulator_kwargs=EMU_KW)

@@ -1,0 +1,268 @@
+"""Tests for the data manager: database and record operations, PDB
+serialisation, HotSync export/import semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.m68k import FlatMemory
+from repro.palmos import layout as L
+from repro.palmos.access import HostAccess
+from repro.palmos.database import (
+    DatabaseImage,
+    DatabaseManager,
+    DmError,
+    RecordImage,
+    fourcc,
+    fourcc_str,
+)
+from repro.palmos.heap import Heap
+
+
+def make_dm(now=lambda: 1_000_000) -> DatabaseManager:
+    mem = FlatMemory(1 << 21)
+    heap = Heap(HostAccess(mem), 0x10000, 0x200000, rover_global=0x100)
+    heap.format()
+    return DatabaseManager(HostAccess(mem), heap, now)
+
+
+class TestDatabaseLifecycle:
+    def test_create_and_find(self):
+        dm = make_dm()
+        db = dm.create("TestDB", "DATA", "test")
+        assert db
+        assert dm.find("TestDB") == db
+        assert dm.find("Other") == 0
+
+    def test_create_duplicate_raises(self):
+        dm = make_dm()
+        dm.create("TestDB")
+        with pytest.raises(DmError):
+            dm.create("TestDB")
+
+    def test_creation_stamps_dates(self):
+        dm = make_dm(now=lambda: 42_000)
+        db = dm.create("TestDB")
+        image = dm.export_database(db)
+        assert image.creation_date == 42_000
+        assert image.modification_date == 42_000
+        assert image.last_backup_date == 0
+
+    def test_delete_unlinks_and_frees(self):
+        dm = make_dm()
+        dm.create("A")
+        dm.create("C")
+        before = dm.heap.free_bytes()
+        db_b = dm.create("B")
+        dm.new_record(db_b, 0, 100)
+        dm.delete("B")  # must return both the header and record chunks
+        assert dm.find("B") == 0
+        assert [dm.name_of(d) for d in dm.list_databases()] == ["A", "C"]
+        assert dm.heap.free_bytes() == before
+
+    def test_delete_missing_raises(self):
+        dm = make_dm()
+        with pytest.raises(DmError):
+            dm.delete("Nope")
+
+    def test_name_truncated_to_31_chars(self):
+        dm = make_dm()
+        long_name = "X" * 50
+        db = dm.create(long_name)
+        assert dm.name_of(db) == "X" * 31
+
+    def test_list_preserves_creation_order(self):
+        dm = make_dm()
+        for name in ["one", "two", "three"]:
+            dm.create(name)
+        assert [dm.name_of(d) for d in dm.list_databases()] == [
+            "one", "two", "three"]
+
+
+class TestRecords:
+    def test_new_record_append_and_read(self):
+        dm = make_dm()
+        db = dm.create("DB")
+        addr = dm.new_record(db, 0, 8)
+        dm.access.write_bytes(addr, b"ABCDEFGH")
+        assert dm.num_records(db) == 1
+        assert dm.read_record(db, 0) == b"ABCDEFGH"
+
+    def test_append_via_max_index(self):
+        dm = make_dm()
+        db = dm.create("DB")
+        for i in range(5):
+            addr = dm.new_record(db, L.DM_MAX_RECORD_INDEX, 1)
+            dm.access.write8(addr, i)
+        assert [dm.read_record(db, i)[0] for i in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_insert_at_front_and_middle(self):
+        dm = make_dm()
+        db = dm.create("DB")
+        for value in [10, 30]:
+            addr = dm.new_record(db, L.DM_MAX_RECORD_INDEX, 1)
+            dm.access.write8(addr, value)
+        addr = dm.new_record(db, 1, 1)
+        dm.access.write8(addr, 20)
+        addr = dm.new_record(db, 0, 1)
+        dm.access.write8(addr, 5)
+        assert [dm.read_record(db, i)[0] for i in range(4)] == [5, 10, 20, 30]
+
+    def test_out_of_range_index_raises(self):
+        dm = make_dm()
+        db = dm.create("DB")
+        dm.new_record(db, 0, 4)
+        with pytest.raises(DmError):
+            dm.get_record(db, 1)
+        with pytest.raises(DmError):
+            dm.new_record(db, 5, 4)
+
+    def test_remove_record(self):
+        dm = make_dm()
+        db = dm.create("DB")
+        for value in [1, 2, 3]:
+            addr = dm.new_record(db, L.DM_MAX_RECORD_INDEX, 1)
+            dm.access.write8(addr, value)
+        dm.remove_record(db, 1)
+        assert dm.num_records(db) == 2
+        assert [dm.read_record(db, i)[0] for i in range(2)] == [1, 3]
+
+    def test_write_record_bounds_checked(self):
+        dm = make_dm()
+        db = dm.create("DB")
+        dm.new_record(db, 0, 4)
+        with pytest.raises(DmError):
+            dm.write_record(db, 0, 2, b"ABCD")  # over the end
+
+    def test_unique_ids_increase(self):
+        dm = make_dm()
+        db = dm.create("DB")
+        for _ in range(3):
+            dm.new_record(db, L.DM_MAX_RECORD_INDEX, 1)
+        uids = [dm.record_info(db, i)[1] for i in range(3)]
+        assert uids == sorted(uids)
+        assert len(set(uids)) == 3
+
+    def test_record_info_and_set(self):
+        dm = make_dm()
+        db = dm.create("DB")
+        dm.new_record(db, 0, 10)
+        dm.set_record_info(db, 0, attr=0x40, uid=0x123456)
+        attr, uid, size = dm.record_info(db, 0)
+        assert (attr, uid, size) == (0x40, 0x123456, 10)
+
+    def test_modification_tracking(self):
+        times = iter(range(1000, 2000))
+        dm = make_dm(now=lambda: next(times))
+        db = dm.create("DB")
+        img0 = dm.export_database(db)
+        dm.new_record(db, 0, 4)
+        img1 = dm.export_database(db)
+        assert img1.modification_number == img0.modification_number + 1
+        assert img1.modification_date > img0.modification_date
+
+
+class TestBackupAndTransfer:
+    def test_set_backup_bits_all(self):
+        dm = make_dm()
+        for name in ["A", "B"]:
+            dm.create(name)
+        dm.set_backup_bits_all()
+        for db in dm.list_databases():
+            assert dm.attributes(db) & L.DM_ATTR_BACKUP
+
+    def test_export_import_roundtrip(self):
+        dm = make_dm()
+        db = dm.create("Data", "DATA", "mine")
+        for i in range(4):
+            addr = dm.new_record(db, L.DM_MAX_RECORD_INDEX, 3)
+            dm.access.write_bytes(addr, bytes([i, i + 1, i + 2]))
+        image = dm.export_database(db)
+
+        dm2 = make_dm()
+        db2 = dm2.import_database(image, imported=False)
+        image2 = dm2.export_database(db2)
+        assert image == image2
+
+    def test_import_zeroes_dates(self):
+        """The paper's §3.4 observation: imported databases have zero
+        CREATION/LAST BACKUP dates."""
+        dm = make_dm(now=lambda: 99_999)
+        db = dm.create("Data")
+        image = dm.export_database(db)
+        assert image.creation_date == 99_999
+
+        dm2 = make_dm()
+        db2 = dm2.import_database(image, imported=True)
+        image2 = dm2.export_database(db2)
+        assert image2.creation_date == 0
+        assert image2.last_backup_date == 0
+        assert image2.modification_date == 0
+
+    def test_import_replaces_existing(self):
+        dm = make_dm()
+        dm.create("Data")
+        image = DatabaseImage(name="Data",
+                              records=[RecordImage(0, 1, b"xy")])
+        dm.import_database(image)
+        db = dm.find("Data")
+        assert dm.num_records(db) == 1
+        assert dm.read_record(db, 0) == b"xy"
+
+
+class TestPdbFormat:
+    def test_roundtrip(self):
+        image = DatabaseImage(
+            name="MemoDB", type="DATA", creator="memo",
+            attributes=0x0008, version=1,
+            creation_date=123, modification_date=456, last_backup_date=789,
+            modification_number=7, unique_id_seed=42,
+            records=[RecordImage(0x40, 1, b"hello"),
+                     RecordImage(0x00, 2, b""),
+                     RecordImage(0x00, 3, bytes(range(100)))],
+        )
+        blob = image.to_pdb_bytes()
+        back = DatabaseImage.from_pdb_bytes(blob)
+        assert back == image
+
+    def test_header_is_78_bytes(self):
+        image = DatabaseImage(name="X")
+        blob = image.to_pdb_bytes()
+        assert len(blob) == 78
+
+    def test_fourcc(self):
+        assert fourcc("DATA") == 0x44415441
+        assert fourcc_str(0x44415441) == "DATA"
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.binary(min_size=0, max_size=50), max_size=10))
+    def test_roundtrip_property(self, payloads):
+        image = DatabaseImage(
+            name="P", records=[RecordImage(0, i + 1, p)
+                               for i, p in enumerate(payloads)])
+        assert DatabaseImage.from_pdb_bytes(image.to_pdb_bytes()) == image
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["append", "insert0", "remove"]),
+                          st.integers(0, 255)), max_size=40))
+def test_record_list_matches_model(ops):
+    """The guest record list behaves like a plain Python list."""
+    dm = make_dm()
+    db = dm.create("Model")
+    model = []
+    for op, value in ops:
+        if op == "append":
+            addr = dm.new_record(db, L.DM_MAX_RECORD_INDEX, 1)
+            dm.access.write8(addr, value)
+            model.append(value)
+        elif op == "insert0":
+            addr = dm.new_record(db, 0, 1)
+            dm.access.write8(addr, value)
+            model.insert(0, value)
+        elif op == "remove" and model:
+            index = value % len(model)
+            dm.remove_record(db, index)
+            model.pop(index)
+    assert dm.num_records(db) == len(model)
+    assert [dm.read_record(db, i)[0] for i in range(len(model))] == model

@@ -1,0 +1,164 @@
+"""Unit and property tests for the chunked next-fit heap."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.m68k import FlatMemory
+from repro.palmos.access import HostAccess
+from repro.palmos.heap import Heap, HeapError
+from repro.palmos import layout as L
+
+BASE = 0x1000
+LIMIT = 0x20000
+ROVER = 0x100
+
+
+def make_heap() -> Heap:
+    mem = FlatMemory(1 << 20)
+    heap = Heap(HostAccess(mem), BASE, LIMIT, ROVER)
+    heap.format()
+    return heap
+
+
+class TestAllocFree:
+    def test_fresh_heap_is_one_free_chunk(self):
+        heap = make_heap()
+        chunks = list(heap.chunks())
+        assert len(chunks) == 1
+        assert chunks[0].free
+        assert chunks[0].size == LIMIT - BASE
+
+    def test_alloc_returns_payload_inside_heap(self):
+        heap = make_heap()
+        ptr = heap.alloc(100)
+        assert BASE < ptr < LIMIT
+        assert heap.payload_size(ptr) >= 100
+
+    def test_alloc_zero_or_negative_fails(self):
+        heap = make_heap()
+        assert heap.alloc(0) == 0
+        assert heap.alloc(-4) == 0
+
+    def test_allocations_do_not_overlap(self):
+        heap = make_heap()
+        spans = []
+        for size in [10, 200, 3000, 7, 64]:
+            ptr = heap.alloc(size)
+            assert ptr
+            spans.append((ptr, ptr + size))
+        spans.sort()
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    def test_free_then_realloc_reuses_space(self):
+        heap = make_heap()
+        before = heap.free_bytes()
+        ptr = heap.alloc(1000)
+        heap.free(ptr)
+        assert heap.free_bytes() == before
+
+    def test_double_free_detected(self):
+        heap = make_heap()
+        ptr = heap.alloc(64)
+        heap.free(ptr)
+        with pytest.raises(HeapError):
+            heap.free(ptr)
+
+    def test_out_of_memory_returns_zero(self):
+        heap = make_heap()
+        assert heap.alloc(LIMIT) == 0
+
+    def test_exhaustion_and_recovery(self):
+        heap = make_heap()
+        ptrs = []
+        while True:
+            ptr = heap.alloc(4000)
+            if not ptr:
+                break
+            ptrs.append(ptr)
+        assert len(ptrs) > 10
+        for ptr in ptrs:
+            heap.free(ptr)
+        # Everything coalesced back into one chunk.
+        assert heap.alloc(LIMIT - BASE - L.CHUNK_HEADER_SIZE - 8)
+
+    def test_coalesce_forward(self):
+        heap = make_heap()
+        a = heap.alloc(100)
+        b = heap.alloc(100)
+        heap.alloc(100)  # guard
+        heap.free(b)
+        heap.free(a)  # must merge with b's chunk
+        big = next(c for c in heap.chunks() if c.free)
+        assert big.size >= 2 * (100 + L.CHUNK_HEADER_SIZE)
+
+    def test_owner_recorded(self):
+        heap = make_heap()
+        heap.alloc(64, owner=L.OWNER_DATABASE)
+        used = [c for c in heap.chunks() if not c.free]
+        assert used[0].owner == L.OWNER_DATABASE
+
+    def test_alloc_cost_grows_with_chunk_count(self):
+        """The organic memory-manager effect: more chunks, more walking."""
+
+        class CountingAccess(HostAccess):
+            reads = 0
+
+            def read32(self, addr):
+                CountingAccess.reads += 1
+                return super().read32(addr)
+
+        mem = FlatMemory(1 << 21)
+        heap = Heap(CountingAccess(mem), BASE, 0x100000, ROVER)
+        heap.format()
+        # Fill with many small chunks, then free them all: next alloc
+        # must coalesce-walk... use fresh rover from base by freeing.
+        for _ in range(500):
+            assert heap.alloc(16)
+        CountingAccess.reads = 0
+        heap.free_bytes()  # full walk
+        walk_cost = CountingAccess.reads
+        assert walk_cost >= 500  # at least one header read per chunk
+
+
+class TestNextFit:
+    def test_rover_advances(self):
+        heap = make_heap()
+        a = heap.alloc(64)
+        b = heap.alloc(64)
+        assert b > a  # next-fit moves forward, not first-fit reuse
+
+    def test_wraps_around(self):
+        heap = make_heap()
+        first = heap.alloc(4000)
+        while heap.alloc(4000):
+            pass  # exhaust; rover now points near the end
+        heap.free(first)
+        again = heap.alloc(3000)  # must wrap back to the freed head chunk
+        assert again == first
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(8, 2000), min_size=1, max_size=60),
+       st.data())
+def test_random_alloc_free_invariants(sizes, data):
+    """Chunk list stays well-formed under arbitrary alloc/free orders."""
+    heap = make_heap()
+    live = []
+    for size in sizes:
+        ptr = heap.alloc(size)
+        if ptr:
+            live.append((ptr, size))
+        if live and data.draw(st.booleans()):
+            idx = data.draw(st.integers(0, len(live) - 1))
+            ptr, _ = live.pop(idx)
+            heap.free(ptr)
+    # Invariant 1: chunks tile the heap exactly.
+    total = sum(c.size for c in heap.chunks())
+    assert total == LIMIT - BASE
+    # Invariant 2: every live pointer is inside an allocated chunk.
+    used = [(c.addr, c.addr + c.size) for c in heap.chunks() if not c.free]
+    for ptr, size in live:
+        assert any(lo + L.CHUNK_HEADER_SIZE == ptr and ptr + size <= hi
+                   for lo, hi in used)

@@ -1,0 +1,82 @@
+"""Tests for trace interchange (dinero format) and trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.device.memmap import (
+    KIND_FETCH,
+    KIND_READ,
+    KIND_WRITE,
+    REGION_FLASH,
+    REGION_RAM,
+)
+from repro.emulator import ReferenceTrace
+from repro.traces.dinero import read_dinero, write_dinero
+
+
+def sample_trace() -> ReferenceTrace:
+    addresses = np.array([0x1000, 0x1002, 0x2000, 0x1000_0000, 0x1000_0002],
+                         dtype=np.uint32)
+    kinds = np.array([
+        KIND_READ | (REGION_RAM << 4),
+        KIND_WRITE | (REGION_RAM << 4),
+        KIND_READ | (REGION_RAM << 4),
+        KIND_FETCH | (REGION_FLASH << 4),
+        KIND_FETCH | (REGION_FLASH << 4),
+    ], dtype=np.uint8)
+    return ReferenceTrace(addresses=addresses, kinds=kinds)
+
+
+class TestDinero:
+    def test_write_produces_classic_format(self, tmp_path):
+        path = tmp_path / "t.din"
+        count = write_dinero(sample_trace(), path)
+        assert count == 5
+        lines = path.read_text().splitlines()
+        assert lines[0] == "0 1000"     # data read
+        assert lines[1] == "1 1002"     # data write
+        assert lines[3] == "2 10000000"  # instruction fetch
+
+    def test_roundtrip_addresses_and_kinds(self, tmp_path):
+        path = tmp_path / "t.din"
+        original = sample_trace()
+        write_dinero(original, path)
+        back = read_dinero(path)
+        assert np.array_equal(back.addresses, original.addresses)
+        assert np.array_equal(back.kind, original.kind)
+
+    def test_regions_synthesised_from_addresses(self, tmp_path):
+        path = tmp_path / "t.din"
+        write_dinero(sample_trace(), path)
+        back = read_dinero(path)
+        assert list(back.region) == [REGION_RAM] * 3 + [REGION_FLASH] * 2
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "t.din"
+        path.write_text("0 1000\n\n2 2000\n")
+        back = read_dinero(path)
+        assert len(back) == 2
+
+
+class TestReferenceTraceContainer:
+    def test_memory_only_drops_hw(self):
+        from repro.device.memmap import REGION_HW
+        addresses = np.array([1, 2, 3], dtype=np.uint32)
+        kinds = np.array([
+            KIND_READ | (REGION_RAM << 4),
+            KIND_READ | (REGION_HW << 4),
+            KIND_READ | (REGION_FLASH << 4),
+        ], dtype=np.uint8)
+        trace = ReferenceTrace(addresses, kinds).memory_only()
+        assert list(trace.addresses) == [1, 3]
+
+    def test_is_write_mask(self):
+        trace = sample_trace()
+        assert list(trace.is_write) == [False, True, False, False, False]
+
+    def test_counts(self):
+        counts = sample_trace().counts()
+        assert counts["ram"] == 3
+        assert counts["flash"] == 2
+        assert counts["fetch"] == 2
+        assert counts["write"] == 1
