@@ -1,0 +1,26 @@
+"""Static analysis of guest m68k code and activity logs.
+
+Three entry points:
+
+* :func:`analyze_rom` — build the shipped ROM, walk it into a CFG and
+  run every diagnostic (what ``palm-repro lint`` runs);
+* :func:`cross_check` — validate the CFG against the per-address
+  opcode record of a profiled replay;
+* :func:`lint_archive` — the activity-log determinism linter.
+"""
+
+from .analyzer import RomAnalysis, analyze_image, analyze_rom, run_checks
+from .census import TrapCensus, cross_check
+from .decode import Insn, decode_insn, is_legal
+from .findings import CheckContext, Finding, Report, Severity
+from .tracelint import lint_archive, lint_log, lint_playback_result
+from .walker import CFG, BasicBlock, walk
+
+__all__ = [
+    "analyze_image", "analyze_rom", "run_checks", "RomAnalysis",
+    "TrapCensus", "cross_check",
+    "decode_insn", "is_legal", "Insn",
+    "CheckContext", "Finding", "Report", "Severity",
+    "lint_archive", "lint_log", "lint_playback_result",
+    "CFG", "BasicBlock", "walk",
+]

@@ -1,0 +1,123 @@
+"""Typed findings for the static analyzers.
+
+Every check — the ROM CFG diagnostics, the trap census cross-check and
+the activity-log determinism linter — reports through the same
+:class:`Finding`/:class:`Report` pair, so the CLI and the tests can
+treat "zero error-severity findings" as one uniform acceptance gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterator, List, Optional
+
+
+class Severity(IntEnum):
+    """Finding severity, ordered so ``max()`` picks the worst."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a static check.
+
+    ``code`` is a stable machine-readable identifier (kebab-case);
+    ``address`` is the guest address the finding anchors to (or the
+    record index, for activity-log findings); ``block`` is the start
+    address of the containing basic block when the finding came out of
+    the CFG.
+    """
+
+    severity: Severity
+    code: str
+    message: str
+    address: Optional[int] = None
+    block: Optional[int] = None
+
+    def format(self) -> str:
+        where = f"{self.address:#010x}: " if self.address is not None else ""
+        return f"{self.severity.label():7s} [{self.code}] {where}{self.message}"
+
+
+class Report:
+    """An ordered collection of findings with severity accounting."""
+
+    def __init__(self, findings: Optional[List[Finding]] = None):
+        self.findings: List[Finding] = list(findings or [])
+
+    def add(self, severity: Severity, code: str, message: str,
+            address: Optional[int] = None,
+            block: Optional[int] = None) -> Finding:
+        finding = Finding(severity, code, message, address, block)
+        self.findings.append(finding)
+        return finding
+
+    def extend(self, other: "Report") -> None:
+        self.findings.extend(other.findings)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    # -- severity accounting -------------------------------------------
+    def by_severity(self, severity: Severity) -> List[Finding]:
+        return [f for f in self.findings if f.severity == severity]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        if not self.findings:
+            return None
+        return max(f.severity for f in self.findings)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding is present."""
+        return not self.errors
+
+    def codes(self) -> List[str]:
+        return [f.code for f in self.findings]
+
+    def has(self, code: str) -> bool:
+        return any(f.code == code for f in self.findings)
+
+    def at(self, address: int) -> List[Finding]:
+        return [f for f in self.findings if f.address == address]
+
+    # -- rendering ------------------------------------------------------
+    def format(self, min_severity: Severity = Severity.INFO) -> str:
+        lines = [f.format() for f in self.findings
+                 if f.severity >= min_severity]
+        counts = (f"{len(self.errors)} error(s), "
+                  f"{len(self.warnings)} warning(s), "
+                  f"{len(self.by_severity(Severity.INFO))} info")
+        lines.append(counts)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CheckContext:
+    """Address-space facts the CFG checks need.
+
+    ``flash_range`` is the write-protected flash window; ``code_range``
+    bounds the region control flow may legitimately target.
+    """
+
+    code_range: tuple = (0, 1 << 32)
+    flash_range: Optional[tuple] = None

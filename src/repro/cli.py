@@ -68,6 +68,20 @@ def _add_rom(sub) -> None:
     p = sub.add_parser("rom", help="build the ROM and inspect it")
     p.add_argument("--disassemble", type=int, metavar="N", default=0,
                    help="disassemble N instructions from the reset entry")
+    p.add_argument("--check", action="store_true",
+                   help="run the static analyzer on the built ROM and "
+                        "exit nonzero on any error-severity finding")
+
+
+def _add_lint(sub) -> None:
+    p = sub.add_parser("lint", help="static-analyze the built-in ROM, or "
+                                    "lint a session archive's activity log")
+    p.add_argument("--session", default=None, metavar="DIR",
+                   help="lint this archive's activity log instead of "
+                        "analyzing the ROM")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print info-severity findings and the "
+                        "static trap census")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep(sub)
     _add_desktop(sub)
     _add_rom(sub)
+    _add_lint(sub)
     return parser
 
 
@@ -278,7 +293,35 @@ def cmd_rom(args) -> int:
 
         print(f"\nreset entry ({entry:#x}):")
         print(disassemble(fetch, entry, count=args.disassemble))
+    if args.check:
+        from .analysis.static import Severity, analyze_rom
+
+        analysis = analyze_rom()
+        print()
+        print(analysis.report.format(min_severity=Severity.WARNING))
+        if not analysis.ok:
+            return 1
     return 0
+
+
+def cmd_lint(args) -> int:
+    from .analysis.static import Severity, analyze_rom, lint_archive
+
+    if args.session is not None:
+        report = lint_archive(args.session)
+        source = f"activity log of {args.session}"
+    else:
+        analysis = analyze_rom()
+        report = analysis.report
+        source = "built-in ROM"
+        if args.verbose:
+            print("static trap census:")
+            for name, sites in analysis.census.names().items():
+                print(f"  {name:24s} {sites} call site(s)")
+    min_severity = Severity.INFO if args.verbose else Severity.WARNING
+    print(f"lint: {source}")
+    print(report.format(min_severity=min_severity))
+    return 0 if report.ok else 1
 
 
 _COMMANDS = {
@@ -288,6 +331,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "desktop-trace": cmd_desktop,
     "rom": cmd_rom,
+    "lint": cmd_lint,
 }
 
 

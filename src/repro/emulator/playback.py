@@ -287,19 +287,23 @@ class PlaybackDriver:
 
 def replay_session(state, log: ActivityLog, apps=(), profile: bool = True,
                    trace_references: bool = True,
+                   track_opcode_addresses: bool = False,
                    jitter: Optional[JitterModel] = None,
                    emulator_kwargs: Optional[dict] = None):
     """One-call replay: build the emulator, load β, apply δ.
 
     Returns ``(emulator, profiler, result)``; ``profiler`` is None when
-    ``profile=False``.
+    ``profile=False``.  ``track_opcode_addresses=True`` records the pc
+    of every executed opcode for the static/dynamic cross-check.
     """
     emulator = Emulator(apps=apps, **(emulator_kwargs or {}))
     emulator.load_state(state, restore_clock=jitter is None,
                         final_reset=False)
     profiler = None
     if profile:
-        profiler = emulator.start_profiling(trace_references=trace_references)
+        profiler = emulator.start_profiling(
+            trace_references=trace_references,
+            track_opcode_addresses=track_opcode_addresses)
     driver = PlaybackDriver(emulator, log, jitter=jitter)
     result = driver.run(reset=True)
     return emulator, profiler, result

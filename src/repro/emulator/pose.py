@@ -100,13 +100,27 @@ class Emulator:
     # ------------------------------------------------------------------
     # Profiling (§2.4.2)
     # ------------------------------------------------------------------
-    def start_profiling(self, trace_references: bool = True) -> Profiler:
+    def start_profiling(self, trace_references: bool = True,
+                        track_opcode_addresses: bool = False) -> Profiler:
         """Enable profiling: native trap optimisations are ignored in
-        favour of the original (ROM) code path."""
+        favour of the original (ROM) code path.
+
+        ``track_opcode_addresses=True`` additionally records the pc of
+        every executed opcode word (``Profiler.opcode_addresses``) so
+        the static analyzer can cross-check its CFG against the
+        dynamically executed instruction stream.
+        """
         profiler = Profiler(trace_references=trace_references)
         self.profiler = profiler
         self.kernel.device.mem.tracer = profiler
-        self.kernel.device.cpu.opcode_hook = profiler.opcode
+        cpu = self.kernel.device.cpu
+        if track_opcode_addresses:
+            # At hook time the CPU has already advanced pc past the
+            # opcode word, so the instruction address is pc - 2.
+            cpu.opcode_hook = (
+                lambda op: profiler.opcode_at((cpu.pc - 2) & 0xFFFFFFFF, op))
+        else:
+            cpu.opcode_hook = profiler.opcode
         self.kernel.allow_native = False
         return profiler
 

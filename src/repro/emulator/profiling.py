@@ -49,6 +49,12 @@ class Profiler:
         self._addr = array("I")
         self._kind = array("B")  # kind | region << 4
         self.instructions = 0
+        #: pc -> opcode word for every executed instruction address,
+        #: filled only when the per-address hook is wired (see
+        #: :meth:`repro.emulator.pose.Emulator.start_profiling`).  The
+        #: static analyzer cross-checks this against its CFG: a pc the
+        #: walker never discovered is a decoder or walker bug.
+        self.opcode_addresses: Dict[int, int] = {}
         #: Caches simulated on-line during the replay itself (no trace
         #: storage; useful when the session is too large to keep a
         #: trace in memory).  Hardware-register references are skipped,
@@ -70,6 +76,13 @@ class Profiler:
     def opcode(self, op: int) -> None:
         self.opcode_counts[op] += 1
         self.instructions += 1
+
+    def opcode_at(self, pc: int, op: int) -> None:
+        """Per-address variant of :meth:`opcode` for the static/dynamic
+        cross-check; ``pc`` is the address of the opcode word itself."""
+        self.opcode_counts[op] += 1
+        self.instructions += 1
+        self.opcode_addresses[pc] = op
 
     # -- aggregate statistics ---------------------------------------------
     def _region_total(self, region: int) -> int:

@@ -15,6 +15,11 @@ CONDS = ["t", "f", "hi", "ls", "cc", "cs", "ne", "eq",
          "vc", "vs", "pl", "mi", "ge", "lt", "gt", "le"]
 
 
+class _Undecodable(Exception):
+    """Raised internally when an opcode has no valid rendering; the
+    public entry points catch it and fall back to ``dc.w``."""
+
+
 class _Stream:
     def __init__(self, fetch: Callable[[int], int], addr: int):
         self.fetch = fetch
@@ -70,7 +75,7 @@ def _ea_text(s: _Stream, mode: int, reg: int, size: int) -> str:
         if size == 4:
             return f"#${s.next32():x}"
         return f"#${s.next16() & (0xFF if size == 1 else 0xFFFF):x}"
-    return "?"
+    raise _Undecodable(f"mode 7 reg {reg}")
 
 
 def _size_of(bits: int) -> int:
@@ -81,11 +86,16 @@ def disassemble_one(fetch: Callable[[int], int], addr: int) -> Tuple[str, int]:
     """Disassemble the instruction at ``addr``.
 
     ``fetch`` reads a 16-bit word at an address.  Returns the text and
-    the instruction length in bytes.
+    the instruction length in bytes.  Total by construction: a word
+    with no valid rendering comes back as ``dc.w $xxxx`` with length 2
+    (the static CFG walker depends on every word having a length).
     """
     s = _Stream(fetch, addr)
     op = s.next16()
-    text = _decode(s, op)
+    try:
+        text = _decode(s, op)
+    except _Undecodable:
+        return f"dc.w ${op:04x}", 2
     return text, s.addr - addr
 
 
@@ -100,7 +110,7 @@ def _decode(s: _Stream, op: int) -> str:  # noqa: C901 - a disassembler is a swi
         return f"emucall ${op & 0xFFF:03x}"
 
     fixed = {0x4E70: "reset", 0x4E71: "nop", 0x4E73: "rte", 0x4E75: "rts",
-             0x4E77: "rtr", 0x4AFC: "illegal"}
+             0x4E76: "trapv", 0x4E77: "rtr", 0x4AFC: "illegal"}
     if op in fixed:
         return fixed[op]
     if op == 0x4E72:
@@ -125,6 +135,14 @@ def _decode(s: _Stream, op: int) -> str:  # noqa: C901 - a disassembler is a swi
         return f"{name}.{SIZES[{1: 0, 2: 1, 4: 2}[size]]} {src},{dst}"
 
     if group == 0:
+        if op & 0x0138 == 0x0108:  # movep (the An "bit op" encodings)
+            opmode = (op >> 6) & 7
+            sz = "l" if opmode & 1 else "w"
+            disp = _signed(s.next16(), 16)
+            dreg = (op >> 9) & 7
+            if opmode < 6:
+                return f"movep.{sz} {disp}(a{reg}),d{dreg}"
+            return f"movep.{sz} d{dreg},{disp}(a{reg})"
         if op & 0x0100:  # dynamic bit op
             btype = ["btst", "bchg", "bclr", "bset"][(op >> 6) & 3]
             return f"{btype} d{(op >> 9) & 7},{_ea_text(s, mode, reg, 1)}"
@@ -146,6 +164,8 @@ def _decode(s: _Stream, op: int) -> str:  # noqa: C901 - a disassembler is a swi
     if group == 4:
         if op & 0xF1C0 == 0x41C0:
             return f"lea {_ea_text(s, mode, reg, 4)},a{(op >> 9) & 7}"
+        if op & 0xF1C0 == 0x4180:
+            return f"chk {_ea_text(s, mode, reg, 2)},d{(op >> 9) & 7}"
         if op & 0xFFC0 == 0x4E80:
             return f"jsr {_ea_text(s, mode, reg, 4)}"
         if op & 0xFFC0 == 0x4EC0:
@@ -158,8 +178,12 @@ def _decode(s: _Stream, op: int) -> str:  # noqa: C901 - a disassembler is a swi
             return f"move {_ea_text(s, mode, reg, 2)},sr"
         if op & 0xFFF8 == 0x4840:
             return f"swap d{reg}"
+        if op & 0xFFC0 == 0x4800:
+            return f"nbcd {_ea_text(s, mode, reg, 1)}"
         if op & 0xFFC0 == 0x4840:
             return f"pea {_ea_text(s, mode, reg, 4)}"
+        if op & 0xFFC0 == 0x4AC0:
+            return f"tas {_ea_text(s, mode, reg, 1)}"
         if op & 0xFFB8 == 0x4880 and mode == 0:
             return f"ext.{'l' if op & 0x40 else 'w'} d{reg}"
         if op & 0xFB80 == 0x4880:

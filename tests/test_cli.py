@@ -98,3 +98,81 @@ class TestRom:
         out = capsys.readouterr().out
         assert "reset entry" in out
         assert "lea" in out  # boot installs vectors
+
+    def test_rom_check_passes(self, capsys):
+        rc = main(["rom", "--check"])
+        assert rc == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+
+class TestLint:
+    def test_lint_rom_is_clean(self, capsys):
+        rc = main(["lint"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "built-in ROM" in out
+        assert "0 error(s)" in out
+
+    def test_lint_verbose_prints_census(self, capsys):
+        rc = main(["lint", "--verbose"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "static trap census" in out
+        assert "EvtGetEvent" in out
+        assert "[coverage]" in out
+
+    def test_lint_accepts_seed_archive(self, archive, capsys):
+        rc = main(["lint", "--session", str(archive)])
+        assert rc == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_lint_rejects_corrupted_archive(self, archive, tmp_path, capsys):
+        from repro.tracelog import ActivityLog
+
+        log = ActivityLog.load(archive / "activity_log.pdb")
+        # Corrupt deliberately: make the tick sequence run backwards.
+        log.records[1], log.records[-1] = log.records[-1], log.records[1]
+        bad = tmp_path / "corrupt"
+        bad.mkdir()
+        log.save(bad / "activity_log.pdb")
+        rc = main(["lint", "--session", str(bad)])
+        assert rc == 1
+        assert "non-monotonic-tick" in capsys.readouterr().out
+
+
+class TestStaticDynamicCrossCheck:
+    def test_profiled_replay_is_contained_in_the_cfg(self, archive):
+        """Every ROM-address opcode executed by a profiled replay must
+        be an instruction the static walker discovered, with the same
+        opcode word — the analyzer's acceptance gate."""
+        from repro.analysis.static import analyze_rom, cross_check
+        from repro.apps import standard_apps
+        from repro.device import constants as C
+        from repro.emulator import replay_session
+        from repro.tracelog import ActivityLog, InitialState
+
+        state = InitialState.load(archive / "initial_state")
+        log = ActivityLog.load(archive / "activity_log.pdb")
+        _, profiler, _ = replay_session(
+            state, log, apps=standard_apps(), profile=True,
+            trace_references=False, track_opcode_addresses=True,
+            emulator_kwargs={"ram_size": 8 << 20, "flash_size": 1 << 20})
+        assert profiler.opcode_addresses
+
+        analysis = analyze_rom()
+        report = cross_check(
+            analysis.cfg, profiler.opcode_addresses,
+            code_range=(C.FLASH_BASE, C.FLASH_BASE + C.FLASH_SIZE))
+        assert report.ok, report.format()
+        assert not report.has("dynamic-not-static")
+        assert not report.has("word-mismatch")
+
+        # The dynamic trap histogram must be contained in the census.
+        from repro.palmos.traps import ALINE_BASE
+
+        dynamic = {}
+        for pc, op in profiler.opcode_addresses.items():
+            if C.FLASH_BASE <= pc and op & 0xF000 == ALINE_BASE:
+                dynamic[op & 0xFFF] = dynamic.get(op & 0xFFF, 0) + 1
+        assert dynamic, "replay executed no ROM trap words"
+        assert analysis.census.compare_dynamic(dynamic).ok

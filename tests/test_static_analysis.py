@@ -1,0 +1,275 @@
+"""Tests for the static analysis subsystem (repro.analysis.static)."""
+
+import pytest
+
+from repro.analysis.static import (Severity, TrapCensus, analyze_image,
+                                   analyze_rom, decode_insn, is_legal, walk)
+from repro.analysis.static.decode import (K_CALL, K_CONDBRANCH, K_ILLEGAL,
+                                          K_RETURN, K_TRAP)
+from repro.m68k.asm import assemble
+from repro.m68k.disasm import disassemble_one
+
+ORIGIN = 0x1000
+
+
+def _fetch_of(blob: bytes, base: int = ORIGIN):
+    def fetch(addr: int) -> int:
+        off = addr - base
+        if 0 <= off + 1 < len(blob) + 1:
+            hi = blob[off] if off < len(blob) else 0
+            lo = blob[off + 1] if off + 1 < len(blob) else 0
+            return (hi << 8) | lo
+        return 0
+    return fetch
+
+
+def _analyze(source: str, roots=("start",), **kw):
+    program = assemble(source, origin=ORIGIN)
+    blob = bytes(program.blob)
+    addrs = [program.symbols[r] if isinstance(r, str) else r for r in roots]
+    return program, analyze_image(blob, ORIGIN, addrs, **kw)
+
+
+# ----------------------------------------------------------------------
+# Satellite: the disassembler is total
+# ----------------------------------------------------------------------
+class TestDisassemblerTotality:
+    def test_all_65536_words_disassemble(self):
+        """Every opcode word disassembles without raising; words the
+        disassembler can't render come back as dc.w with length 2."""
+        mem = {}
+
+        def fetch(addr):
+            return mem.get(addr, 0)
+
+        for op in range(0x10000):
+            mem[0] = op
+            text, length = disassemble_one(fetch, 0)
+            assert length >= 2, f"op {op:#06x} length {length}"
+            if text.startswith("dc.w"):
+                assert length == 2, f"op {op:#06x}: dc.w must be 2 bytes"
+                assert text == f"dc.w ${op:04x}"
+
+    def test_decode_and_disasm_agree_on_length(self):
+        """For every interpreter-legal word, the structural decoder and
+        the disassembler account for the same extension words — the CFG
+        walker depends on this."""
+        mem = {}
+
+        def fetch(addr):
+            return mem.get(addr, 0)
+
+        for op in range(0x10000):
+            if not is_legal(op):
+                continue
+            mem[0] = op
+            _, disasm_len = disassemble_one(fetch, 0)
+            insn = decode_insn(fetch, 0)
+            assert insn.length == disasm_len, (
+                f"op {op:#06x}: decode {insn.length} != disasm {disasm_len}")
+
+    def test_every_dcw_word_is_interpreter_illegal(self):
+        """The disassembler only falls back to dc.w for words the
+        interpreter also rejects (A/F-line words excepted: those render
+        as traps/emucalls, never dc.w)."""
+        mem = {}
+
+        def fetch(addr):
+            return mem.get(addr, 0)
+
+        for op in range(0x10000):
+            if op >> 12 in (0xA, 0xF):
+                continue
+            mem[0] = op
+            text, _ = disassemble_one(fetch, 0)
+            if text.startswith("dc.w") and op != 0x4AFC:
+                assert not is_legal(op), (
+                    f"op {op:#06x} is legal but renders as dc.w")
+
+
+# ----------------------------------------------------------------------
+# The CFG walker
+# ----------------------------------------------------------------------
+class TestWalker:
+    def test_loop(self):
+        program, analysis = _analyze("""
+start:  moveq   #5,d0
+loop:   subq.l  #1,d0
+        bne.s   loop
+        rts
+""")
+        cfg = analysis.cfg
+        start = program.symbols["start"]
+        loop = program.symbols["loop"]
+        assert start in cfg.blocks and loop in cfg.blocks
+        loop_block = cfg.blocks[loop]
+        assert loop_block.terminator.kind == K_CONDBRANCH
+        assert loop in loop_block.succs                  # the back edge
+        assert loop_block.end in cfg.blocks              # the exit block
+        assert cfg.blocks[loop_block.end].terminator.kind == K_RETURN
+        assert cfg.reachable == set(cfg.blocks)
+        assert analysis.report.ok
+
+    def test_call_and_return(self):
+        program, analysis = _analyze("""
+start:  bsr.s   sub
+        moveq   #0,d0
+        rts
+sub:    moveq   #1,d1
+        rts
+""")
+        cfg = analysis.cfg
+        sub = program.symbols["sub"]
+        start_block = cfg.blocks[program.symbols["start"]]
+        assert start_block.terminator.kind == K_CALL
+        assert sub in start_block.calls
+        assert sub in cfg.function_entries
+        assert start_block.end in start_block.succs      # call falls through
+        assert analysis.report.ok
+
+    def test_trap_edge_and_census(self):
+        program = assemble("""
+start:  dc.w    $a001          ; EvtGetEvent
+        rts
+stub:   rte
+""", origin=ORIGIN)
+        blob = bytes(program.blob)
+        stub = program.symbols["stub"]
+        cfg = walk(_fetch_of(blob), [program.symbols["start"]],
+                   code_range=(ORIGIN, ORIGIN + len(blob)),
+                   trap_targets={1: stub})
+        start_block = cfg.blocks[program.symbols["start"]]
+        assert start_block.insns[0].kind == K_TRAP
+        assert start_block.insns[0].trap == 1
+        assert stub in start_block.calls                 # the A-line edge
+        assert stub in cfg.reachable
+        census = TrapCensus.from_cfg(cfg)
+        assert census.names() == {"EvtGetEvent": 1}
+
+    def test_dead_block_reported_via_candidates(self):
+        source = """
+start:  moveq   #0,d0
+        rts
+dead:   moveq   #1,d1          ; no edge ever reaches this
+        rts
+"""
+        program = assemble(source, origin=ORIGIN)
+        dead = program.symbols["dead"]
+        _, analysis = _analyze(source, candidates=[dead])
+        assert not analysis.cfg.contains_address(dead)
+        findings = analysis.report.at(dead)
+        assert any(f.code == "unreachable-code" for f in findings)
+        assert analysis.report.ok                        # INFO, not an error
+
+    def test_unterminated_block(self):
+        program, analysis = _analyze("start:  moveq   #1,d0\n")
+        assert analysis.report.has("unterminated-block")
+        assert not analysis.report.ok
+
+    def test_dominators(self):
+        program, analysis = _analyze("""
+start:  tst.l   d0
+        beq.s   other
+        moveq   #1,d1
+other:  rts
+""")
+        cfg = analysis.cfg
+        dom = cfg.dominators()
+        start = program.symbols["start"]
+        other = program.symbols["other"]
+        # The entry dominates everything; the join point is dominated
+        # by the entry but not by the skipped then-branch.
+        then_block = [s for s in cfg.blocks if s not in (start, other)][0]
+        assert dom[other] == {start, other}
+        assert start in dom[then_block]
+
+
+# ----------------------------------------------------------------------
+# Injected defects: the analyzer flags the right addresses
+# ----------------------------------------------------------------------
+class TestInjectedDefects:
+    def test_illegal_opcode_on_reachable_path(self):
+        assert not is_legal(0x4E7B)                      # movec: not a 68000 op
+        program, analysis = _analyze("""
+start:  moveq   #0,d0
+bad:    dc.w    $4e7b
+""")
+        bad = program.symbols["bad"]
+        assert not analysis.report.ok
+        findings = analysis.report.at(bad)
+        assert any(f.code == "illegal-opcode"
+                   and f.severity == Severity.ERROR for f in findings)
+        assert analysis.cfg.instruction_at(bad).kind == K_ILLEGAL
+
+    def test_flash_window_write(self):
+        program, analysis = _analyze("""
+start:  move.w  d0,$00200100
+        rts
+""", flash_range=(0x0020_0000, 0x0030_0000))
+        start = program.symbols["start"]
+        assert not analysis.report.ok
+        findings = analysis.report.at(start)
+        assert any(f.code == "flash-write"
+                   and f.severity == Severity.ERROR for f in findings)
+
+    def test_unaligned_long_access(self):
+        program, analysis = _analyze("""
+start:  move.l  $00002001,d0
+        rts
+""")
+        assert analysis.report.has("unaligned-access")
+        assert not analysis.report.ok
+
+    def test_stack_imbalanced_subroutine(self):
+        program, analysis = _analyze("""
+start:  bsr.s   bad
+        rts
+bad:    move.l  d0,-(sp)       ; pushed, never popped
+        rts
+""")
+        assert not analysis.report.ok
+        imbalance = [f for f in analysis.report
+                     if f.code == "stack-imbalance"]
+        assert imbalance and imbalance[0].severity == Severity.ERROR
+
+    def test_balanced_subroutine_with_link(self):
+        program, analysis = _analyze("""
+start:  bsr.s   sub
+        rts
+sub:    link    a6,#-16
+        move.l  d0,-(sp)
+        move.l  (sp)+,d0
+        unlk    a6
+        rts
+""")
+        assert analysis.report.ok
+
+
+# ----------------------------------------------------------------------
+# The shipped ROM
+# ----------------------------------------------------------------------
+class TestRomAnalysis:
+    @pytest.fixture(scope="class")
+    def rom(self):
+        return analyze_rom()
+
+    def test_no_error_findings(self, rom):
+        assert rom.report.ok, rom.report.format()
+
+    def test_all_stubs_reachable(self, rom):
+        from repro.palmos.traps import Trap
+        for trap in Trap:
+            addr = rom.program.symbols[f"stub_{trap.name}"]
+            assert addr in rom.cfg.reachable, f"stub_{trap.name} unreachable"
+
+    def test_census_covers_boot_seed(self, rom):
+        # rom_boot seeds the RNG through the trap path (SYS_SysRandom).
+        assert "SysRandom" in rom.census.names()
+        assert "EvtGetEvent" in rom.census.names()
+
+    def test_dynamic_trap_histogram_against_census(self, rom):
+        # Every trap in the census resolves to a name, and a synthetic
+        # dynamic histogram of the census's own traps cross-checks clean.
+        dynamic = {idx: len(sites) for idx, sites in rom.census.sites.items()}
+        assert rom.census.compare_dynamic(dynamic).ok
+        assert not rom.census.compare_dynamic({0x1FF: 3}).ok
