@@ -1,0 +1,5 @@
+"""Tracked performance harness for the trace→cache pipeline.
+
+Run ``python benchmarks/perf/run_bench.py`` to produce
+``BENCH_cache.json``; see that module's docstring for knobs.
+"""

@@ -1,0 +1,282 @@
+"""The tracked cache-pipeline performance harness.
+
+Times the three stages this repository's perf work targets —
+
+1. trace generation (the synthetic desktop/session generator),
+2. cache simulation: the vectorized kernels vs the scalar reference
+   ``Cache.run`` loop, per configuration family, with a byte-for-byte
+   stats cross-check on a shared prefix, and
+3. the 56-configuration paper sweep: the pre-kernel serial engine
+   (scalar stack passes) vs ``sweep_parallel`` at ``--jobs 1`` and
+   ``--jobs 4`` —
+
+and writes ``BENCH_cache.json`` at the repository root so the numbers
+are tracked from PR to PR.  Timing claims are environment-dependent;
+the stats-equality flags are not, and the CI smoke job fails on any
+``stats_match: false`` (never on timing).
+
+Usage::
+
+    python benchmarks/perf/run_bench.py              # full harness
+    python benchmarks/perf/run_bench.py --quick      # CI smoke scale
+    python benchmarks/perf/run_bench.py --trace t.npz --out BENCH.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cache import (          # noqa: E402
+    Cache,
+    CacheConfig,
+    POLICY_FIFO,
+    lru_depth_histogram,
+    lru_hit_depths,
+    simulate,
+    sweep_paper_grid,
+    sweep_parallel,
+    to_line_addresses,
+    WRITE_BACK,
+)
+from repro import (                # noqa: E402
+    collect_table1_session,
+    replay_session,
+    standard_apps,
+)
+from repro.workloads import SessionSpec  # noqa: E402
+
+#: The simulation configurations the harness tracks, chosen to cover
+#: every kernel path: both replacement policies, both write policies,
+#: no-write-allocate, and the direct-mapped closed form.
+KERNEL_CONFIGS = [
+    ("lru_wt_8k", CacheConfig(8192, 16, 4)),
+    ("lru_wb_8k", CacheConfig(8192, 16, 4, write_policy=WRITE_BACK)),
+    ("fifo_wt_8k", CacheConfig(8192, 16, 4, policy=POLICY_FIFO)),
+    ("fifo_wb_8k", CacheConfig(8192, 16, 4, policy=POLICY_FIFO,
+                               write_policy=WRITE_BACK)),
+    ("lru_wb_8k_nowa", CacheConfig(8192, 16, 4, write_policy=WRITE_BACK,
+                                   write_allocate=False)),
+    ("direct_mapped_wb_8k", CacheConfig(8192, 16, 1,
+                                        write_policy=WRITE_BACK)),
+]
+
+STAT_FIELDS = ("accesses", "hits", "misses", "writebacks",
+               "write_throughs")
+
+
+def _timed(fn, repeats: int = 1):
+    """Best-of-N wall clock and the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+#: Deterministic synthetic-session specs (Table 1 style: a simulated
+#: volunteer generating pen/button activity, collected on the device
+#: model and replayed with profiling — the paper's trace source).
+BENCH_SESSION = SessionSpec(name="bench", seed=42, hours=6.0,
+                            bouts=16, contacts=12)
+QUICK_SESSION = SessionSpec(name="bench-quick", seed=42, hours=0.5,
+                            bouts=2, contacts=2)
+
+
+def load_trace(args) -> tuple:
+    """The benchmark trace: a synthetic session collected and replayed
+    through the device model by default (that replay *is* the tracked
+    trace-generation stage), or any ``.npz`` reference trace.  Returns
+    ``(addresses, writes, generation_record)``."""
+    n = args.refs
+    if args.trace:
+        from repro.emulator import ReferenceTrace
+
+        trace = ReferenceTrace.load(args.trace).memory_only()
+        addresses = trace.addresses[:n]
+        writes = trace.is_write[:n]
+        gen = {"source": str(args.trace), "refs": int(len(addresses))}
+        return (np.ascontiguousarray(addresses, dtype=np.uint32),
+                np.ascontiguousarray(writes, dtype=bool), gen)
+
+    emulator_kw = {"ram_size": 8 << 20, "flash_size": 1 << 20}
+    spec = QUICK_SESSION if args.quick else BENCH_SESSION
+    collect_s, session = _timed(
+        lambda: collect_table1_session(spec, ram_size=emulator_kw["ram_size"]))
+    replay_s, (_, profiler, _) = _timed(
+        lambda: replay_session(session.initial_state, session.log,
+                               apps=standard_apps(), profile=True,
+                               emulator_kwargs=emulator_kw))
+    trace = profiler.reference_trace().memory_only()
+    addresses = trace.addresses[:n]
+    writes = trace.is_write[:n]
+    total = len(trace.addresses)
+    gen = {"source": f"synthetic session {spec.name!r} (seed {spec.seed})",
+           "refs": int(len(addresses)),
+           "session_refs": int(total),
+           "collect_seconds": round(collect_s, 3),
+           "replay_seconds": round(replay_s, 3),
+           "replay_refs_per_sec": round(total / replay_s)}
+    return (np.ascontiguousarray(addresses, dtype=np.uint32),
+            np.ascontiguousarray(writes, dtype=bool), gen)
+
+
+def bench_kernels(addresses, writes, scalar_refs: int) -> dict:
+    """Kernel vs scalar throughput per configuration, plus an exact
+    stats cross-check on a shared prefix."""
+    out = {}
+    check_n = min(scalar_refs, len(addresses))
+    for name, config in KERNEL_CONFIGS:
+        cache = Cache(config)
+        scalar_s, _ = _timed(
+            lambda: cache.run(addresses[:check_n], writes[:check_n]))
+        scalar_stats = cache.stats
+        kernel_check = simulate(addresses[:check_n], config,
+                                writes=writes[:check_n])
+        match = all(getattr(scalar_stats, f) == getattr(kernel_check, f)
+                    for f in STAT_FIELDS)
+        kernel_s, stats = _timed(
+            lambda: simulate(addresses, config, writes=writes), repeats=3)
+        scalar_rps = check_n / scalar_s
+        kernel_rps = len(addresses) / kernel_s
+        out[name] = {
+            "config": config.label(),
+            "policy": config.policy,
+            "write_policy": config.write_policy,
+            "write_allocate": config.write_allocate,
+            "scalar_refs_per_sec": round(scalar_rps),
+            "kernel_refs_per_sec": round(kernel_rps),
+            "speedup": round(kernel_rps / scalar_rps, 2),
+            "miss_rate": round(stats.miss_rate, 6),
+            "stats_match": bool(match),
+        }
+    return out
+
+
+def bench_family_pass(addresses, scalar_refs: int) -> dict:
+    """The LRU stack-property family pass: scalar vs vectorized."""
+    line_addrs = to_line_addresses(addresses, 16)
+    check_n = min(scalar_refs, len(line_addrs))
+    scalar_s, (h_ref, cold_ref) = _timed(
+        lambda: lru_depth_histogram(
+            np.asarray(line_addrs[:check_n], dtype=np.int64), 128, 8))
+    h_chk, cold_chk = lru_hit_depths(line_addrs[:check_n], 128, 8)
+    match = bool(np.array_equal(np.asarray(h_ref), h_chk)
+                 and cold_ref == cold_chk)
+    kernel_s, _ = _timed(lambda: lru_hit_depths(line_addrs, 128, 8),
+                         repeats=3)
+    scalar_rps = check_n / scalar_s
+    kernel_rps = len(line_addrs) / kernel_s
+    return {
+        "num_sets": 128,
+        "max_depth": 8,
+        "scalar_refs_per_sec": round(scalar_rps),
+        "kernel_refs_per_sec": round(kernel_rps),
+        "speedup": round(kernel_rps / scalar_rps, 2),
+        "stats_match": match,
+    }
+
+
+def bench_sweep(addresses) -> dict:
+    """Wall clock of the full 56-configuration grid, three ways."""
+    prev_s, prev = _timed(lambda: sweep_paper_grid(addresses))
+    jobs1_s, p1 = _timed(lambda: sweep_parallel(addresses, jobs=1))
+    jobs4_s, p4 = _timed(lambda: sweep_parallel(addresses, jobs=4))
+    key = lambda pts: [(p.config.label(), p.misses) for p in pts]  # noqa: E731
+    deterministic = key(p1) == key(p4)
+    match = key(prev) == key(p1)
+    return {
+        "configurations": len(prev),
+        "previous_serial_seconds": round(prev_s, 3),
+        "jobs1_seconds": round(jobs1_s, 3),
+        "jobs4_seconds": round(jobs4_s, 3),
+        "jobs4_speedup_vs_previous_serial": round(prev_s / jobs4_s, 2),
+        "jobs1_speedup_vs_previous_serial": round(prev_s / jobs1_s, 2),
+        "deterministic_across_jobs": deterministic,
+        "stats_match": bool(match and deterministic),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_cache.json"))
+    parser.add_argument("--trace", default=None,
+                        help=".npz reference trace instead of the "
+                             "synthetic generator")
+    parser.add_argument("--refs", type=int, default=None,
+                        help="cap the trace length")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke scale: small trace, correctness "
+                             "flags still exact")
+    args = parser.parse_args(argv)
+    if args.refs is None:
+        args.refs = 150_000 if args.quick else 2_000_000
+    scalar_refs = 30_000 if args.quick else 300_000
+
+    addresses, writes, gen = load_trace(args)
+    print(f"trace: {len(addresses):,} refs "
+          f"({gen['source']}), write share "
+          f"{float(np.count_nonzero(writes)) / len(addresses):.2f}")
+
+    import os
+    report = {
+        "meta": {
+            "quick": args.quick,
+            "refs": int(len(addresses)),
+            "scalar_check_refs": int(min(scalar_refs, len(addresses))),
+            "cpu_count": os.cpu_count(),
+            "numpy": np.__version__,
+            "python": sys.version.split()[0],
+        },
+        "trace_generation": gen,
+        "kernels": bench_kernels(addresses, writes, scalar_refs),
+        "family_pass": bench_family_pass(addresses, scalar_refs),
+        "sweep_grid": bench_sweep(addresses),
+    }
+
+    print(f"\n{'path':<22} {'scalar':>12} {'kernel':>12} {'speedup':>8} "
+          f"{'match':>6}")
+    for name, row in report["kernels"].items():
+        print(f"{name:<22} {row['scalar_refs_per_sec']:>12,} "
+              f"{row['kernel_refs_per_sec']:>12,} {row['speedup']:>7}x "
+              f"{str(row['stats_match']):>6}")
+    fam = report["family_pass"]
+    print(f"{'family_pass':<22} {fam['scalar_refs_per_sec']:>12,} "
+          f"{fam['kernel_refs_per_sec']:>12,} {fam['speedup']:>7}x "
+          f"{str(fam['stats_match']):>6}")
+    sw = report["sweep_grid"]
+    print(f"\nsweep (56 configs): previous serial "
+          f"{sw['previous_serial_seconds']}s, jobs=1 "
+          f"{sw['jobs1_seconds']}s, jobs=4 {sw['jobs4_seconds']}s "
+          f"({sw['jobs4_speedup_vs_previous_serial']}x vs previous)")
+
+    failures = [name for name, row in report["kernels"].items()
+                if not row["stats_match"]]
+    if not fam["stats_match"]:
+        failures.append("family_pass")
+    if not sw["stats_match"]:
+        failures.append("sweep_grid")
+    report["meta"]["divergences"] = failures
+
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {out}")
+    if failures:
+        print(f"KERNEL/SCALAR DIVERGENCE in: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,13 +12,14 @@ sizes:
 import numpy as np
 
 from repro.cache import (
-    Cache,
     CacheConfig,
     POLICY_FIFO,
     POLICY_LRU,
     POLICY_RANDOM,
     WRITE_BACK,
     WRITE_THROUGH,
+    simulate,
+    simulate_auto,
 )
 from repro.device.memmap import KIND_FETCH
 
@@ -33,12 +34,15 @@ def test_replacement_policy_ablation(case_study_run, benchmark):
     addresses = trace.addresses[:ABLATION_REFS]
 
     def run():
+        # LRU and FIFO go through the vectorized kernels; random
+        # replacement consumes a scalar RNG stream and stays on the
+        # reference simulator (simulate_auto hides the difference).
         out = {}
         for policy in (POLICY_LRU, POLICY_FIFO, POLICY_RANDOM):
             for size in (1024, 8192, 65536):
-                cache = Cache(CacheConfig(size, 16, 4, policy=policy))
-                cache.run(addresses)
-                out[(policy, size)] = cache.stats.miss_rate
+                stats = simulate_auto(
+                    addresses, CacheConfig(size, 16, 4, policy=policy))
+                out[(policy, size)] = stats.miss_rate
         return out
 
     rates = once(benchmark, run)
@@ -66,13 +70,11 @@ def test_write_policy_ablation(case_study_run, benchmark):
     def run():
         out = {}
         for policy in (WRITE_THROUGH, WRITE_BACK):
-            cache = Cache(CacheConfig(8192, 16, 4, write_policy=policy))
-            cache.run(addresses, writes)
-            if policy == WRITE_BACK:
-                cache.flush_dirty()
-            out[policy] = (cache.stats.miss_rate,
-                           cache.stats.write_throughs
-                           + cache.stats.writebacks)
+            stats = simulate(
+                addresses, CacheConfig(8192, 16, 4, write_policy=policy),
+                writes=writes, flush=policy == WRITE_BACK)
+            out[policy] = (stats.miss_rate,
+                           stats.write_throughs + stats.writebacks)
         return out
 
     results = once(benchmark, run)
@@ -125,14 +127,10 @@ def test_split_vs_unified_ablation(case_study_run, benchmark):
     is_fetch = kinds == KIND_FETCH
 
     def run():
-        unified = Cache(CacheConfig(8192, 16, 2))
-        unified.run(addresses)
-        icache = Cache(CacheConfig(4096, 16, 2))
-        dcache = Cache(CacheConfig(4096, 16, 2))
-        icache.run(addresses[is_fetch])
-        dcache.run(addresses[~is_fetch])
-        split_misses = icache.stats.misses + dcache.stats.misses
-        return unified.stats.misses, split_misses
+        unified = simulate(addresses, CacheConfig(8192, 16, 2))
+        icache = simulate(addresses[is_fetch], CacheConfig(4096, 16, 2))
+        dcache = simulate(addresses[~is_fetch], CacheConfig(4096, 16, 2))
+        return unified.misses, icache.misses + dcache.misses
 
     unified_misses, split_misses = once(benchmark, run)
     total = len(addresses)

@@ -11,13 +11,13 @@ Paper observations to reproduce:
 """
 
 from repro.analysis import format_miss_rates
-from repro.cache import PAPER_SIZES, grid_by_config, sweep_paper_grid
+from repro.cache import PAPER_SIZES, grid_by_config, sweep_parallel
 
 from conftest import once
 
 
 def test_fig5_miss_rates(case_study_trace, benchmark):
-    points = once(benchmark, lambda: sweep_paper_grid(case_study_trace))
+    points = once(benchmark, lambda: sweep_parallel(case_study_trace))
     assert len(points) == 56
     print(f"\ntrace: {len(case_study_trace):,} references")
     print(format_miss_rates(points))
@@ -71,7 +71,7 @@ def test_results_typical_across_sessions(table1_runs, benchmark):
     def grid_rates(run):
         trace = run.profiler.reference_trace().memory_only()
         addresses = subsample_trace(trace.addresses, 800_000)
-        grid = grid_by_config(sweep_paper_grid(addresses))
+        grid = grid_by_config(sweep_parallel(addresses))
         keys = sorted(grid)
         return keys, np.array([grid[k].miss_rate for k in keys])
 
@@ -95,7 +95,7 @@ def test_fast_sweep_agrees_with_reference(case_study_trace, benchmark):
     from repro.cache import CacheConfig, sweep_reference, grid_by_config
 
     prefix = case_study_trace[:200_000]
-    fast = grid_by_config(sweep_paper_grid(prefix))
+    fast = grid_by_config(sweep_parallel(prefix))
     sample = [CacheConfig(2048, 16, 2), CacheConfig(16384, 32, 4),
               CacheConfig(65536, 16, 8)]
     for point in sweep_reference(prefix, sample):

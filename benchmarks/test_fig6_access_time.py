@@ -11,14 +11,14 @@ Paper observations to reproduce:
 """
 
 from repro.analysis import format_access_times
-from repro.cache import grid_by_config, sweep_paper_grid
+from repro.cache import grid_by_config, sweep_parallel
 
 from conftest import once
 
 
 def test_fig6_access_times(case_study_run, case_study_trace, benchmark):
     mix = case_study_run.mix
-    points = once(benchmark, lambda: sweep_paper_grid(case_study_trace))
+    points = once(benchmark, lambda: sweep_parallel(case_study_trace))
     print("\n" + format_access_times(points, mix))
 
     baseline = mix.no_cache_time()
@@ -52,11 +52,11 @@ def test_energy_extension(case_study_run, case_study_trace, benchmark):
     once(benchmark, lambda: None)
     """The §4.1 battery argument, quantified with the energy model."""
     from repro.analysis import EnergyModel
-    from repro.cache import sweep_paper_grid
+    from repro.cache import sweep_parallel
 
     mix = case_study_run.mix
     energy = EnergyModel()
-    points = sweep_paper_grid(case_study_trace[:500_000])
+    points = sweep_parallel(case_study_trace[:500_000])
     base = energy.no_cache_energy(mix)
     savings = [energy.savings(mix, p.miss_rate) for p in points]
     print(f"\nmemory energy without cache: {base:.2f} units/reference")

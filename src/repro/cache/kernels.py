@@ -1,0 +1,565 @@
+"""Vectorized cache-simulation kernels.
+
+The reference :class:`repro.cache.cache.Cache` walks a trace one
+address at a time through Python lists; these kernels produce the exact
+same :class:`~repro.cache.cache.CacheStats` from whole-trace numpy
+passes.  The design is *set-major*:
+
+1.  Byte addresses are reduced to (set, tag) pairs and the trace is
+    partitioned by set index with one stable sort.  References within a
+    set keep their program order; references in different sets never
+    interact, so any interleaving between sets is legal.
+2.  Consecutive same-line references within a set are *run-collapsed*:
+    after the first reference of a run the line is resident (the head
+    allocates on a miss under write-allocate), and no other reference
+    in the set can evict it before the run ends, so the tail of the run
+    is a guaranteed hit in every configuration.  Only run heads are
+    simulated; per-run write flags are aggregated for dirty tracking.
+3.  The surviving run heads are re-ordered into *waves*: wave ``r``
+    holds the ``r``-th run of every set that still has one.  Each wave
+    touches each set at most once, so a whole wave is simulated with a
+    handful of numpy operations on a dense ``(num_sets, assoc)`` state
+    matrix — tag in the high bits, write-back dirty flag in bit 0.
+4.  Waves shrink as short sets run dry.  Once a wave is narrower than
+    ``TAIL_WIDTH`` the numpy call overhead dominates, so the few
+    remaining (hot) sets are drained by a scalar per-set loop over the
+    same packed state.
+
+Direct-mapped caches collapse further: every run head is a miss (the
+resident line is by construction a different line of the same set), so
+the whole simulation reduces to counting runs — no wave loop at all.
+
+Supported: LRU and FIFO replacement, write-through and write-back,
+write-allocate and no-write-allocate (the latter skips run collapsing,
+since an unallocated write leaves the resident line in place).  Random
+replacement consumes a Python ``random.Random`` stream per eviction and
+stays on the scalar simulator; :func:`simulate_auto` hides the
+difference.  Every kernel is differential-tested against the scalar
+simulator for byte-for-byte equal statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .cache import (
+    Cache,
+    CacheConfig,
+    CacheStats,
+    POLICY_FIFO,
+    POLICY_LRU,
+    WRITE_BACK,
+)
+
+#: Waves narrower than this are drained by the scalar tail loop.
+TAIL_WIDTH = 24
+
+#: Packed empty way: tag -1, dirty bit clear.
+EMPTY = -2
+
+
+class KernelUnsupported(ValueError):
+    """The configuration needs the scalar reference simulator."""
+
+
+def supports(config: CacheConfig) -> bool:
+    """True if :func:`simulate` handles this configuration.
+
+    Random replacement consumes a Python RNG stream per eviction and
+    stays scalar — except direct-mapped caches, where the victim is
+    forced and every replacement policy coincides.
+    """
+    return (config.policy in (POLICY_LRU, POLICY_FIFO)
+            or config.associativity == 1)
+
+
+# ----------------------------------------------------------------------
+# Trace preparation
+# ----------------------------------------------------------------------
+
+def _set_tag_split(addresses: np.ndarray, config: CacheConfig
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+    offset_bits = config.line_size.bit_length() - 1
+    set_bits = (config.num_sets - 1).bit_length()
+    addresses = np.asarray(addresses)
+    if addresses.dtype == np.uint32 and offset_bits + set_bits >= 2:
+        # 32-bit device addresses: stay in narrow integers (the sort and
+        # the wave ops are markedly faster than on int64).  The packed
+        # way state stores ``tag << 1 | dirty``, so the tag must fit in
+        # 30 bits — true whenever at least two address bits fold into
+        # the line offset and set index.
+        lines = addresses >> np.uint32(offset_bits)
+        sets = (lines & np.uint32(config.num_sets - 1)).astype(np.int32)
+        tags = (lines >> np.uint32(set_bits)).astype(np.int32)
+    else:
+        lines = addresses.astype(np.int64) >> offset_bits
+        sets = (lines & (config.num_sets - 1)).astype(np.int32)
+        tags = lines >> set_bits
+    return sets, tags
+
+
+def _precollapse(addresses: np.ndarray, writes: Optional[np.ndarray],
+                 offset_bits: int, allocate: bool = True):
+    """Drop references to the line the previous reference just touched.
+
+    Under write-allocate the head of a same-line run leaves the line
+    resident for the rest of the run (whatever the set), so the whole
+    tail collapses and per-run write flags are OR-aggregated.  Without
+    write-allocate only reads guarantee residency, so a reference is
+    dropped only when it *and* its predecessor are reads — a read
+    leaves its line resident in every configuration, and a dropped read
+    carries no dirty information.  Returns
+    ``(addresses, run_writes, collapsed)`` where ``collapsed`` counts
+    removed guaranteed hits.
+    """
+    addresses = np.asarray(addresses)
+    n = len(addresses)
+    if n == 0:
+        return addresses, writes, 0
+    lines = addresses >> (np.uint32(offset_bits)
+                          if addresses.dtype == np.uint32 else offset_bits)
+    keep = np.empty(n, dtype=bool)
+    keep[0] = True
+    np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+    if not allocate and writes is not None:
+        np.logical_or(keep[1:], writes[1:], out=keep[1:])
+        np.logical_or(keep[1:], writes[:-1], out=keep[1:])
+    idx = np.flatnonzero(keep)
+    if len(idx) == n:
+        return addresses, writes, 0
+    if writes is None:
+        run_writes = None
+    elif allocate:
+        run_writes = np.logical_or.reduceat(writes, idx)
+    else:
+        run_writes = writes[idx]  # dropped refs are all reads
+    return addresses[idx], run_writes, n - len(idx)
+
+
+def _sort_by_set(sets: np.ndarray, tags: np.ndarray,
+                 writes: Optional[np.ndarray]):
+    order = np.argsort(sets, kind="stable")
+    return (sets[order], tags[order],
+            None if writes is None else writes[order])
+
+
+def _collapse_runs(sets: np.ndarray, tags: np.ndarray,
+                   writes: Optional[np.ndarray], allocate: bool = True):
+    """Collapse within-set runs of the same tag.
+
+    Under write-allocate the whole tail of a run is a guaranteed hit
+    and per-run write flags are OR-aggregated; without it only
+    read-after-read references are dropped (see :func:`_precollapse`).
+    Returns ``(sets, tags, run_writes, collapsed)`` where ``collapsed``
+    is the number of guaranteed hits removed.
+    """
+    n = len(sets)
+    if n == 0:
+        return sets, tags, writes, 0
+    head = np.empty(n, dtype=bool)
+    head[0] = True
+    np.not_equal(tags[1:], tags[:-1], out=head[1:])
+    np.logical_or(head[1:], sets[1:] != sets[:-1], out=head[1:])
+    if not allocate and writes is not None:
+        np.logical_or(head[1:], writes[1:], out=head[1:])
+        np.logical_or(head[1:], writes[:-1], out=head[1:])
+    idx = np.flatnonzero(head)
+    if len(idx) == n:
+        return sets, tags, writes, 0
+    if writes is None:
+        run_writes = None
+    elif allocate:
+        run_writes = np.logical_or.reduceat(writes, idx)
+    else:
+        run_writes = writes[idx]  # dropped refs are all reads
+    return sets[idx], tags[idx], run_writes, n - len(idx)
+
+
+def _schedule_waves(sets: np.ndarray):
+    """Order set-sorted run heads into waves.
+
+    Returns ``(order, wave_bounds, group_start, group_len)`` where
+    ``order`` re-indexes the run arrays so wave ``r`` occupies
+    ``order[wave_bounds[r]:wave_bounds[r + 1]]``, and the group arrays
+    describe each set's contiguous block in set-sorted order (for the
+    scalar tail drain).
+    """
+    m = len(sets)
+    new_group = np.empty(m, dtype=bool)
+    new_group[0] = True
+    np.not_equal(sets[1:], sets[:-1], out=new_group[1:])
+    starts = np.flatnonzero(new_group)
+    lens = np.diff(np.append(starts, m))
+    # Rank of each run within its set.
+    rank = np.arange(m, dtype=np.int64) - np.repeat(starts, lens)
+    order = np.argsort(rank, kind="stable")
+    wave_sizes = np.bincount(rank.astype(np.int64))
+    bounds = np.concatenate(([0], np.cumsum(wave_sizes)))
+    return order, bounds, starts, lens
+
+
+# ----------------------------------------------------------------------
+# Scalar tail drains (packed state, exact mirror of the wave updates)
+# ----------------------------------------------------------------------
+
+def _drain_lru(tags, writes, row, assoc, allocate, track_dirty):
+    """Finish one set's run stream on a packed LRU row (MRU first)."""
+    hits = 0
+    writebacks = 0
+    row = list(row)
+    for i in range(len(tags)):
+        t = int(tags[i])
+        w = 0 if writes is None else int(writes[i])
+        dirty = w if track_dirty else 0
+        found = -1
+        for depth in range(assoc):
+            if row[depth] >> 1 == t:
+                found = depth
+                break
+        if found >= 0:
+            hits += 1
+            packed = row.pop(found) | dirty
+        else:
+            if w and not allocate:
+                continue
+            victim = row.pop()
+            writebacks += victim & 1
+            packed = (t << 1) | dirty
+        row.insert(0, packed)
+    return hits, writebacks, row
+
+
+def _drain_fifo(tags, writes, row, ptr, assoc, allocate, track_dirty):
+    """Finish one set's run stream on a packed FIFO ring."""
+    hits = 0
+    writebacks = 0
+    row = list(row)
+    for i in range(len(tags)):
+        t = int(tags[i])
+        w = 0 if writes is None else int(writes[i])
+        dirty = w if track_dirty else 0
+        found = -1
+        for depth in range(assoc):
+            if row[depth] >> 1 == t:
+                found = depth
+                break
+        if found >= 0:
+            hits += 1
+            row[found] |= dirty
+        elif allocate or not w:
+            victim = row[ptr]
+            writebacks += victim & 1
+            row[ptr] = (t << 1) | dirty
+            ptr = (ptr + 1) % assoc
+    return hits, writebacks, row, ptr
+
+
+def _drain_depths(tags, row, assoc, hist):
+    """Finish one set's run stream recording LRU hit depths."""
+    cold = 0
+    row = list(row)
+    for i in range(len(tags)):
+        t = int(tags[i])
+        found = -1
+        for depth in range(assoc):
+            if row[depth] >> 1 == t:
+                found = depth
+                break
+        if found >= 0:
+            hist[found] += 1
+            packed = row.pop(found)
+        else:
+            cold += 1
+            row.pop()
+            packed = t << 1
+        row.insert(0, packed)
+    return cold, row
+
+
+# ----------------------------------------------------------------------
+# Wave kernels
+# ----------------------------------------------------------------------
+
+def _run_waves(sets, tags, writes, config: CacheConfig,
+               state: np.ndarray, depth_hist: Optional[np.ndarray] = None,
+               tail_width: int = TAIL_WIDTH):
+    """Simulate set-sorted run heads; returns (hits, writebacks).
+
+    ``state`` is the packed ``(num_sets, assoc)`` way matrix, mutated in
+    place.  With ``depth_hist`` (LRU only) each hit also increments the
+    histogram bucket of its stack depth.
+    """
+    assoc = state.shape[1]
+    fifo = config.policy == POLICY_FIFO
+    track_dirty = writes is not None and config.write_policy == WRITE_BACK
+    allocate = config.write_allocate
+    order, bounds, group_start, group_len = _schedule_waves(sets)
+    sets_w = sets[order]
+    tags_w = tags[order]
+    if writes is not None and (track_dirty or not allocate):
+        # No-write-allocate changes hit/miss behaviour even when dirty
+        # bits are not tracked (write-through).
+        writes_w = writes[order].astype(state.dtype)
+    else:
+        writes_w = None
+
+    ptr = np.zeros(state.shape[0], dtype=np.int64) if fifo else None
+    cols = np.arange(assoc, dtype=np.int64)
+    # Source columns for the LRU rotation: element j takes old j-1 when
+    # it sits at or above the touched depth, else stays.  Column 0 is
+    # overwritten afterwards, so its source index just needs validity.
+    cols_minus = np.maximum(cols - 1, 0)
+
+    hits = 0
+    writebacks = 0
+    n_waves = len(bounds) - 1
+    stop_wave = n_waves
+    for r in range(n_waves):
+        lo, hi = bounds[r], bounds[r + 1]
+        if hi - lo < tail_width:
+            stop_wave = r
+            break
+        s = sets_w[lo:hi]
+        t = tags_w[lo:hi]
+        rows = state[s]
+        match = (rows >> 1) == t[:, None]
+        hit = match.any(axis=1)
+        hits += int(np.count_nonzero(hit))
+        pos = match.argmax(axis=1)
+        if depth_hist is not None:
+            depth_hist += np.bincount(pos[hit], minlength=assoc)
+        w = writes_w[lo:hi] if writes_w is not None else None
+        if fifo:
+            if track_dirty:
+                hw = hit & (w != 0)
+                if hw.any():
+                    state[s[hw], pos[hw]] |= 1
+            miss = ~hit
+            if allocate or w is None:
+                ins = miss
+            else:
+                ins = miss & (w == 0)
+            sm = s[ins]
+            if len(sm):
+                pm = ptr[sm]
+                victim = state[sm, pm]
+                if track_dirty:
+                    writebacks += int(np.count_nonzero(victim & 1))
+                packed = t[ins] << 1
+                if track_dirty:
+                    packed |= w[ins]
+                state[sm, pm] = packed
+                ptr[sm] = (pm + 1) & (assoc - 1)
+        else:
+            if not allocate and w is not None:
+                skip = ~hit & (w != 0)   # unallocated write: no change
+                if skip.any():
+                    keep = ~skip
+                    s, t, hit, pos = s[keep], t[keep], hit[keep], pos[keep]
+                    rows = rows[keep]
+                    w = w[keep]
+            pos = np.where(hit, pos, assoc - 1)
+            packed = t << 1
+            if track_dirty:
+                front = np.take_along_axis(rows, pos[:, None], axis=1)[:, 0]
+                writebacks += int(np.count_nonzero(~hit & (front & 1 == 1)))
+                packed |= np.where(hit, front & 1, 0) | w
+            shift = cols[None, :] <= pos[:, None]
+            src = np.where(shift, cols_minus[None, :], cols[None, :])
+            new_rows = np.take_along_axis(rows, src, axis=1)
+            new_rows[:, 0] = packed
+            state[s] = new_rows
+    else:
+        return hits, writebacks
+
+    # Scalar drain of the sets still holding runs at stop_wave.
+    remaining = np.flatnonzero(group_len > stop_wave)
+    for g in remaining:
+        start = group_start[g] + stop_wave
+        end = group_start[g] + group_len[g]
+        t_rest = tags[start:end]
+        w_rest = None if writes_w is None else writes[start:end].astype(int)
+        set_index = int(sets[start])
+        row = state[set_index]
+        if depth_hist is not None:
+            cold, new_row = _drain_depths(t_rest, row, assoc, depth_hist)
+            hits += len(t_rest) - cold
+        elif fifo:
+            h, wb, new_row, p = _drain_fifo(t_rest, w_rest, row,
+                                            int(ptr[set_index]), assoc,
+                                            allocate, track_dirty)
+            hits += h
+            writebacks += wb
+            ptr[set_index] = p
+        else:
+            h, wb, new_row = _drain_lru(t_rest, w_rest, row, assoc,
+                                        allocate, track_dirty)
+            hits += h
+            writebacks += wb
+        state[set_index] = new_row
+    return hits, writebacks
+
+
+# ----------------------------------------------------------------------
+# Direct-mapped closed form
+# ----------------------------------------------------------------------
+
+def _direct_mapped(sets, tags, writes, config: CacheConfig,
+                   flush: bool) -> CacheStats:
+    """Every run head misses in a direct-mapped cache, so stats reduce
+    to run counting (requires write-allocate; set-sorted inputs)."""
+    n = len(sets)
+    stats = CacheStats(accesses=n)
+    if n == 0:
+        return stats
+    total_writes = 0 if writes is None else int(np.count_nonzero(writes))
+    sets_r, _tags_r, run_writes, collapsed = _collapse_runs(
+        sets, tags, writes)
+    runs = len(sets_r)
+    stats.misses = runs
+    stats.hits = n - runs
+    if config.write_policy == WRITE_BACK:
+        if writes is not None:
+            last_of_set = np.empty(runs, dtype=bool)
+            last_of_set[-1] = True
+            np.not_equal(sets_r[1:], sets_r[:-1], out=last_of_set[:-1])
+            dirty = run_writes
+            stats.writebacks = int(np.count_nonzero(dirty & ~last_of_set))
+            if flush:
+                stats.writebacks += int(np.count_nonzero(
+                    dirty & last_of_set))
+    else:
+        stats.write_throughs = total_writes
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+
+def simulate(addresses, config: CacheConfig, writes=None,
+             flush: bool = False, tail_width: int = TAIL_WIDTH
+             ) -> CacheStats:
+    """Simulate a whole trace; exact ``CacheStats`` of the scalar
+    :class:`Cache` fed the same references (plus ``flush_dirty`` when
+    ``flush`` is set).
+
+    Raises :class:`KernelUnsupported` for configurations only the
+    scalar simulator handles (random replacement).
+    """
+    if not supports(config):
+        raise KernelUnsupported(
+            f"no vectorized kernel for policy {config.policy!r}")
+    addresses = np.asarray(addresses)
+    if writes is not None:
+        writes = np.asarray(writes, dtype=bool)
+        if len(writes) != len(addresses):
+            raise ValueError("writes mask length != trace length")
+        if not writes.any():
+            writes = None
+    n = len(addresses)
+    if n == 0:
+        return CacheStats()
+
+    stats = CacheStats(accesses=n)
+    total_writes = 0 if writes is None else int(np.count_nonzero(writes))
+    if config.write_policy != WRITE_BACK:
+        stats.write_throughs = total_writes
+
+    allocate = config.write_allocate
+    offset_bits = config.line_size.bit_length() - 1
+    addresses, writes, collapsed = _precollapse(
+        addresses, writes, offset_bits, allocate=allocate)
+    sets, tags = _set_tag_split(addresses, config)
+    sets, tags, writes = _sort_by_set(sets, tags, writes)
+
+    if config.associativity == 1 and allocate:
+        dm = _direct_mapped(sets, tags, writes, config, flush)
+        stats.hits = dm.hits + collapsed
+        stats.misses = dm.misses
+        stats.writebacks = dm.writebacks
+        return stats
+
+    sets, tags, writes, more = _collapse_runs(sets, tags, writes,
+                                              allocate=allocate)
+    collapsed += more
+    state = np.full((config.num_sets, config.associativity), EMPTY,
+                    dtype=tags.dtype if tags.dtype == np.int32 else np.int64)
+    track_dirty = writes is not None and config.write_policy == WRITE_BACK
+    hits, writebacks = _run_waves(
+        sets, tags,
+        writes if (track_dirty or not config.write_allocate) else None,
+        config, state, tail_width=tail_width)
+    stats.hits = hits + collapsed
+    stats.misses = n - stats.hits
+    stats.writebacks = writebacks
+    if flush and track_dirty:
+        stats.writebacks += int((state & 1).sum())
+    return stats
+
+
+def simulate_auto(addresses, config: CacheConfig, writes=None,
+                  flush: bool = False, rng_seed: int = 0) -> CacheStats:
+    """:func:`simulate`, falling back to the scalar simulator for
+    configurations without a kernel (random replacement)."""
+    if supports(config):
+        return simulate(addresses, config, writes=writes, flush=flush)
+    cache = Cache(config, rng_seed=rng_seed)
+    cache.run(addresses, None if writes is None else np.asarray(writes))
+    if flush:
+        cache.flush_dirty()
+    return cache.stats
+
+
+def lru_hit_depths(line_addrs: np.ndarray, num_sets: int, max_depth: int,
+                   tail_width: int = TAIL_WIDTH
+                   ) -> Tuple[np.ndarray, int]:
+    """Vectorized :func:`repro.cache.stackdist.lru_depth_histogram`.
+
+    One wave pass with ``max_depth`` ways records the stack depth of
+    every hit, yielding the miss count of every associativity up to
+    ``max_depth`` at once (the LRU stack property).
+    """
+    line_addrs = np.asarray(line_addrs)
+    hist = np.zeros(max_depth, dtype=np.int64)
+    n = len(line_addrs)
+    if n == 0:
+        return hist, 0
+    set_bits = num_sets.bit_length() - 1
+    if line_addrs.dtype == np.uint32 and set_bits >= 2:
+        sets = (line_addrs & np.uint32(num_sets - 1)).astype(np.int32)
+        tags = (line_addrs >> np.uint32(set_bits)).astype(np.int32)
+    else:
+        lines = line_addrs.astype(np.int64)
+        sets = (lines & (num_sets - 1)).astype(np.int32)
+        tags = lines >> set_bits
+    sets, tags, _ = _sort_by_set(sets, tags, None)
+    sets, tags, _, collapsed = _collapse_runs(sets, tags, None)
+    hist[0] += collapsed
+    state = np.full((num_sets, max_depth), EMPTY,
+                    dtype=tags.dtype if tags.dtype == np.int32 else np.int64)
+
+    class _DepthPass:  # _run_waves only reads these three fields
+        policy = POLICY_LRU
+        write_policy = "write-through"
+        write_allocate = True
+
+    _hits, _ = _run_waves(sets, tags, None, _DepthPass, state,
+                          depth_hist=hist, tail_width=tail_width)
+    cold = n - int(hist.sum())
+    return hist, cold
+
+
+def kernel_misses_by_associativity(line_addrs: np.ndarray, num_sets: int,
+                                   associativities: Sequence[int]
+                                   ) -> Dict[int, int]:
+    """Vectorized counterpart of
+    :func:`repro.cache.stackdist.misses_by_associativity`."""
+    max_assoc = max(associativities)
+    hist, _cold = lru_hit_depths(line_addrs, num_sets, max_assoc)
+    total = len(np.asarray(line_addrs))
+    cumulative = np.cumsum(hist)
+    return {assoc: int(total - cumulative[assoc - 1])
+            for assoc in associativities}

@@ -11,7 +11,7 @@ sweep exploits the LRU stack property to simulate each
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,11 +36,17 @@ def paper_configurations() -> List[CacheConfig]:
 
 @dataclass
 class SweepPoint:
-    """One configuration's results."""
+    """One configuration's results.
+
+    ``writebacks``/``write_throughs`` stay zero for the read-only grid
+    passes and are filled by the write-aware sweeps.
+    """
 
     config: CacheConfig
     accesses: int
     misses: int
+    writebacks: int = 0
+    write_throughs: int = 0
 
     @property
     def miss_rate(self) -> float:
@@ -96,6 +102,182 @@ def sweep_paper_grid(addresses: np.ndarray,
                     accesses=total_refs,
                     misses=misses[config.associativity],
                 ))
+    points.sort(key=lambda p: (p.config.line_size, p.config.size,
+                               p.config.associativity))
+    return points
+
+
+# ----------------------------------------------------------------------
+# Parallel sweep engine
+# ----------------------------------------------------------------------
+#
+# The trace is placed in a ``multiprocessing.shared_memory`` segment
+# once; forked workers attach read-only numpy views instead of
+# receiving pickled copies.  Work units are either whole (line size,
+# set count) families of the paper grid (one stack pass each, via the
+# vectorized kernels) or individual ablation configurations.  Results
+# are keyed by unit index, so assembly order — and therefore the
+# returned list — is identical for any job count, including the serial
+# fallback.
+
+#: Worker-side views of the shared trace, set by :func:`_pool_init`.
+_SHARED: dict = {}
+
+
+def _pool_init(shm_name: str, n: int, dtype: str,
+               writes_shm_name: Optional[str]) -> None:
+    from multiprocessing import shared_memory
+
+    # Workers are forked, so they share the parent's resource tracker:
+    # attaching re-registers the same name idempotently and the
+    # parent's unlink cleans it up exactly once.
+    shm = shared_memory.SharedMemory(name=shm_name)
+    addresses = np.ndarray((n,), dtype=np.dtype(dtype), buffer=shm.buf)
+    writes = None
+    wshm = None
+    if writes_shm_name is not None:
+        wshm = shared_memory.SharedMemory(name=writes_shm_name)
+        writes = np.ndarray((n,), dtype=bool, buffer=wshm.buf)
+    # Keep the SharedMemory objects alive for the worker's lifetime;
+    # dropping them would invalidate the views.
+    _SHARED.update(addresses=addresses, writes=writes,
+                   segments=(shm, wshm))
+
+
+def _family_unit(unit: Tuple[int, int, Tuple[int, ...]]) -> Dict[int, int]:
+    """Paper-grid unit: one (line size, set count) family, all
+    associativities in a single vectorized stack pass."""
+    from . import kernels
+
+    line, num_sets, assocs = unit
+    line_addrs = to_line_addresses(_SHARED["addresses"], line)
+    return kernels.kernel_misses_by_associativity(line_addrs, num_sets,
+                                                  list(assocs))
+
+
+def _config_unit(config: CacheConfig) -> Tuple[int, int, int, int]:
+    """Ablation unit: one full configuration (any policy) through the
+    kernels, with the scalar simulator as automatic fallback."""
+    from . import kernels
+
+    stats = kernels.simulate_auto(_SHARED["addresses"], config,
+                                  writes=_SHARED["writes"])
+    return (stats.accesses, stats.misses, stats.writebacks,
+            stats.write_throughs)
+
+
+def _grid_units(sizes, line_sizes, associativities):
+    """The (line, num_sets) families of the grid, largest first (better
+    load balance: big families take longest), plus the config list each
+    family covers."""
+    units = []
+    for line in line_sizes:
+        by_sets: Dict[int, List[CacheConfig]] = {}
+        for size in sizes:
+            for assoc in associativities:
+                if size < line * assoc:
+                    continue
+                config = CacheConfig(size=size, line_size=line,
+                                     associativity=assoc)
+                by_sets.setdefault(config.num_sets, []).append(config)
+        for num_sets, family in sorted(by_sets.items()):
+            assocs = tuple(sorted({c.associativity for c in family}))
+            units.append(((line, num_sets, assocs), family))
+    return units
+
+
+def _run_units(worker, units, jobs: int, addresses: np.ndarray,
+               writes: Optional[np.ndarray]) -> List:
+    """Map ``worker`` over ``units`` with ``jobs`` forked processes
+    sharing the trace, or serially in-process.
+
+    Serial fallback triggers on ``jobs <= 1`` and whenever fork or
+    shared memory is unavailable.  The shared segments are unlinked
+    even when a worker raises.
+    """
+    if jobs > 1:
+        try:
+            import multiprocessing
+            from multiprocessing import shared_memory
+
+            ctx = multiprocessing.get_context("fork")
+            shm = shared_memory.SharedMemory(create=True,
+                                             size=max(1, addresses.nbytes))
+            wshm = None
+            try:
+                np.ndarray(addresses.shape, dtype=addresses.dtype,
+                           buffer=shm.buf)[:] = addresses
+                writes_name = None
+                if writes is not None:
+                    wshm = shared_memory.SharedMemory(
+                        create=True, size=max(1, writes.nbytes))
+                    np.ndarray(writes.shape, dtype=bool,
+                               buffer=wshm.buf)[:] = writes
+                    writes_name = wshm.name
+                with ctx.Pool(
+                        jobs, initializer=_pool_init,
+                        initargs=(shm.name, len(addresses),
+                                  addresses.dtype.str, writes_name)) as pool:
+                    return pool.map(worker, units, chunksize=1)
+            finally:
+                shm.close()
+                shm.unlink()
+                if wshm is not None:
+                    wshm.close()
+                    wshm.unlink()
+        except (ImportError, OSError, ValueError):
+            pass  # no fork / no shared memory: fall through to serial
+    _SHARED.update(addresses=addresses, writes=writes, segments=())
+    try:
+        return [worker(u) for u in units]
+    finally:
+        _SHARED.clear()
+
+
+def sweep_parallel(addresses: np.ndarray,
+                   writes: Optional[np.ndarray] = None,
+                   configs: Optional[Sequence[CacheConfig]] = None,
+                   jobs: int = 1,
+                   sizes: Sequence[int] = PAPER_SIZES,
+                   line_sizes: Sequence[int] = PAPER_LINE_SIZES,
+                   associativities: Sequence[int] = PAPER_ASSOCIATIVITIES,
+                   ) -> List[SweepPoint]:
+    """The configuration sweep, fanned out over worker processes.
+
+    Without ``configs`` this runs the paper grid: each (line size,
+    set count) family is one work unit simulated in a single vectorized
+    stack pass (results match :func:`sweep_paper_grid` exactly).  With
+    ``configs`` each configuration is one unit through the batch
+    kernels — any policy/write-mode mix, e.g. the ablation grid — and
+    the returned points carry write-back/write-through counts.
+
+    The trace (and write mask) is shared with workers through
+    ``multiprocessing.shared_memory``; result order is deterministic
+    and independent of ``jobs``; ``jobs <= 1`` or an unavailable fork
+    start method degrades gracefully to an in-process loop.
+    """
+    addresses = np.ascontiguousarray(addresses, dtype=np.uint32)
+    if writes is not None:
+        writes = np.ascontiguousarray(writes, dtype=bool)
+        if len(writes) != len(addresses):
+            raise ValueError("writes mask length != trace length")
+
+    if configs is not None:
+        results = _run_units(_config_unit, list(configs), jobs,
+                             addresses, writes)
+        return [SweepPoint(config=c, accesses=acc, misses=miss,
+                           writebacks=wb, write_throughs=wt)
+                for c, (acc, miss, wb, wt) in zip(configs, results)]
+
+    units = _grid_units(sizes, line_sizes, associativities)
+    results = _run_units(_family_unit, [u for u, _ in units], jobs,
+                         addresses, writes)
+    total_refs = len(addresses)
+    points: List[SweepPoint] = []
+    for (_, family), misses in zip(units, results):
+        for config in family:
+            points.append(SweepPoint(config=config, accesses=total_refs,
+                                     misses=misses[config.associativity]))
     points.sort(key=lambda p: (p.config.line_size, p.config.size,
                                p.config.associativity))
     return points

@@ -54,6 +54,9 @@ def _add_sweep(sub) -> None:
     p.add_argument("--trace", required=True, help=".npz reference trace")
     p.add_argument("--limit", type=int, default=None,
                    help="cap the number of references")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="fan the sweep out over N worker processes "
+                        "sharing the trace (default: in-process)")
 
 
 def _add_desktop(sub) -> None:
@@ -239,7 +242,7 @@ def cmd_validate(args) -> int:
 
 def cmd_sweep(args) -> int:
     from .analysis import format_access_times, format_miss_rates
-    from .cache import RegionMix, sweep_paper_grid
+    from .cache import RegionMix, sweep_parallel
     from .emulator import ReferenceTrace
 
     trace = ReferenceTrace.load(args.trace).memory_only()
@@ -247,8 +250,10 @@ def cmd_sweep(args) -> int:
     addresses = trace.addresses
     if args.limit:
         addresses = addresses[:args.limit]
-    print(f"sweeping {len(addresses):,} references ...")
-    points = sweep_paper_grid(addresses)
+    jobs = max(1, args.jobs)
+    how = f"{jobs} workers" if jobs > 1 else "in-process"
+    print(f"sweeping {len(addresses):,} references ({how}) ...")
+    points = sweep_parallel(addresses, jobs=jobs)
     print(format_miss_rates(points))
     print()
     mix = RegionMix(counts["ram"], counts["flash"])

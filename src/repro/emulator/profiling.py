@@ -12,11 +12,10 @@ study.
 from __future__ import annotations
 
 from array import array
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
-from ..device import constants as C
 from ..device.memmap import (
     KIND_FETCH,
     KIND_READ,
@@ -45,7 +44,11 @@ class Profiler:
     def __init__(self, trace_references: bool = True):
         self.trace_references = trace_references
         self.opcode_counts: array = array("Q", bytes(8 * 0x10000))
-        self.counts: Dict[tuple, int] = {}
+        #: Flat reference counters indexed ``kind | region << 4`` — the
+        #: same packing as the trace's ``kinds`` bytes.  One array index
+        #: per call instead of a dict lookup on a tuple key; the
+        #: ``counts`` mapping of the original API is derived on demand.
+        self._counts: array = array("Q", bytes(8 * 256))
         self._addr = array("I")
         self._kind = array("B")  # kind | region << 4
         self.instructions = 0
@@ -63,8 +66,7 @@ class Profiler:
 
     # -- hooks ---------------------------------------------------------
     def reference(self, addr: int, kind: int, region: int) -> None:
-        key = (kind, region)
-        self.counts[key] = self.counts.get(key, 0) + 1
+        self._counts[kind | (region << 4)] += 1
         if self.trace_references:
             self._addr.append(addr & 0xFFFFFFFF)
             self._kind.append(kind | (region << 4))
@@ -85,9 +87,17 @@ class Profiler:
         self.opcode_addresses[pc] = op
 
     # -- aggregate statistics ---------------------------------------------
+    @property
+    def counts(self) -> Dict[tuple, int]:
+        """The reference counters as the historical ``(kind, region) ->
+        count`` mapping (derived from the flat array; zero entries are
+        omitted, as the dict-based implementation never created them)."""
+        return {(i & 0x0F, i >> 4): n
+                for i, n in enumerate(self._counts) if n}
+
     def _region_total(self, region: int) -> int:
-        return sum(n for (kind, reg), n in self.counts.items()
-                   if reg == region)
+        base = region << 4
+        return sum(self._counts[base:base + 16])
 
     @property
     def ram_refs(self) -> int:
@@ -107,22 +117,22 @@ class Profiler:
 
     @property
     def total_refs(self) -> int:
-        return sum(self.counts.values())
+        return sum(self._counts)
+
+    def _kind_total(self, kind: int) -> int:
+        return sum(self._counts[kind::16])
 
     @property
     def fetch_refs(self) -> int:
-        return sum(n for (kind, _), n in self.counts.items()
-                   if kind == KIND_FETCH)
+        return self._kind_total(KIND_FETCH)
 
     @property
     def read_refs(self) -> int:
-        return sum(n for (kind, _), n in self.counts.items()
-                   if kind == KIND_READ)
+        return self._kind_total(KIND_READ)
 
     @property
     def write_refs(self) -> int:
-        return sum(n for (kind, _), n in self.counts.items()
-                   if kind == KIND_WRITE)
+        return self._kind_total(KIND_WRITE)
 
     def average_memory_cycles(self) -> float:
         """Equation 3: average effective memory access time without a

@@ -11,7 +11,7 @@ from repro.device.memmap import (
     REGION_RAM,
 )
 from repro.emulator import ReferenceTrace
-from repro.traces.dinero import read_dinero, write_dinero
+from repro.traces.dinero import DineroFormatError, read_dinero, write_dinero
 
 
 def sample_trace() -> ReferenceTrace:
@@ -56,6 +56,37 @@ class TestDinero:
         path.write_text("0 1000\n\n2 2000\n")
         back = read_dinero(path)
         assert len(back) == 2
+
+    def test_roundtrip_large_random_trace(self, tmp_path):
+        path = tmp_path / "big.din"
+        rng = np.random.default_rng(0)
+        n = 100_000  # spans multiple formatting/parsing chunks
+        original = ReferenceTrace(
+            addresses=rng.integers(0, 1 << 32, n,
+                                   dtype=np.uint64).astype(np.uint32),
+            kinds=rng.integers(0, 3, n).astype(np.uint8))
+        write_dinero(original, path)
+        back = read_dinero(path)
+        assert np.array_equal(back.addresses, original.addresses)
+        assert np.array_equal(back.kind, original.kind)
+
+    @pytest.mark.parametrize("text,message", [
+        ("7 1000\n", "unknown dinero label"),
+        ("0 wxyz\n", "invalid hex address"),
+        ("0 123456789\n", "oversized"),
+        ("1\n", "missing"),
+        ("0 1000\n2 zz\n", "line 2"),
+    ])
+    def test_malformed_records_raise(self, tmp_path, text, message):
+        path = tmp_path / "bad.din"
+        path.write_text(text)
+        with pytest.raises(DineroFormatError, match=message):
+            read_dinero(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.din"
+        path.write_text("")
+        assert len(read_dinero(path)) == 0
 
 
 class TestReferenceTraceContainer:
