@@ -39,6 +39,30 @@ def _add_replay(sub) -> None:
                    help="write the final screen as a PPM image")
     p.add_argument("--screen", action="store_true",
                    help="print the final screen as ASCII art")
+    res = p.add_argument_group("resilience (repro.resilience)")
+    res.add_argument("--checkpoint-every", type=int, default=None,
+                     metavar="N", help="snapshot the machine every N "
+                                       "ticks and enable the divergence "
+                                       "watchdog")
+    res.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="also persist checkpoints to this directory")
+    res.add_argument("--on-divergence", default=None,
+                     choices=("strict", "resync", "degrade"),
+                     help="divergence policy: fail with a report, retry "
+                          "from a checkpoint, or continue tainted")
+    res.add_argument("--faults", default=None, metavar="SPEC",
+                     help="inject faults, e.g. "
+                          "'drop:index=3,clock-drift:at=500;seconds=7'")
+    res.add_argument("--salvage", action="store_true",
+                     help="repair/skip corrupt trace records before "
+                          "replaying instead of failing on them")
+    res.add_argument("--retry-budget", type=int, default=3, metavar="N",
+                     help="checkpoint retries before resync gives up "
+                          "(default 3)")
+    res.add_argument("--reset-timeout", type=int, default=None,
+                     metavar="TICKS",
+                     help="ticks to wait for a guest reset before "
+                          "raising GuestResetTimeout (default 100000)")
 
 
 def _add_validate(sub) -> None:
@@ -177,12 +201,22 @@ def _load_final_state(directory: str):
             for path in sorted(final_dir.glob("*.pdb"))]
 
 
+def _resilience_active(args) -> bool:
+    return any((args.checkpoint_every is not None,
+                args.on_divergence is not None,
+                args.faults is not None,
+                args.salvage,
+                args.reset_timeout is not None))
+
+
 def cmd_replay(args) -> int:
     from .apps import standard_apps
     from .emulator import JitterModel, replay_session
 
-    state, log = _load_archive(args.session)
     jitter = JitterModel(seed=args.jitter) if args.jitter is not None else None
+    if _resilience_active(args):
+        return _replay_resilient(args, jitter)
+    state, log = _load_archive(args.session)
     start = time.time()
     emulator, profiler, result = replay_session(
         state, log, apps=standard_apps(), profile=not args.no_profile,
@@ -196,6 +230,99 @@ def cmd_replay(args) -> int:
         from .analysis import screen_ascii
         print(screen_ascii(emulator.kernel))
     print(f"replayed {result.events_injected} events in {elapsed:.1f}s")
+    if profiler is not None:
+        total = profiler.total_refs
+        print(f"instructions : {profiler.instructions:,}")
+        print(f"references   : {total:,} "
+              f"(RAM {100 * profiler.ram_refs / max(1, total):.1f}%, "
+              f"flash {100 * profiler.flash_refs / max(1, total):.1f}%)")
+        print(f"ave mem cyc  : {profiler.average_memory_cycles():.3f} "
+              f"(paper Table 1: 2.35-2.39)")
+        if args.trace:
+            profiler.reference_trace().save(args.trace)
+            print(f"trace written: {args.trace}")
+    return 0
+
+
+def _replay_resilient(args, jitter) -> int:
+    from .apps import standard_apps
+    from .resilience import (DivergenceError, FaultPlan, FaultSpecError,
+                             GuestResetTimeout, ReplayFault, TraceFormatError,
+                             resilient_replay, salvage_file)
+    from .tracelog import ActivityLog, InitialState
+
+    try:
+        plan = FaultPlan.parse(args.faults) if args.faults else None
+    except FaultSpecError as exc:
+        print(f"bad --faults spec: {exc}", file=sys.stderr)
+        return 2
+    root = Path(args.session)
+    state = InitialState.load(root / "initial_state")
+    log_path = root / "activity_log.pdb"
+    salvage_result = None
+    if args.salvage:
+        # Lenient load: recover what the strict decoder would refuse.
+        try:
+            salvage_result = salvage_file(log_path)
+        except TraceFormatError as exc:
+            print(f"unsalvageable activity log: {exc}", file=sys.stderr)
+            return 1
+        log = salvage_result.log
+        print(f"salvage      : {salvage_result.summary()}")
+    else:
+        try:
+            log = ActivityLog.load(log_path)
+        except TraceFormatError as exc:
+            print(f"corrupt activity log: {exc}\n"
+                  f"(re-run with --salvage to repair/skip bad records)",
+                  file=sys.stderr)
+            return 1
+    kwargs = dict(
+        apps=standard_apps(), profile=not args.no_profile, jitter=jitter,
+        emulator_kwargs=_EMU_KW, on_divergence=args.on_divergence or "strict",
+        retry_budget=args.retry_budget, faults=plan,
+        checkpoint_dir=args.checkpoint_dir)
+    if args.checkpoint_every is not None:
+        kwargs["checkpoint_every"] = args.checkpoint_every
+    if args.reset_timeout is not None:
+        kwargs["reset_timeout"] = args.reset_timeout
+    start = time.time()
+    try:
+        out = resilient_replay(state, log, **kwargs)
+    except DivergenceError as exc:
+        print("replay diverged from the recorded session:", file=sys.stderr)
+        print(exc.report.format(), file=sys.stderr)
+        return 1
+    except ReplayFault as exc:
+        print(f"injected fault was not recovered: {exc}", file=sys.stderr)
+        return 1
+    except GuestResetTimeout as exc:
+        print(f"guest reset timed out: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.time() - start
+    for note in out.fault_notes:
+        print(f"fault        : {note}")
+    if args.screenshot:
+        from .analysis import screenshot_ppm
+        screenshot_ppm(out.emulator.kernel, args.screenshot)
+        print(f"screenshot    : {args.screenshot}")
+    if args.screen:
+        from .analysis import screen_ascii
+        print(screen_ascii(out.emulator.kernel))
+    result = out.result
+    print(f"replayed {result.events_injected} events in {elapsed:.1f}s")
+    if out.checkpoints:
+        ticks = out.checkpoints.ticks
+        print(f"checkpoints  : {len(ticks)} kept "
+              f"(ticks {ticks[0]}..{ticks[-1]})" if ticks
+              else "checkpoints  : none captured")
+    if out.retries:
+        print(f"retries      : {out.retries} (recovered from checkpoint)")
+    if out.tainted:
+        print("TAINTED      : replay diverged and continued under "
+              "--on-divergence degrade")
+        print(out.report.format())
+    profiler = out.profiler
     if profiler is not None:
         total = profiler.total_refs
         print(f"instructions : {profiler.instructions:,}")

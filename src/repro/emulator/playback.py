@@ -16,19 +16,53 @@ paper observed in §3.3/§3.4 — short bursts of events arriving slightly
 late (< 20 ticks, blamed on emulator thread scheduling) and the
 host-approximated RTC — so the validation experiments can show the same
 benign divergences.
+
+Resilience extensions (see :mod:`repro.resilience`): the driver keeps
+its injection schedule in a serializable side table, can capture a
+:class:`~repro.resilience.checkpoint.Checkpoint` every N wall ticks
+(full emulator state + its own cursors), and can
+:meth:`~PlaybackDriver.resume_from` such a checkpoint, continuing the
+replay to a final state byte-identical with an uninterrupted run.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Callable, List, Optional, Tuple
 
 from ..device import constants as C
 from ..device.peripherals import PenSample
 from ..tracelog import ActivityLog, ParsedLog, parse_log
 from ..tracelog.records import LogEventType, LogRecord
 from .pose import Emulator
+
+#: Default budget `_await_guest_reset` waits for a recorded soft reset
+#: (was a hardcoded ``min(max_ticks, 100_000)`` deadline).
+DEFAULT_RESET_TIMEOUT = 100_000
+
+
+class GuestResetTimeout(RuntimeError):
+    """The replay expected the guest to perform a recorded soft reset
+    (a RESET record ends the epoch) but no boot happened within the
+    ``reset_timeout`` budget.
+
+    Carries the boot counts and ticks waited so callers (and the
+    resilience policies) can report a localized, typed failure instead
+    of a bare ``RuntimeError``.
+    """
+
+    def __init__(self, boots_expected: int, boots_seen: int,
+                 ticks_waited: int, reset_timeout: int):
+        self.boots_expected = boots_expected
+        self.boots_seen = boots_seen
+        self.ticks_waited = ticks_waited
+        self.reset_timeout = reset_timeout
+        super().__init__(
+            f"expected a guest soft reset (boot count > {boots_expected}) "
+            f"that never happened during replay: boot count still "
+            f"{boots_seen} after waiting {ticks_waited} ticks "
+            f"(reset_timeout={reset_timeout})")
 
 
 class JitterModel:
@@ -65,6 +99,32 @@ class JitterModel:
 
     def rtc_offset(self) -> int:
         return self._rng.randint(0, self.rtc_drift_seconds)
+
+    # -- checkpoint support ------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the model (JSON-safe)."""
+        version, internal, gauss = self._rng.getstate()
+        return {
+            "rng": [version, list(internal), gauss],
+            "burst_left": self._burst_left,
+            "burst_delay": self._burst_delay,
+            "burst_probability": self.burst_probability,
+            "max_delay": self.max_delay,
+            "burst_length": list(self.burst_length),
+            "rtc_drift_seconds": self.rtc_drift_seconds,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "JitterModel":
+        model = cls(burst_probability=state["burst_probability"],
+                    max_delay=state["max_delay"],
+                    burst_length=tuple(state["burst_length"]),
+                    rtc_drift_seconds=state["rtc_drift_seconds"])
+        version, internal, gauss = state["rng"]
+        model._rng.setstate((version, tuple(internal), gauss))
+        model._burst_left = state["burst_left"]
+        model._burst_delay = state["burst_delay"]
+        return model
 
 
 @dataclass
@@ -117,6 +177,13 @@ class _RandomQueue:
         return original
 
 
+#: Schedule-entry kinds (serialized into checkpoints).
+_SCHED_PEN = "pen"
+_SCHED_KEY = "key"
+_SCHED_CARD_INSERT = "card+"
+_SCHED_CARD_REMOVE = "card-"
+
+
 class PlaybackDriver:
     """Replays one activity log on an emulator.
 
@@ -124,10 +191,23 @@ class PlaybackDriver:
     split into tick epochs: the guest performs each reset *itself* —
     deterministically, driven by the replayed input — and the driver
     re-aligns the next epoch's schedule to the restarted tick counter.
+
+    ``reset_timeout`` bounds how long `_await_guest_reset` waits for a
+    recorded reset before raising :class:`GuestResetTimeout`.
+
+    ``checkpoint_every`` (wall ticks) plus ``checkpoint_hook`` enable
+    the resilience subsystem: at every multiple of ``checkpoint_every``
+    during epoch drains the driver captures a full
+    :class:`~repro.resilience.checkpoint.Checkpoint` and passes it to
+    the hook.  The hook may raise to abort the run (the resilient
+    runner uses this to implement its divergence policies).
     """
 
     def __init__(self, emulator: Emulator, log: ActivityLog,
-                 jitter: Optional[JitterModel] = None):
+                 jitter: Optional[JitterModel] = None,
+                 reset_timeout: int = DEFAULT_RESET_TIMEOUT,
+                 checkpoint_every: Optional[int] = None,
+                 checkpoint_hook: Optional[Callable] = None):
         from ..tracelog import split_epochs
 
         self.emulator = emulator
@@ -135,6 +215,29 @@ class PlaybackDriver:
         self.parsed: ParsedLog = parse_log(log)
         self.epochs = split_epochs(log)
         self.jitter = jitter
+        self.reset_timeout = reset_timeout
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_hook = checkpoint_hook
+
+        #: Serializable side table of every scheduled injection that may
+        #: still be pending: ``(wall_tick, kind, payload)`` where pen and
+        #: key payloads are ``(type, tick, rtc, data)`` record tuples.
+        #: Entries strictly before the current tick are pruned lazily.
+        self._sched: List[Tuple[int, str, Optional[tuple]]] = []
+        self._keystate: Optional[_KeyStateQueue] = None
+        self._randoms: Optional[_RandomQueue] = None
+        self._drift: Optional[int] = None
+        self._current_epoch = 0
+        self._idle_grace_ticks = 200
+        self._max_ticks = 100_000_000
+        #: Armed by the fault-injection harness: pretend the recorded
+        #: reset never happens, driving the GuestResetTimeout path.
+        self._fault_stall_reset = False
+        #: Called once per fresh run, after the session-start boot and
+        #: before any epoch is scheduled (the fault harness arms its
+        #: runtime faults here so they land inside the replay proper,
+        #: not inside the boot).  Not re-fired on resume.
+        self.session_start_hook: Optional[Callable[[], None]] = None
 
     # -- injection ------------------------------------------------------
     def _inject_pen(self, record: LogRecord) -> None:
@@ -153,6 +256,41 @@ class PlaybackDriver:
             buttons.state &= ~record.key_code
         device.intc.raise_int(C.INT_KEY)
 
+    # -- schedule bookkeeping -------------------------------------------
+    def _push_entry(self, tick: int, kind: str,
+                    payload: Optional[tuple]) -> None:
+        """Schedule one injection on the device and record it in the
+        serializable side table."""
+        device = self.emulator.device
+        if kind == _SCHED_PEN or kind == _SCHED_KEY:
+            record = LogRecord(LogEventType(payload[0]), payload[1],
+                               payload[2], payload[3])
+            if kind == _SCHED_PEN:
+                device.schedule_call(tick, lambda r=record: self._inject_pen(r))
+            else:
+                device.schedule_call(tick, lambda r=record: self._inject_key(r))
+        elif kind == _SCHED_CARD_INSERT:
+            if self.emulator.card is None:
+                raise RuntimeError(
+                    "the log contains a card insertion but the "
+                    "initial state carries no card image")
+            device.schedule_card_insert(tick, self.emulator.card)
+        elif kind == _SCHED_CARD_REMOVE:
+            device.schedule_card_remove(tick)
+        else:  # pragma: no cover - internal invariant
+            raise ValueError(f"unknown schedule entry kind {kind!r}")
+        self._sched.append((tick, kind, payload))
+
+    def _pending_entries(self, from_tick: int) -> List[list]:
+        """Schedule entries not yet applied at a checkpoint at
+        ``from_tick`` (stimuli at exactly the checkpoint tick have not
+        been delivered yet — `_apply_due_stimuli` runs strictly before
+        the tick counter reaches them)."""
+        self._sched = [e for e in self._sched if e[0] >= from_tick]
+        return [[tick, kind, list(payload) if payload else None]
+                for tick, kind, payload in sorted(self._sched,
+                                                  key=lambda e: e[0])]
+
     # -- the run -----------------------------------------------------------
     def run(self, idle_grace_ticks: int = 200,
             max_ticks: int = 100_000_000, reset: bool = False) -> PlaybackResult:
@@ -167,67 +305,190 @@ class PlaybackDriver:
         emulator = self.emulator
         kernel = emulator.kernel
         device = emulator.device
+        self._idle_grace_ticks = idle_grace_ticks
+        self._max_ticks = max_ticks
 
         result = PlaybackResult()
-        # The SysRandom seed queue is global: seeds are consumed one per
-        # non-zero call, in session order, across tick epochs (each
-        # epoch's boot consumes the seed its hack logged).
-        randoms = _RandomQueue(self.parsed.random_queue, result)
-        kernel.syscalls.random_seed_override = randoms.next_seed
-        if self.jitter is not None:
-            rtc = device.rtc
-            drift = self.jitter.rtc_offset()
-            kernel.time_override = (
-                lambda: rtc.seconds_at(device.tick) + drift)
+        self._install_overrides(result, random_pos=0)
 
         if reset:
             kernel.boot()
         result.start_tick = device.tick
         result.instructions = device.cpu.instructions
+        if self.session_start_hook is not None:
+            self.session_start_hook()
 
         try:
-            prev_boots = kernel.boot_count
-            for index, epoch_log in enumerate(self.epochs):
-                if index > 0:
-                    prev_boots = self._await_guest_reset(prev_boots,
-                                                         max_ticks)
-                ends_with_reset = bool(
-                    epoch_log.records
-                    and epoch_log.records[-1].type == LogEventType.RESET)
-                self._run_epoch(epoch_log, result, idle_grace_ticks,
-                                stop_at_reset=ends_with_reset)
+            self._run_epochs(result, start_epoch=0, resume_drain=None)
             device.run_until_idle(max_ticks=max_ticks)
         finally:
-            kernel.syscalls.key_state_override = None
-            kernel.syscalls.random_seed_override = None
-            kernel.time_override = None
+            self._clear_overrides()
 
+        return self._finalize(result)
+
+    def resume_from(self, checkpoint, disable_jitter: bool = False,
+                    max_ticks: Optional[int] = None) -> PlaybackResult:
+        """Restart a replay from a checkpoint and run it to completion.
+
+        The emulator must have been built with the same application set
+        (and sizes) as the one that captured the checkpoint — the same
+        equivalent-systems requirement as `load_state`.  With
+        ``disable_jitter=True`` the remaining schedule runs without
+        burst delays (the resilience ``resync`` policy), while the RTC
+        drift already observed by the guest is preserved so the
+        restored state stays consistent.
+        """
+        from ..resilience.checkpoint import restore_emulator
+
+        driver_state = checkpoint.manifest.get("driver")
+        if driver_state is None:
+            raise ValueError("checkpoint carries no playback driver state")
+        restore_emulator(self.emulator, checkpoint)
+
+        kernel = self.emulator.kernel
+        device = self.emulator.device
+        self._idle_grace_ticks = driver_state["idle_grace_ticks"]
+        self._max_ticks = (max_ticks if max_ticks is not None
+                           else driver_state["max_ticks"])
+
+        result = PlaybackResult(**driver_state["result"])
+        jitter_state = driver_state.get("jitter")
+        if jitter_state is not None and not disable_jitter:
+            self.jitter = JitterModel.from_state_dict(jitter_state)
+        else:
+            self.jitter = None
+        drift = driver_state.get("drift")
+        self._install_overrides(result,
+                                random_pos=driver_state["random_pos"],
+                                drift=drift)
+
+        epoch_index = driver_state["epoch_index"]
+        phase = driver_state.get("phase", "drain")
+        # During an inter-epoch reset wait the *previous* epoch's
+        # keystate queue is still the installed override.
+        keystate_epoch = epoch_index - 1 if phase == "await" else epoch_index
+        if keystate_epoch >= 0:
+            parsed = parse_log(self.epochs[keystate_epoch],
+                               on_unknown="collect")
+            keystate = _KeyStateQueue(parsed.keystate_queue, result)
+            keystate._pos = driver_state["keystate_pos"]
+            kernel.syscalls.key_state_override = keystate.lookup
+            self._keystate = keystate
+
+        self._sched = []
+        for tick, kind, payload in driver_state["pending"]:
+            self._push_entry(tick, kind,
+                             tuple(payload) if payload is not None else None)
+
+        drain = driver_state["drain"]
+        try:
+            if phase == "await":
+                self._run_epochs(result, start_epoch=epoch_index,
+                                 resume_drain=None,
+                                 await_boots=driver_state["await_boots"])
+            else:
+                self._run_epochs(result, start_epoch=epoch_index,
+                                 resume_drain=(drain["target"],
+                                               drain["stop_at_reset"]))
+            device.run_until_idle(max_ticks=self._max_ticks)
+        finally:
+            self._clear_overrides()
+
+        return self._finalize(result)
+
+    # -- override management -------------------------------------------
+    def _install_overrides(self, result: PlaybackResult, random_pos: int = 0,
+                           drift: Optional[int] = None) -> None:
+        kernel = self.emulator.kernel
+        device = self.emulator.device
+        # The SysRandom seed queue is global: seeds are consumed one per
+        # non-zero call, in session order, across tick epochs (each
+        # epoch's boot consumes the seed its hack logged).
+        randoms = _RandomQueue(self.parsed.random_queue, result)
+        randoms._pos = random_pos
+        self._randoms = randoms
+        kernel.syscalls.random_seed_override = randoms.next_seed
+        if drift is None and self.jitter is not None:
+            drift = self.jitter.rtc_offset()
+        self._drift = drift
+        if drift is not None:
+            rtc = device.rtc
+            kernel.time_override = (
+                lambda: rtc.seconds_at(device.tick) + drift)
+
+    def _clear_overrides(self) -> None:
+        kernel = self.emulator.kernel
+        kernel.syscalls.key_state_override = None
+        kernel.syscalls.random_seed_override = None
+        kernel.time_override = None
+
+    def _finalize(self, result: PlaybackResult) -> PlaybackResult:
+        device = self.emulator.device
         result.end_tick = device.tick
         result.instructions = device.cpu.instructions - result.instructions
         return result
 
-    def _await_guest_reset(self, prev_boots: int, max_ticks: int) -> int:
+    # -- the epoch loop -------------------------------------------------
+    def _run_epochs(self, result: PlaybackResult, start_epoch: int,
+                    resume_drain: Optional[Tuple[int, bool]],
+                    await_boots: Optional[int] = None) -> None:
+        kernel = self.emulator.kernel
+        prev_boots = kernel.boot_count
+        for index in range(start_epoch, len(self.epochs)):
+            epoch_log = self.epochs[index]
+            if resume_drain is not None and index == start_epoch:
+                # State (and schedule) already restored from checkpoint.
+                target, stop_at_reset = resume_drain
+            else:
+                if index > 0:
+                    boots = (await_boots
+                             if await_boots is not None and index == start_epoch
+                             else prev_boots)
+                    prev_boots = self._await_guest_reset(boots, result, index)
+                ends_with_reset = bool(
+                    epoch_log.records
+                    and epoch_log.records[-1].type == LogEventType.RESET)
+                target = self._schedule_epoch(index, epoch_log, result)
+                stop_at_reset = ends_with_reset
+            self._drain_epoch(index, result, target, stop_at_reset)
+
+    def _await_guest_reset(self, prev_boots: int, result: PlaybackResult,
+                           epoch_index: int) -> int:
         """Advance until the guest performs its recorded soft reset
-        (triggered deterministically by the replayed input)."""
+        (triggered deterministically by the replayed input).  Checkpoint
+        boundaries crossed while waiting are honoured too — the wait is
+        part of the replay timeline."""
         kernel = self.emulator.kernel
         device = self.emulator.device
-        deadline = device.tick + min(max_ticks, 100_000)
-        while kernel.boot_count <= prev_boots:
+        self._current_epoch = epoch_index
+        start = device.tick
+        deadline = start + min(self._max_ticks, self.reset_timeout)
+        every = self.checkpoint_every
+        while kernel.boot_count <= prev_boots or self._fault_stall_reset:
             if device.tick >= deadline:
-                raise RuntimeError(
-                    "expected a guest soft reset (RESET record) that "
-                    "never happened during replay")
+                raise GuestResetTimeout(
+                    boots_expected=prev_boots + 1,
+                    boots_seen=kernel.boot_count,
+                    ticks_waited=device.tick - start,
+                    reset_timeout=self.reset_timeout)
             device.advance(device.tick + 1)
+            if (every and self.checkpoint_hook is not None
+                    and device.tick % every == 0):
+                checkpoint = self.capture_checkpoint(
+                    result, 0, False, phase="await", await_boots=prev_boots)
+                self.checkpoint_hook(checkpoint)
         return kernel.boot_count
 
-    def _run_epoch(self, epoch_log: ActivityLog, result: PlaybackResult,
-                   idle_grace_ticks: int,
-                   stop_at_reset: bool = False) -> None:
+    def _schedule_epoch(self, index: int, epoch_log: ActivityLog,
+                        result: PlaybackResult) -> int:
+        """Install the epoch's keystate override and push its injection
+        schedule; returns the drain target (wall tick)."""
         kernel = self.emulator.kernel
         device = self.emulator.device
-        parsed = parse_log(epoch_log)
+        parsed = parse_log(epoch_log, on_unknown="collect")
         keystate = _KeyStateQueue(parsed.keystate_queue, result)
         kernel.syscalls.key_state_override = keystate.lookup
+        self._keystate = keystate
 
         # Record ticks are guest-epoch ticks; wall schedule = offset +.
         epoch_offset = device.tick_offset
@@ -246,12 +507,9 @@ class PlaybackDriver:
             last_by_type[record.type] = tick
             if delay:
                 result.delays_applied.append(tick - epoch_offset - record.tick)
-            if record.type == LogEventType.PEN:
-                device.schedule_call(
-                    tick, lambda r=record: self._inject_pen(r))
-            else:
-                device.schedule_call(
-                    tick, lambda r=record: self._inject_key(r))
+            kind = _SCHED_PEN if record.type == LogEventType.PEN else _SCHED_KEY
+            self._push_entry(tick, kind, (int(record.type), record.tick,
+                                          record.rtc, record.data))
             result.events_injected += 1
             last_tick = max(last_tick, tick)
 
@@ -261,35 +519,86 @@ class PlaybackDriver:
         for record in parsed.notifications:
             tick = epoch_offset + record.tick
             if record.data == NOTIFY_CARD_INSERTED:
-                if self.emulator.card is None:
-                    raise RuntimeError(
-                        "the log contains a card insertion but the "
-                        "initial state carries no card image")
-                device.schedule_card_insert(tick, self.emulator.card)
+                self._push_entry(tick, _SCHED_CARD_INSERT, None)
             elif record.data == NOTIFY_CARD_REMOVED:
-                device.schedule_card_remove(tick)
+                self._push_entry(tick, _SCHED_CARD_REMOVE, None)
             else:
                 continue
             result.events_injected += 1
             last_tick = max(last_tick, tick)
 
-        if stop_at_reset:
-            # Stop promptly when the guest performs the epoch-ending
-            # reset; overshooting would deliver the next epoch's events
-            # against the wrong restarted tick counter.
-            target = last_tick + idle_grace_ticks
-            boots = kernel.boot_count
-            while device.tick < target and kernel.boot_count == boots:
-                device.advance(device.tick + 1)
-        else:
-            device.advance(last_tick + idle_grace_ticks)
+        return last_tick + self._idle_grace_ticks
+
+    def _drain_epoch(self, index: int, result: PlaybackResult,
+                     target: int, stop_at_reset: bool) -> None:
+        """Advance the device to the epoch's drain target, stopping
+        promptly at an epoch-ending reset (overshooting would deliver
+        the next epoch's events against the wrong restarted tick
+        counter) and pausing at checkpoint boundaries."""
+        kernel = self.emulator.kernel
+        device = self.emulator.device
+        self._current_epoch = index
+        boots = kernel.boot_count
+        while device.tick < target:
+            if stop_at_reset and kernel.boot_count != boots:
+                return
+            step = device.tick + 1 if stop_at_reset else target
+            cp_tick = self._next_checkpoint_tick(device.tick)
+            if cp_tick is not None:
+                step = min(step, cp_tick)
+            device.advance(step)
+            if cp_tick is not None and device.tick == cp_tick:
+                self._emit_checkpoint(result, target, stop_at_reset)
+
+    def _next_checkpoint_tick(self, now: int) -> Optional[int]:
+        if not self.checkpoint_every or self.checkpoint_hook is None:
+            return None
+        every = self.checkpoint_every
+        return (now // every + 1) * every
+
+    def _emit_checkpoint(self, result: PlaybackResult, target: int,
+                         stop_at_reset: bool) -> None:
+        checkpoint = self.capture_checkpoint(result, target, stop_at_reset)
+        self.checkpoint_hook(checkpoint)
+
+    def capture_checkpoint(self, result: PlaybackResult, target: int,
+                           stop_at_reset: bool, phase: str = "drain",
+                           await_boots: Optional[int] = None):
+        """Capture a full checkpoint: emulator snapshot plus the
+        driver's own cursors, pending schedule, and jitter state.
+
+        ``phase`` records where the run was: ``"drain"`` (inside an
+        epoch's drain loop) or ``"await"`` (between epochs, waiting for
+        the guest's recorded reset; ``await_boots`` carries the boot
+        count the wait compares against).
+        """
+        from ..resilience.checkpoint import capture_emulator
+
+        device = self.emulator.device
+        checkpoint = capture_emulator(self.emulator)
+        state = dict(result=asdict(result))
+        state["epoch_index"] = self._current_epoch
+        state["phase"] = phase
+        state["await_boots"] = await_boots
+        state["drain"] = {"target": target, "stop_at_reset": stop_at_reset}
+        state["keystate_pos"] = self._keystate._pos if self._keystate else 0
+        state["random_pos"] = self._randoms._pos if self._randoms else 0
+        state["pending"] = self._pending_entries(device.tick)
+        state["jitter"] = (self.jitter.state_dict()
+                           if self.jitter is not None else None)
+        state["drift"] = self._drift
+        state["idle_grace_ticks"] = self._idle_grace_ticks
+        state["max_ticks"] = self._max_ticks
+        checkpoint.manifest["driver"] = state
+        return checkpoint
 
 
 def replay_session(state, log: ActivityLog, apps=(), profile: bool = True,
                    trace_references: bool = True,
                    track_opcode_addresses: bool = False,
                    jitter: Optional[JitterModel] = None,
-                   emulator_kwargs: Optional[dict] = None):
+                   emulator_kwargs: Optional[dict] = None,
+                   reset_timeout: int = DEFAULT_RESET_TIMEOUT):
     """One-call replay: build the emulator, load β, apply δ.
 
     Returns ``(emulator, profiler, result)``; ``profiler`` is None when
@@ -304,6 +613,7 @@ def replay_session(state, log: ActivityLog, apps=(), profile: bool = True,
         profiler = emulator.start_profiling(
             trace_references=trace_references,
             track_opcode_addresses=track_opcode_addresses)
-    driver = PlaybackDriver(emulator, log, jitter=jitter)
+    driver = PlaybackDriver(emulator, log, jitter=jitter,
+                            reset_timeout=reset_timeout)
     result = driver.run(reset=True)
     return emulator, profiler, result

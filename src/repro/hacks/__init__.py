@@ -9,7 +9,7 @@ from .logging_hacks import (
     sys_notify_broadcast_hack,
     sys_random_hack,
 )
-from .manager import HackManager, InstalledHack
+from .manager import HackManager, InstalledHack, installed_hack_traps
 from .overhead import (
     OverheadPoint,
     measure_hack_overhead,
@@ -22,6 +22,7 @@ __all__ = [
     "HackSpec",
     "HackManager",
     "InstalledHack",
+    "installed_hack_traps",
     "standard_hacks",
     "evt_enqueue_key_hack",
     "evt_enqueue_pen_point_hack",

@@ -28,6 +28,29 @@ class InstalledHack:
     code_addr: int
 
 
+def installed_hack_traps(kernel) -> List[int]:
+    """The trap numbers patched by extension-database hacks, read
+    host-side (no guest execution, no trace perturbation).
+
+    Each hack record starts with a ``(trap, chain-slot offset)`` header;
+    this walks the extensions database the same way the boot re-patch
+    does.  The resilience watchdog uses it to confirm the replayed
+    machine is actually logging before trusting an empty replay log.
+    """
+    dm = kernel.dm_host
+    ext_db = dm.find(EXTENSIONS_DB_NAME)
+    if not ext_db:
+        return []
+    traps: List[int] = []
+    for index in range(dm.num_records(ext_db)):
+        rec_addr, size = dm.get_record(ext_db, index)
+        if size < 4:
+            continue
+        trap, _ = struct.unpack(">HH", kernel.host.read_bytes(rec_addr, 4))
+        traps.append(trap)
+    return traps
+
+
 class HackManager:
     """Installs and removes trap patches on a live kernel."""
 

@@ -1,0 +1,66 @@
+"""Replay resilience: checkpoint/resume, the live divergence watchdog,
+trace salvage, and the fault-injection harness.
+
+The paper's replay model is an all-or-nothing determinism bet: feed the
+initial state β and activity log δ to an equivalent machine and the
+whole session re-executes — or something is subtly off and you find out
+hours later when the final states disagree.  This subsystem makes long
+replays survivable: periodic checkpoints bound the cost of a failure,
+the watchdog notices a divergence within one checkpoint interval of it
+happening, salvage recovers playable logs from damaged captures, and
+the fault harness proves all of it actually works.
+"""
+
+from .checkpoint import Checkpoint, CheckpointManager, capture_emulator, restore_emulator
+from .errors import (
+    CheckpointError,
+    DivergenceError,
+    FaultSpecError,
+    GuestResetTimeout,
+    ReplayFault,
+    ResilienceError,
+    TraceFormatError,
+)
+from .faults import RUNTIME_FAULTS, TRACE_FAULTS, FaultPlan, FaultSpec
+from .replay import POLICIES, ResilientReplayResult, resilient_replay
+from .salvage import (
+    SalvageResult,
+    salvage_database_image,
+    salvage_file,
+    salvage_log,
+)
+from .watchdog import (
+    Divergence,
+    DivergenceKind,
+    DivergenceReport,
+    DivergenceWatchdog,
+)
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointManager",
+    "capture_emulator",
+    "restore_emulator",
+    "ResilienceError",
+    "CheckpointError",
+    "DivergenceError",
+    "FaultSpecError",
+    "GuestResetTimeout",
+    "ReplayFault",
+    "TraceFormatError",
+    "FaultPlan",
+    "FaultSpec",
+    "TRACE_FAULTS",
+    "RUNTIME_FAULTS",
+    "POLICIES",
+    "ResilientReplayResult",
+    "resilient_replay",
+    "SalvageResult",
+    "salvage_log",
+    "salvage_database_image",
+    "salvage_file",
+    "Divergence",
+    "DivergenceKind",
+    "DivergenceReport",
+    "DivergenceWatchdog",
+]

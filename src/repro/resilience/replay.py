@@ -1,0 +1,355 @@
+"""The resilient replay runner.
+
+Wraps a :class:`~repro.emulator.playback.PlaybackDriver` run with the
+resilience machinery:
+
+* periodic **checkpoints** into a :class:`CheckpointManager` ring;
+* the live **divergence watchdog**, fed the emulated machine's own
+  activity log at every checkpoint boundary;
+* a **policy** deciding what a detected divergence (or an injected
+  runtime fault, or a reset timeout) does to the run:
+
+  - ``strict``  — stop; localize the first divergent window by
+    checkpoint bisection; raise :class:`DivergenceError` with the
+    structured report;
+  - ``resync``  — restore the latest checkpoint with jitter disabled
+    and retry; repeated failures back off to progressively earlier
+    checkpoints until ``retry_budget`` is exhausted, then escalate
+    like ``strict``.  Transient faults (one-shot runtime injections,
+    jitter-induced skew) recover; deterministic trace corruption
+    cannot, and escalates with a localized report;
+  - ``degrade`` — record every divergence, mark the run ``tainted``,
+    and keep going; hard faults still resync (tainted) if a
+    checkpoint exists.
+
+* optional **trace salvage** and **fault injection** up front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..emulator.playback import (
+    DEFAULT_RESET_TIMEOUT,
+    GuestResetTimeout,
+    JitterModel,
+    PlaybackDriver,
+    PlaybackResult,
+)
+from ..emulator.pose import Emulator
+from ..tracelog import ActivityLog, read_activity_log
+from .checkpoint import Checkpoint, CheckpointManager
+from .errors import DivergenceError, ReplayFault
+from .faults import FaultPlan
+from .salvage import SalvageResult, salvage_log
+from .watchdog import Divergence, DivergenceReport, DivergenceWatchdog
+
+POLICIES = ("strict", "resync", "degrade")
+
+#: Localization stops refining once the divergent window is this tight.
+_LOCALIZE_GOAL = 8
+#: Each refinement round splits the window this many ways.
+_LOCALIZE_FAN = 16
+_LOCALIZE_ROUNDS = 6
+
+
+class _DivergenceDetected(Exception):
+    """Internal control flow: the watchdog hook found fresh divergences
+    at a checkpoint boundary."""
+
+    def __init__(self, fresh: List[Divergence], tick: int):
+        self.fresh = fresh
+        self.tick = tick
+        super().__init__(f"{len(fresh)} divergence(s) at wall tick {tick}")
+
+
+class _StopLocalize(Exception):
+    def __init__(self, tick: int):
+        self.tick = tick
+
+
+@dataclass
+class ResilientReplayResult:
+    """Outcome of a resilient replay."""
+
+    result: PlaybackResult
+    emulator: Emulator
+    profiler: object = None
+    report: Optional[DivergenceReport] = None
+    tainted: bool = False
+    retries: int = 0
+    checkpoints: Optional[CheckpointManager] = None
+    salvage: Optional[SalvageResult] = None
+    fault_notes: List[str] = field(default_factory=list)
+
+    @property
+    def recovered(self) -> bool:
+        """The run needed at least one resync retry but completed."""
+        return self.retries > 0 and not self.tainted
+
+    @property
+    def clean(self) -> bool:
+        return not self.tainted and self.retries == 0 and not (
+            self.report and self.report.divergences)
+
+
+def resilient_replay(
+    state,
+    log: ActivityLog,
+    apps=(),
+    *,
+    profile: bool = True,
+    trace_references: bool = True,
+    jitter: Optional[JitterModel] = None,
+    emulator_kwargs: Optional[dict] = None,
+    reset_timeout: int = DEFAULT_RESET_TIMEOUT,
+    checkpoint_every: int = 2000,
+    checkpoint_dir=None,
+    keep_checkpoints: int = 4,
+    on_divergence: str = "strict",
+    retry_budget: int = 3,
+    watch: bool = True,
+    faults=None,
+    salvage: bool = False,
+    idle_grace_ticks: int = 200,
+    max_ticks: int = 100_000_000,
+) -> ResilientReplayResult:
+    """Replay ``log`` against ``state`` with checkpointing, the live
+    watchdog, and the selected divergence policy.
+
+    The watchdog compares the replayed machine's activity log against
+    the *pristine* input log (after salvage, before fault injection),
+    so injected trace corruption is detected as genuine divergence.
+    """
+    if on_divergence not in POLICIES:
+        raise ValueError(f"on_divergence must be one of {POLICIES}, "
+                         f"not {on_divergence!r}")
+    plan = FaultPlan.parse(faults) if isinstance(faults, str) else faults
+
+    salvage_result = None
+    reference = log
+    if salvage:
+        salvage_result = salvage_log(log)
+        reference = salvage_result.log
+
+    replay_log = reference
+    fault_notes: List[str] = []
+    if plan is not None and plan.trace_specs:
+        replay_log, fault_notes = plan.apply_to_log(reference)
+
+    emulator = Emulator(apps=apps, **(emulator_kwargs or {}))
+    emulator.load_state(state, restore_clock=jitter is None,
+                        final_reset=False)
+    profiler = (emulator.start_profiling(trace_references=trace_references)
+                if profile else None)
+
+    if watch:
+        from ..hacks import installed_hack_traps
+
+        if not installed_hack_traps(emulator.kernel):
+            # Without the logging hacks the replayed machine produces no
+            # activity log, and every comparison would be a false
+            # MISSING_EVENT.  Replay still works; watching cannot.
+            fault_notes.append(
+                "watchdog disabled: no logging hacks installed in the "
+                "imported state")
+            watch = False
+
+    manager = CheckpointManager(directory=checkpoint_dir,
+                                keep=keep_checkpoints)
+    watchdog = DivergenceWatchdog(reference) if watch else None
+    outcome = ResilientReplayResult(result=PlaybackResult(),
+                                    emulator=emulator, profiler=profiler,
+                                    checkpoints=manager,
+                                    salvage=salvage_result,
+                                    fault_notes=fault_notes)
+
+    def hook(checkpoint: Checkpoint) -> None:
+        manager.add(checkpoint)
+        if watchdog is None:
+            return
+        fresh = watchdog.check(read_activity_log(emulator.kernel))
+        if fresh:
+            if on_divergence == "degrade":
+                outcome.tainted = True
+            else:
+                raise _DivergenceDetected(fresh, checkpoint.tick)
+
+    driver = PlaybackDriver(emulator, replay_log, jitter=jitter,
+                            reset_timeout=reset_timeout,
+                            checkpoint_every=checkpoint_every,
+                            checkpoint_hook=hook)
+    if plan is not None:
+        # Arm after the session-start boot: a wall-tick fault scheduled
+        # before the boot would land inside it (the boot resets the
+        # tick counter), before the first checkpoint even exists.
+        driver.session_start_hook = (
+            lambda: fault_notes.extend(plan.arm(driver)))
+
+    resume_cp: Optional[Checkpoint] = None
+    while True:
+        try:
+            if resume_cp is None:
+                result = driver.run(idle_grace_ticks=idle_grace_ticks,
+                                    max_ticks=max_ticks, reset=True)
+            else:
+                result = driver.resume_from(
+                    resume_cp, disable_jitter=True, max_ticks=max_ticks)
+            if watchdog is not None:
+                fresh = watchdog.check(read_activity_log(emulator.kernel),
+                                       final=True)
+                if fresh:
+                    if on_divergence == "degrade":
+                        outcome.tainted = True
+                    else:
+                        raise _DivergenceDetected(fresh,
+                                                  emulator.device.tick)
+            break
+        except (_DivergenceDetected, ReplayFault, GuestResetTimeout) as exc:
+            resume_cp = _handle_failure(
+                exc, outcome, manager, watchdog, driver, plan,
+                on_divergence, retry_budget,
+                reference=reference, replay_log=replay_log, apps=apps,
+                profile=profile, trace_references=trace_references,
+                emulator_kwargs=emulator_kwargs,
+                reset_timeout=reset_timeout)
+
+    outcome.result = result
+    outcome.report = watchdog.report if watchdog is not None else None
+    if outcome.report is not None:
+        outcome.report.retries = outcome.retries
+    return outcome
+
+
+def _handle_failure(exc, outcome, manager, watchdog, driver, plan,
+                    policy, retry_budget, *, reference, replay_log, apps,
+                    profile, trace_references, emulator_kwargs,
+                    reset_timeout) -> Checkpoint:
+    """Apply the divergence policy to one failure; returns the
+    checkpoint to resume from, or raises the terminal error."""
+    if policy == "strict":
+        raise _escalate(exc, outcome, manager, watchdog,
+                        reference=reference, replay_log=replay_log,
+                        apps=apps, profile=profile,
+                        trace_references=trace_references,
+                        emulator_kwargs=emulator_kwargs,
+                        reset_timeout=reset_timeout)
+
+    # resync (and degrade's hard-fault fallback): retry from a
+    # checkpoint; repeated failures back off to earlier checkpoints.
+    if outcome.retries >= retry_budget:
+        raise _escalate(exc, outcome, manager, watchdog,
+                        reference=reference, replay_log=replay_log,
+                        apps=apps, profile=profile,
+                        trace_references=trace_references,
+                        emulator_kwargs=emulator_kwargs,
+                        reset_timeout=reset_timeout)
+    if isinstance(exc, GuestResetTimeout):
+        # A timeout means wall time was burned waiting; every later
+        # checkpoint embeds more of the wasted time, so the *oldest*
+        # one gives the retry the best chance of re-aligning the next
+        # epoch's schedule.  A second timeout can't do better (the ring
+        # has nothing older) — escalate rather than loop.
+        if outcome.retries > 0:
+            raise _escalate(exc, outcome, manager, watchdog,
+                            reference=reference, replay_log=replay_log,
+                            apps=apps, profile=profile,
+                            trace_references=trace_references,
+                            emulator_kwargs=emulator_kwargs,
+                            reset_timeout=reset_timeout)
+        checkpoint = manager.earliest()
+    else:
+        checkpoint = (manager.latest() if outcome.retries == 0
+                      else manager.discard_latest())
+    if checkpoint is None:
+        raise _escalate(exc, outcome, manager, watchdog,
+                        reference=reference, replay_log=replay_log,
+                        apps=apps, profile=profile,
+                        trace_references=trace_references,
+                        emulator_kwargs=emulator_kwargs,
+                        reset_timeout=reset_timeout)
+    outcome.retries += 1
+    if policy == "degrade":
+        outcome.tainted = True
+    if plan is not None:
+        plan.disarm(driver)
+    if watchdog is not None:
+        watchdog.rewind()
+    return checkpoint
+
+
+def _escalate(exc, outcome, manager, watchdog, **localize_kw):
+    """Build the terminal, typed error for a failure the policy cannot
+    (or may not) absorb."""
+    if isinstance(exc, _DivergenceDetected):
+        report = (watchdog.report if watchdog is not None
+                  else DivergenceReport(divergences=list(exc.fresh)))
+        report.retries = outcome.retries
+        last_good, first_bad = _localize(manager, exc.tick, **localize_kw)
+        report.last_good_tick = last_good
+        report.first_bad_tick = first_bad
+        return DivergenceError(report)
+    # ReplayFault / GuestResetTimeout are already typed; after a failed
+    # resync they surface as-is (the caller sees retry context on the
+    # outcome object it never got — so annotate the report instead).
+    if watchdog is not None:
+        watchdog.report.retries = outcome.retries
+    return exc
+
+
+# ----------------------------------------------------------------------
+# Bisection localization
+# ----------------------------------------------------------------------
+def _localize(manager, bad_tick, *, reference, replay_log, apps, profile,
+              trace_references, emulator_kwargs, reset_timeout):
+    """Narrow the first divergent window ``(last_good, first_bad]``.
+
+    The coarse detection only says "the log had already diverged by
+    checkpoint tick ``bad_tick``".  Replaying the window from the last
+    good checkpoint with progressively finer checkpoint spacing — on a
+    scratch emulator, with a scratch watchdog — shrinks the window by
+    ``_LOCALIZE_FAN``× per round until it is at most ``_LOCALIZE_GOAL``
+    ticks wide.  Deterministic by construction: the scratch run restores
+    the captured machine (including jitter state), so the divergence
+    reproduces at the same tick every round.
+    """
+    checkpoint = manager.before(bad_tick)
+    if checkpoint is None:
+        return None, bad_tick
+    lo, hi = checkpoint.tick, bad_tick
+    rounds = 0
+    while hi - lo > _LOCALIZE_GOAL and rounds < _LOCALIZE_ROUNDS:
+        rounds += 1
+        fine = max(1, (hi - lo) // _LOCALIZE_FAN)
+        scratch = Emulator(apps=apps, **(emulator_kwargs or {}))
+        if profile:
+            scratch.start_profiling(trace_references=trace_references)
+        scratch_watchdog = DivergenceWatchdog(reference)
+        last_scratch_cp = [checkpoint]
+
+        def hook(cp, _wd=scratch_watchdog, _em=scratch,
+                 _keep=last_scratch_cp, _hi=hi):
+            fresh = _wd.check(read_activity_log(_em.kernel))
+            if fresh:
+                raise _StopLocalize(cp.tick)
+            if cp.tick < _hi:
+                _keep[0] = cp
+
+        driver = PlaybackDriver(scratch, replay_log,
+                                reset_timeout=reset_timeout,
+                                checkpoint_every=fine,
+                                checkpoint_hook=hook)
+        try:
+            driver.resume_from(checkpoint)
+        except _StopLocalize as stop:
+            hi = min(hi, stop.tick)
+            checkpoint = last_scratch_cp[0]
+            lo = checkpoint.tick
+        except (ReplayFault, GuestResetTimeout):  # pragma: no cover
+            break
+        else:
+            # The scratch run never re-diverged inside the window; the
+            # bounds we have are the best this ring can do.
+            break
+    return lo, hi

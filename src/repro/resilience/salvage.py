@@ -1,0 +1,212 @@
+"""Trace salvage: recover a playable activity log from a damaged one.
+
+A trace that spent time on a real handheld, an SD card, or a flaky
+HotSync link can arrive damaged: flipped type bytes, truncated record
+blobs, shuffled bursts, duplicated inserts.  The strict parser refuses
+such logs; the salvage parser instead validates every record, repairs
+what it can (re-sorting a shuffled epoch, dropping exact duplicates),
+skips what it cannot, and reports every decision as a typed finding
+through the same :class:`~repro.analysis.static.findings.Report`
+machinery the static analyzers use — so "zero error-severity findings"
+stays the uniform acceptance gate.
+
+Repairs are conservative: a record is only dropped when replaying it
+would be meaningless (unknown type, truncated payload, impossible
+tick), and only reordered *within* its reset epoch, never across one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+from ..analysis.static.findings import Report, Severity
+from ..tracelog import ActivityLog
+from ..tracelog.records import (
+    LogEventType,
+    LogRecord,
+    RECORD_SIZE_SHORT,
+    TraceFormatError,
+)
+
+#: Records claiming a tick at/above this are impossible on a real
+#: session (the tick counter is u32, but a plausible multi-hour session
+#: stays far below; a corrupted tick field usually lands astronomically
+#: high).  2^31 ticks is ~8 months of continuous 100 Hz uptime.
+MAX_PLAUSIBLE_TICK = 1 << 31
+
+
+@dataclass
+class SalvageResult:
+    """What salvage produced: the playable log plus the paper trail."""
+
+    log: ActivityLog
+    report: Report
+    total: int = 0          #: records examined
+    kept: int = 0           #: records in the salvaged log
+    dropped: int = 0        #: records removed
+    repaired: int = 0       #: records altered/moved (re-sorts, masks)
+
+    @property
+    def clean(self) -> bool:
+        """True when the log needed no intervention at all."""
+        return not self.report.findings
+
+    def summary(self) -> str:
+        return (f"salvage: {self.kept}/{self.total} record(s) kept, "
+                f"{self.dropped} dropped, {self.repaired} repaired; "
+                f"{len(self.report.errors)} error(s), "
+                f"{len(self.report.warnings)} warning(s)")
+
+
+def salvage_log(log: ActivityLog, strict: bool = False,
+                max_tick: int = MAX_PLAUSIBLE_TICK) -> SalvageResult:
+    """Validate and repair a decoded activity log.
+
+    With ``strict=True`` any error-severity finding raises
+    :class:`TraceFormatError` carrying the full report (the CLI's
+    default path); otherwise the damaged records are dropped/repaired
+    and the cleaned log is returned for replay.
+    """
+    report = Report()
+    result = SalvageResult(log=ActivityLog(), report=report, total=len(log))
+
+    # Pass 1: per-record structural validation.
+    survivors: List[LogRecord] = []
+    seen_prev: Optional[LogRecord] = None
+    for index, rec in enumerate(log):
+        if not rec.known_type:
+            report.add(Severity.ERROR, "unknown-event-type",
+                       f"record {index} has event type {int(rec.type):#06x} "
+                       f"which names no playback group; dropped",
+                       address=index)
+            result.dropped += 1
+            seen_prev = rec
+            continue
+        if rec.tick >= max_tick:
+            report.add(Severity.ERROR, "implausible-tick",
+                       f"record {index} ({rec.type.name}) claims tick "
+                       f"{rec.tick}, beyond the {max_tick} plausibility "
+                       f"bound; dropped", address=index)
+            result.dropped += 1
+            seen_prev = rec
+            continue
+        if rec.type == LogEventType.KEYSTATE and rec.data > 0xFFFF:
+            # A 12-byte record cannot carry more than 16 data bits; the
+            # oversized value means the blob was decoded off-frame.
+            report.add(Severity.WARNING, "oversized-keystate",
+                       f"record {index} KEYSTATE data {rec.data:#x} exceeds "
+                       f"the 16-bit field; masked", address=index)
+            rec = LogRecord(rec.type, rec.tick, rec.rtc, rec.data & 0xFFFF)
+            result.repaired += 1
+        if (seen_prev is not None
+                and rec.type == seen_prev.type
+                and rec.tick == seen_prev.tick
+                and rec.rtc == seen_prev.rtc
+                and rec.data == seen_prev.data
+                and rec.type != LogEventType.RESET):
+            report.add(Severity.WARNING, "duplicate-record",
+                       f"record {index} exactly duplicates its predecessor "
+                       f"({rec.type.name} tick={rec.tick}); dropped",
+                       address=index)
+            result.dropped += 1
+            seen_prev = rec
+            continue
+        survivors.append(rec)
+        seen_prev = rec
+
+    # Pass 2: per-epoch monotonicity.  Ticks restart at RESET records;
+    # within one epoch a backwards tick means reordered storage (e.g. a
+    # shuffled burst) — repairable by a stable re-sort that never moves
+    # a record across an epoch boundary.
+    cleaned: List[LogRecord] = []
+    epoch: List[LogRecord] = []
+
+    def flush_epoch() -> None:
+        nonlocal epoch
+        if not epoch:
+            return
+        disorder = sum(1 for a, b in zip(epoch, epoch[1:]) if b.tick < a.tick)
+        if disorder:
+            base = len(cleaned)
+            report.add(Severity.WARNING, "non-monotonic-tick",
+                       f"epoch starting at record {base} has {disorder} "
+                       f"backwards tick step(s); re-sorted within the epoch",
+                       address=base)
+            epoch.sort(key=lambda r: r.tick)
+            result.repaired += disorder
+        cleaned.extend(epoch)
+        epoch = []
+
+    for rec in survivors:
+        if rec.type == LogEventType.RESET:
+            epoch.append(rec)
+            flush_epoch()
+        else:
+            epoch.append(rec)
+    flush_epoch()
+
+    result.log.records = cleaned
+    result.kept = len(cleaned)
+
+    if strict and not report.ok:
+        raise TraceFormatError(
+            f"activity log failed strict validation: "
+            f"{len(report.errors)} error-severity finding(s); "
+            f"first: {report.errors[0].message}",
+            index=report.errors[0].address, report=report)
+    return result
+
+
+def salvage_database_image(image, strict: bool = False) -> SalvageResult:
+    """Salvage straight off a transferred database image, recovering
+    records the strict decoder would refuse (unknown type bytes are
+    kept for diagnosis; truncated blobs are dropped)."""
+    log = ActivityLog()
+    blob_report = Report()
+    dropped_blobs = 0
+    for index, rec in enumerate(image.records):
+        if len(rec.data) < RECORD_SIZE_SHORT:
+            blob_report.add(Severity.ERROR, "truncated-record",
+                            f"record {index} blob is {len(rec.data)} bytes, "
+                            f"below the {RECORD_SIZE_SHORT}-byte minimum; "
+                            f"dropped", address=index)
+            dropped_blobs += 1
+            continue
+        try:
+            log.append(LogRecord.decode(rec.data, strict=False))
+        except TraceFormatError as exc:
+            blob_report.add(Severity.ERROR, "corrupt-record",
+                            f"record {index} undecodable: {exc}; dropped",
+                            address=index)
+            dropped_blobs += 1
+    result = salvage_log(log, strict=False)
+    # Blob-level findings come first: they happened first.
+    merged = Report()
+    merged.extend(blob_report)
+    merged.extend(result.report)
+    result.report = merged
+    result.total += dropped_blobs
+    result.dropped += dropped_blobs
+    if strict and not result.report.ok:
+        raise TraceFormatError(
+            f"activity log failed strict validation: "
+            f"{len(result.report.errors)} error-severity finding(s)",
+            report=result.report)
+    return result
+
+
+def salvage_file(path, strict: bool = False) -> SalvageResult:
+    """Salvage a .pdb activity-log file from disk."""
+    from ..palmos.database import DatabaseImage
+
+    try:
+        image = DatabaseImage.from_pdb_bytes(Path(path).read_bytes())
+    except Exception as exc:
+        report = Report()
+        report.add(Severity.ERROR, "unreadable-pdb",
+                   f"cannot parse {path} as a PDB container: {exc}")
+        raise TraceFormatError(f"unreadable activity log {path}: {exc}",
+                               report=report) from exc
+    return salvage_database_image(image, strict=strict)

@@ -8,10 +8,11 @@ from .log import (
     read_activity_log,
 )
 from .parser import ParsedLog, parse_log, split_epochs
-from .records import LogEventType, LogRecord
+from .records import LogEventType, LogRecord, TraceFormatError
 from .transfer import InitialState
 
 __all__ = [
+    "TraceFormatError",
     "ActivityLog",
     "LOG_DB_NAME",
     "MAX_LOG_RECORDS",

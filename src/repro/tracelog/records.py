@@ -25,6 +25,22 @@ from dataclasses import dataclass
 from enum import IntEnum
 
 
+class TraceFormatError(ValueError):
+    """An activity-log record (or the log as a whole) violates the
+    record format: unknown event type, truncated blob, or a structural
+    invariant a strict parse refuses to repair.
+
+    ``index`` is the record index within the log when known; ``report``
+    carries the full findings when the error came out of the salvage
+    parser (:mod:`repro.resilience.salvage`).
+    """
+
+    def __init__(self, message: str, index: int | None = None, report=None):
+        super().__init__(message)
+        self.index = index
+        self.report = report
+
+
 class LogEventType(IntEnum):
     KEY = 1         # EvtEnqueueKey: bit31 = down, low byte = button
     PEN = 2         # EvtEnqueuePenPoint: packed digitizer sample
@@ -44,12 +60,21 @@ RECORD_SIZE_LONG = 16
 
 @dataclass(frozen=True)
 class LogRecord:
-    """One decoded activity-log record."""
+    """One decoded activity-log record.
+
+    ``type`` is normally a :class:`LogEventType`; a lenient decode
+    (``strict=False``) keeps an unknown type byte as a plain ``int`` so
+    the salvage parser can report it instead of losing the record.
+    """
 
     type: LogEventType
     tick: int
     rtc: int
     data: int
+
+    @property
+    def known_type(self) -> bool:
+        return isinstance(self.type, LogEventType)
 
     @property
     def size(self) -> int:
@@ -63,11 +88,25 @@ class LogRecord:
                            self.data & 0xFFFFFFFF)
 
     @classmethod
-    def decode(cls, blob: bytes) -> "LogRecord":
-        etype = LogEventType(struct.unpack(">H", blob[:2])[0])
+    def decode(cls, blob: bytes, strict: bool = True) -> "LogRecord":
+        if len(blob) < RECORD_SIZE_SHORT:
+            raise TraceFormatError(
+                f"record blob is {len(blob)} bytes, below the "
+                f"{RECORD_SIZE_SHORT}-byte minimum")
+        raw_type = struct.unpack(">H", blob[:2])[0]
+        try:
+            etype = LogEventType(raw_type)
+        except ValueError:
+            if strict:
+                raise TraceFormatError(
+                    f"unknown event type {raw_type:#06x}") from None
+            etype = raw_type  # lenient: keep the raw byte for diagnosis
         if etype in SHORT_TYPES:
             _, tick, rtc, data = struct.unpack(">HIIH", blob[:RECORD_SIZE_SHORT])
         else:
+            if len(blob) < 14:
+                raise TraceFormatError(
+                    f"long record truncated to {len(blob)} bytes")
             _, tick, rtc, data = struct.unpack(">HIII", blob[:14])
         return cls(etype, tick, rtc, data)
 
