@@ -15,6 +15,7 @@ DRAM (mirroring their 3x access-time cost).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from ..cache.hierarchy import RegionMix
 
@@ -103,7 +104,7 @@ def classify_opcode(op: int) -> str:
     return "other"
 
 
-def instruction_energy(opcode_histogram) -> dict:
+def instruction_energy(opcode_histogram: Any) -> dict:
     """Aggregate core energy from a profiler's opcode histogram.
 
     Returns ``{"total": float, "by_class": {...}, "instructions": int}``

@@ -6,7 +6,7 @@ rows directly comparable to the paper's.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from ..cache.hierarchy import RegionMix
 from ..cache.sweep import (
@@ -43,7 +43,7 @@ def format_table1(rows: Sequence[dict]) -> str:
 
 
 def _grid_table(title: str, points: Sequence[SweepPoint],
-                cell) -> str:
+                cell: Callable[[SweepPoint], str]) -> str:
     grid = grid_by_config(points)
     header = f"{'size':>6} | " + " | ".join(
         f"{line}B/{assoc}w" for line in PAPER_LINE_SIZES
@@ -111,7 +111,7 @@ def format_opcode_table(top: List[tuple], total: int,
     for op, count in top:
         words = [op, 0, 0]
 
-        def fetch(addr, _w=words):
+        def fetch(addr: int, _w: List[int] = words) -> int:
             return _w[(addr // 2) % 3]
 
         try:

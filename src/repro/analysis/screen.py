@@ -9,7 +9,7 @@ imaging dependencies needed).
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Union
+from typing import Any, Union
 
 from ..device import constants as C
 from ..palmos import layout as L
@@ -18,7 +18,7 @@ from ..palmos import layout as L
 _RAMP = "@%#*+=-:. "
 
 
-def _read_framebuffer(kernel) -> bytes:
+def _read_framebuffer(kernel: Any) -> bytes:
     return kernel.host.read_bytes(L.FRAMEBUFFER, C.FRAMEBUFFER_SIZE)
 
 
@@ -31,7 +31,7 @@ def _pixel_rgb(hi: int, lo: int) -> tuple:
     return (r << 3 | r >> 2, g << 2 | g >> 4, b << 3 | b >> 2)
 
 
-def screen_ascii(kernel, width: int = 80) -> str:
+def screen_ascii(kernel: Any, width: int = 80) -> str:
     """Render the framebuffer as ASCII art (downsampled)."""
     fb = _read_framebuffer(kernel)
     step = max(1, C.SCREEN_WIDTH // width)
@@ -48,7 +48,7 @@ def screen_ascii(kernel, width: int = 80) -> str:
     return "\n".join(rows)
 
 
-def screenshot_ppm(kernel, path: Union[str, Path]) -> None:
+def screenshot_ppm(kernel: Any, path: Union[str, Path]) -> None:
     """Write the framebuffer as a binary PPM (P6) image."""
     fb = _read_framebuffer(kernel)
     header = f"P6\n{C.SCREEN_WIDTH} {C.SCREEN_HEIGHT}\n255\n".encode()
@@ -58,7 +58,7 @@ def screenshot_ppm(kernel, path: Union[str, Path]) -> None:
     Path(path).write_bytes(header + bytes(body))
 
 
-def screen_histogram(kernel) -> dict:
+def screen_histogram(kernel: Any) -> dict:
     """Colour histogram of the framebuffer (diagnostics)."""
     fb = _read_framebuffer(kernel)
     out: dict = {}

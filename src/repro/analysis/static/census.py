@@ -13,20 +13,34 @@ continuous test of the decoder itself.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from ...palmos.traps import Trap
 from .decode import K_TRAP
 from .findings import Report, Severity
 from .walker import CFG
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .dataflow import TrapSite
+
 
 @dataclass
 class TrapCensus:
-    """Reachable A-line trap sites, grouped by trap index."""
+    """Reachable A-line trap sites, grouped by trap index.
+
+    With :meth:`attach_arguments` the census is upgraded from "which
+    traps are callable" to "which traps are callable *with which
+    constant arguments*": the dataflow engine recovers the longword
+    stack slots above the caller's SP at each trap site (Palm OS uses
+    the C calling convention — arguments pushed right to left, so
+    slot 0 is the first argument)."""
 
     #: trap index -> sorted list of call-site addresses.
     sites: Dict[int, List[int]] = field(default_factory=dict)
+    #: call-site address -> recovered argument tuple (``None`` entries
+    #: are arguments the dataflow could not prove constant).
+    site_args: Dict[int, Tuple[Optional[int], ...]] = field(
+        default_factory=dict)
 
     @classmethod
     def from_cfg(cls, cfg: CFG) -> "TrapCensus":
@@ -48,6 +62,39 @@ class TrapCensus:
         """Trap name -> static call-site count."""
         return {self.name_of(idx): len(addrs)
                 for idx, addrs in sorted(self.sites.items())}
+
+    # -- recovered arguments (dataflow upgrade) --------------------------
+    def attach_arguments(self, trap_sites: Iterable["TrapSite"]) -> None:
+        """Attach the dataflow engine's recovered per-site arguments
+        (an iterable of :class:`~repro.analysis.static.dataflow.TrapSite`)."""
+        known = {addr for addrs in self.sites.values() for addr in addrs}
+        for site in trap_sites:
+            if site.addr in known:
+                self.site_args[site.addr] = site.args
+
+    def arguments_at(self, addr: int) -> Tuple[Optional[int], ...]:
+        """The recovered argument tuple for one call site (empty when
+        no argument slot was provably constant)."""
+        return self.site_args.get(addr, ())
+
+    def signatures(self) -> Dict[str, List[List[Optional[int]]]]:
+        """Trap name -> sorted unique recovered argument tuples.
+
+        The answer to "which traps are callable with which constant
+        arguments"; sites with no recovered arguments contribute an
+        empty tuple, so every census'd trap appears.
+        """
+        by_name: Dict[str, set] = {}
+        for idx, addrs in sorted(self.sites.items()):
+            name = self.name_of(idx)
+            bucket = by_name.setdefault(name, set())
+            for addr in addrs:
+                bucket.add(self.site_args.get(addr, ()))
+        def order(args: Tuple[Optional[int], ...]
+                  ) -> Tuple[int, List[Tuple[bool, int]]]:
+            return (len(args), [(v is None, v or 0) for v in args])
+        return {name: [list(args) for args in sorted(tuples, key=order)]
+                for name, tuples in by_name.items()}
 
     def __len__(self) -> int:
         return sum(len(a) for a in self.sites.values())

@@ -14,7 +14,23 @@ from typing import Iterator, List, Optional
 
 
 class Severity(IntEnum):
-    """Finding severity, ordered so ``max()`` picks the worst."""
+    """Finding severity, ordered so ``max()`` picks the worst.
+
+    This scale is shared by *every* diagnostic producer in the tree —
+    the CFG analyzer, the semantic audit, the activity-log linter and
+    the resilience subsystem's trace salvage
+    (:func:`repro.resilience.salvage.salvage_log`) — so severities
+    compare meaningfully across reports:
+
+    * ``ERROR`` — the artifact is wrong: code that executes incorrectly
+      on the emulated CPU, a record that cannot be replayed, a dynamic
+      observation that contradicts a static guarantee.  CI gates fail
+      on errors.
+    * ``WARNING`` — replay or analysis proceeds but fidelity is at
+      risk (an unhacked nondeterminism source, a salvaged-over record,
+      an unmapped access on a maybe-dead path).
+    * ``INFO`` — diagnostics and summaries; never gating.
+    """
 
     INFO = 0
     WARNING = 1
@@ -100,9 +116,21 @@ class Report:
     def at(self, address: int) -> List[Finding]:
         return [f for f in self.findings if f.address == address]
 
+    def sorted(self) -> List[Finding]:
+        """Findings in stable presentation order: worst severity first,
+        then by anchor address (address-less findings last), preserving
+        insertion order between ties.  Every renderer and baseline diff
+        uses this order so output never depends on check scheduling.
+        """
+        return sorted(
+            self.findings,
+            key=lambda f: (-int(f.severity),
+                           f.address is None,
+                           f.address if f.address is not None else 0))
+
     # -- rendering ------------------------------------------------------
     def format(self, min_severity: Severity = Severity.INFO) -> str:
-        lines = [f.format() for f in self.findings
+        lines = [f.format() for f in self.sorted()
                  if f.severity >= min_severity]
         counts = (f"{len(self.errors)} error(s), "
                   f"{len(self.warnings)} warning(s), "

@@ -17,7 +17,7 @@ never logged (the recorder under-recorded the session).
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional, Union
+from typing import Any, Iterable, Optional, Sequence, Union
 
 from ...palmos.database import DatabaseImage
 from ...tracelog.log import MAX_LOG_RECORDS, ActivityLog
@@ -124,7 +124,42 @@ def lint_archive(path: Union[str, Path]) -> Report:
     return report
 
 
-def lint_playback_result(result) -> Report:
+#: Audit finding codes that bear on replay determinism — the subset
+#: ``lint --deep`` surfaces alongside the log checks.
+DETERMINISM_CODES = frozenset({
+    "untraced-nondeterminism",
+    "nondet-reachable-from-handler",
+    "code-write",
+    "semantic-flash-write",
+})
+
+
+def deep_findings(apps: Optional[Sequence[Any]] = None,
+                  hacked_traps: Optional[Iterable[int]] = None) -> Report:
+    """The semantic half of ``lint --deep``: audit the ROM the session
+    replays on and keep the determinism-relevant findings.
+
+    A log can pass every structural check and still replay wrong if
+    the *code* can reach a nondeterminism source no hack traces
+    (``untraced-nondeterminism``) or rewrites itself out from under the
+    recorded instruction stream (``code-write``).  ``hacked_traps``
+    defaults to the standard logging-hack set.
+    """
+    from .audit import audit_rom
+    result = audit_rom(apps, hacked_traps=hacked_traps)
+    report = Report()
+    for finding in result.report:
+        if finding.code in DETERMINISM_CODES:
+            report.findings.append(finding)
+    contributed = len(report)
+    report.add(Severity.INFO, "deep-lint",
+               f"semantic ROM audit contributed {contributed} "
+               f"determinism finding(s) from {len(result.trap_sites)} "
+               f"trap site(s)")
+    return report
+
+
+def lint_playback_result(result: Any) -> Report:
     """The dynamic half: check a finished replay's counters.
 
     ``result`` is a :class:`~repro.emulator.playback.PlaybackResult`.

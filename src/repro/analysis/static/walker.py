@@ -114,12 +114,72 @@ class CFG:
         return self._reachable
 
     def unreachable_blocks(self) -> List[BasicBlock]:
+        """Blocks the roots cannot reach, in deterministic order.
+
+        The result is sorted by block start address so reports and
+        baselines never depend on set iteration order.
+        """
         return [self.blocks[s] for s in sorted(self.blocks)
                 if s not in self.reachable]
 
     def reachable_instructions(self) -> Iterator[Insn]:
         for start in sorted(self.reachable):
             yield from self.blocks[start].insns
+
+    # -- graph structure ------------------------------------------------
+    def predecessors(self) -> Dict[int, List[int]]:
+        """Intra-procedural predecessor lists, deterministically ordered.
+
+        Only ``succs`` edges count (a call returns to its fallthrough
+        block, it does not make the callee a predecessor).
+        """
+        preds: Dict[int, List[int]] = {n: [] for n in self.blocks}
+        for start in sorted(self.blocks):
+            for succ in self.blocks[start].succs:
+                if succ in preds:
+                    preds[succ].append(start)
+        return preds
+
+    def back_edges(self) -> List[Tuple[int, int]]:
+        """(source, target) succ edges that close a cycle.
+
+        Found by an iterative DFS over ``succs`` from the roots and
+        every function entry; an edge is a back edge when its target is
+        still on the DFS stack.  Deterministic: children are visited in
+        sorted order.
+        """
+        entries = sorted(set(self.roots) | self.function_entries)
+        WHITE, GREY, BLACK = 0, 1, 2
+        color: Dict[int, int] = {n: WHITE for n in self.blocks}
+        edges: List[Tuple[int, int]] = []
+        for entry in entries:
+            if entry not in self.blocks or color[entry] != WHITE:
+                continue
+            stack: List[Tuple[int, Iterator[int]]] = []
+            color[entry] = GREY
+            stack.append((entry, iter(sorted(self.blocks[entry].succs))))
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if child not in self.blocks:
+                        continue
+                    if color[child] == GREY:
+                        edges.append((node, child))
+                    elif color[child] == WHITE:
+                        color[child] = GREY
+                        stack.append(
+                            (child, iter(sorted(self.blocks[child].succs))))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return sorted(edges)
+
+    def loop_heads(self) -> Set[int]:
+        """Block starts that are the target of at least one back edge."""
+        return {target for _, target in self.back_edges()}
 
     # -- dominators -----------------------------------------------------
     def dominators(self) -> Dict[int, Set[int]]:

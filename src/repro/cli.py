@@ -106,9 +106,35 @@ def _add_lint(sub) -> None:
     p.add_argument("--session", default=None, metavar="DIR",
                    help="lint this archive's activity log instead of "
                         "analyzing the ROM")
+    p.add_argument("--deep", action="store_true",
+                   help="also run the semantic ROM audit and report "
+                        "determinism-relevant findings (unhacked "
+                        "nondeterminism sources, self-modifying code)")
     p.add_argument("--verbose", action="store_true",
                    help="also print info-severity findings and the "
                         "static trap census")
+
+
+def _add_audit(sub) -> None:
+    p = sub.add_parser(
+        "audit",
+        help="semantically audit the built-in ROM with the dataflow "
+             "engine (constant propagation, trap-argument recovery, "
+             "region classification, nondeterminism reachability)")
+    p.add_argument("--session", default=None, metavar="DIR",
+                   help="also replay this archive with per-instruction "
+                        "reference tracking and cross-check the static "
+                        "region predictions against the dynamic trace")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write the full machine-readable audit to FILE")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="compare against this baseline and fail only on "
+                        "NEW warning/error findings")
+    p.add_argument("--write-baseline", default=None, metavar="FILE",
+                   help="write the current findings as a new baseline")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print info findings, trap signatures and "
+                        "the call graph summary")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -126,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_desktop(sub)
     _add_rom(sub)
     _add_lint(sub)
+    _add_audit(sub)
     return parser
 
 
@@ -450,9 +477,73 @@ def cmd_lint(args) -> int:
             print("static trap census:")
             for name, sites in analysis.census.names().items():
                 print(f"  {name:24s} {sites} call site(s)")
+    if args.deep:
+        from .analysis.static.tracelint import deep_findings
+        report.extend(deep_findings())
+        source += " + semantic ROM audit"
     min_severity = Severity.INFO if args.verbose else Severity.WARNING
     print(f"lint: {source}")
     print(report.format(min_severity=min_severity))
+    return 0 if report.ok else 1
+
+
+def cmd_audit(args) -> int:
+    import json as _json
+
+    from .analysis.static import Severity
+    from .analysis.static.audit import (audit_rom, cross_check_regions,
+                                        load_baseline, new_findings_against,
+                                        save_baseline)
+
+    result = audit_rom(ram_size=_EMU_KW["ram_size"],
+                       flash_size=_EMU_KW["flash_size"])
+    report = result.report
+
+    if args.session is not None:
+        from .apps import standard_apps
+        from .emulator import replay_session
+
+        state, log = _load_archive(args.session)
+        _, profiler, _ = replay_session(
+            state, log, apps=standard_apps(), profile=True,
+            trace_references=False, track_opcode_addresses=True,
+            track_reference_pcs=True, emulator_kwargs=_EMU_KW)
+        report.extend(cross_check_regions(result, profiler.reference_pcs))
+
+    if args.json:
+        Path(args.json).write_text(
+            _json.dumps(result.to_json(), indent=2) + "\n")
+        print(f"audit json   : {args.json}")
+    if args.write_baseline:
+        save_baseline(result, args.write_baseline)
+        print(f"baseline     : {args.write_baseline} "
+              f"({len(result.baseline_keys())} finding(s) frozen)")
+
+    if args.verbose:
+        print("trap signatures (recovered constant arguments):")
+        for name, sigs in result.census.signatures().items():
+            rendered = ", ".join(
+                "(" + ", ".join("?" if v is None else f"{v:#x}"
+                                for v in sig) + ")"
+                for sig in sigs)
+            print(f"  {name:24s} {rendered}")
+        print(f"call graph   : {len(result.call_graph)} function(s), "
+              f"{sum(len(c) for c in result.call_graph.values())} edge(s)")
+    min_severity = Severity.INFO if args.verbose else Severity.WARNING
+    print("audit: built-in ROM")
+    print(report.format(min_severity=min_severity))
+
+    if args.baseline:
+        baseline = load_baseline(args.baseline)
+        fresh = new_findings_against(result, baseline)
+        if fresh:
+            print(f"{len(fresh)} NEW finding(s) not in the baseline:")
+            for finding in fresh:
+                print(f"  {finding.format()}")
+            return 1
+        print(f"no new findings against {args.baseline} "
+              f"({len(baseline)} baselined)")
+        return 0
     return 0 if report.ok else 1
 
 
@@ -464,6 +555,7 @@ _COMMANDS = {
     "desktop-trace": cmd_desktop,
     "rom": cmd_rom,
     "lint": cmd_lint,
+    "audit": cmd_audit,
 }
 
 

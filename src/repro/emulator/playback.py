@@ -596,6 +596,7 @@ class PlaybackDriver:
 def replay_session(state, log: ActivityLog, apps=(), profile: bool = True,
                    trace_references: bool = True,
                    track_opcode_addresses: bool = False,
+                   track_reference_pcs: bool = False,
                    jitter: Optional[JitterModel] = None,
                    emulator_kwargs: Optional[dict] = None,
                    reset_timeout: int = DEFAULT_RESET_TIMEOUT):
@@ -603,7 +604,10 @@ def replay_session(state, log: ActivityLog, apps=(), profile: bool = True,
 
     Returns ``(emulator, profiler, result)``; ``profiler`` is None when
     ``profile=False``.  ``track_opcode_addresses=True`` records the pc
-    of every executed opcode for the static/dynamic cross-check.
+    of every executed opcode for the static/dynamic cross-check;
+    ``track_reference_pcs=True`` additionally attributes every data
+    reference to its instruction for the semantic audit's region
+    cross-check.
     """
     emulator = Emulator(apps=apps, **(emulator_kwargs or {}))
     emulator.load_state(state, restore_clock=jitter is None,
@@ -612,7 +616,8 @@ def replay_session(state, log: ActivityLog, apps=(), profile: bool = True,
     if profile:
         profiler = emulator.start_profiling(
             trace_references=trace_references,
-            track_opcode_addresses=track_opcode_addresses)
+            track_opcode_addresses=track_opcode_addresses,
+            track_reference_pcs=track_reference_pcs)
     driver = PlaybackDriver(emulator, log, jitter=jitter,
                             reset_timeout=reset_timeout)
     result = driver.run(reset=True)

@@ -101,7 +101,8 @@ class Emulator:
     # Profiling (§2.4.2)
     # ------------------------------------------------------------------
     def start_profiling(self, trace_references: bool = True,
-                        track_opcode_addresses: bool = False) -> Profiler:
+                        track_opcode_addresses: bool = False,
+                        track_reference_pcs: bool = False) -> Profiler:
         """Enable profiling: native trap optimisations are ignored in
         favour of the original (ROM) code path.
 
@@ -109,16 +110,25 @@ class Emulator:
         every executed opcode word (``Profiler.opcode_addresses``) so
         the static analyzer can cross-check its CFG against the
         dynamically executed instruction stream.
+
+        ``track_reference_pcs=True`` (implies the per-address hook)
+        attributes every data reference to the instruction that issued
+        it (``Profiler.reference_pcs``), which is what the semantic
+        analyzer's static RAM/flash classification is checked against.
         """
-        profiler = Profiler(trace_references=trace_references)
+        profiler = Profiler(trace_references=trace_references,
+                            track_reference_pcs=track_reference_pcs)
         self.profiler = profiler
         self.kernel.device.mem.tracer = profiler
         cpu = self.kernel.device.cpu
-        if track_opcode_addresses:
+        if track_opcode_addresses or track_reference_pcs:
             # At hook time the CPU has already advanced pc past the
             # opcode word, so the instruction address is pc - 2.
             cpu.opcode_hook = (
                 lambda op: profiler.opcode_at((cpu.pc - 2) & 0xFFFFFFFF, op))
+            # Interrupt frames are pushed between instructions; stop
+            # attributing them to the previously executed opcode.
+            cpu.interrupt_hook = profiler.detach_pc
         else:
             cpu.opcode_hook = profiler.opcode
         self.kernel.allow_native = False
@@ -129,6 +139,7 @@ class Emulator:
         self.profiler = None
         self.kernel.device.mem.tracer = None
         self.kernel.device.cpu.opcode_hook = None
+        self.kernel.device.cpu.interrupt_hook = None
         self.kernel.allow_native = True
         return profiler
 

@@ -33,6 +33,16 @@ T_RAM_CYCLES = 1
 T_FLASH_CYCLES = 3
 
 
+def ref_mask_bit(kind: int, region: int) -> int:
+    """The ``reference_pcs`` bitmask bit for a (kind, region) pair.
+
+    Only data kinds are tracked: bit ``(kind - 1) * 4 + region`` with
+    kind ∈ {READ, WRITE} and region ∈ {RAM, FLASH, HW, CARD} — eight
+    bits total, reads in the low nibble, writes in the high nibble.
+    """
+    return 1 << (((kind - 1) << 2) | region)
+
+
 class Profiler:
     """Accumulates opcode counts and memory references.
 
@@ -41,8 +51,18 @@ class Profiler:
     feeds one call per executed opcode.
     """
 
-    def __init__(self, trace_references: bool = True):
+    def __init__(self, trace_references: bool = True,
+                 track_reference_pcs: bool = False):
         self.trace_references = trace_references
+        #: When enabled (and the per-address opcode hook is wired),
+        #: every non-fetch reference is attributed to the pc of the
+        #: instruction that caused it: ``reference_pcs[pc]`` is a
+        #: bitmask of observed ``ref_mask_bit(kind, region)`` bits.
+        #: The static region classifier cross-checks its per-insn
+        #: predictions against this (see ``analysis.static.audit``).
+        self.track_reference_pcs = track_reference_pcs
+        self.reference_pcs: Dict[int, int] = {}
+        self._current_pc = -1
         self.opcode_counts: array = array("Q", bytes(8 * 0x10000))
         #: Flat reference counters indexed ``kind | region << 4`` — the
         #: same packing as the trace's ``kinds`` bytes.  One array index
@@ -67,6 +87,14 @@ class Profiler:
     # -- hooks ---------------------------------------------------------
     def reference(self, addr: int, kind: int, region: int) -> None:
         self._counts[kind | (region << 4)] += 1
+        if self.track_reference_pcs and kind != KIND_FETCH \
+                and self._current_pc >= 0:
+            # Opcode-word fetches happen *before* the per-pc hook runs
+            # and are excluded by the kind test above, so everything
+            # recorded here is a data reference of ``_current_pc``.
+            self.reference_pcs[self._current_pc] = \
+                self.reference_pcs.get(self._current_pc, 0) \
+                | ref_mask_bit(kind, region)
         if self.trace_references:
             self._addr.append(addr & 0xFFFFFFFF)
             self._kind.append(kind | (region << 4))
@@ -85,6 +113,13 @@ class Profiler:
         self.opcode_counts[op] += 1
         self.instructions += 1
         self.opcode_addresses[pc] = op
+        self._current_pc = pc
+
+    def detach_pc(self) -> None:
+        """Stop attributing references to the last opcode (wired to the
+        CPU's ``interrupt_hook``: an interrupt's exception-frame pushes
+        belong to no instruction)."""
+        self._current_pc = -1
 
     # -- aggregate statistics ---------------------------------------------
     @property

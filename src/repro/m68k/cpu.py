@@ -86,6 +86,11 @@ class CPU:
         #: Optional per-instruction hook receiving the opcode word
         #: (used by the profiler's opcode histogram).
         self.opcode_hook: Optional[Callable[[int], None]] = None
+        #: Optional hook fired when an interrupt is serviced *between*
+        #: instructions: the exception-frame pushes that follow belong
+        #: to no instruction, and a per-pc reference tracker must stop
+        #: attributing them to the previously executed opcode.
+        self.interrupt_hook: Optional[Callable[[], None]] = None
 
         if CPU._dispatch is None:
             from .decoder import build_dispatch_table
@@ -246,6 +251,8 @@ class CPU:
     def step(self) -> None:
         """Execute one instruction (or service one interrupt)."""
         if self.pending_irq and (self.pending_irq > self.imask or self.pending_irq == 7):
+            if self.interrupt_hook is not None:
+                self.interrupt_hook()
             self._service_interrupt()
             return
         if self.stopped:

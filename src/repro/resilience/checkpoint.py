@@ -32,7 +32,7 @@ import zlib
 from array import array
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from .errors import CheckpointError
 
@@ -105,21 +105,21 @@ class Checkpoint:
         manifest.pop("_format", None)
         return cls(manifest=manifest, sections=sections)
 
-    def save(self, path) -> Path:
+    def save(self, path: Union[str, Path]) -> Path:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_bytes(self.to_bytes())
         return path
 
     @classmethod
-    def load(cls, path) -> "Checkpoint":
+    def load(cls, path: Union[str, Path]) -> "Checkpoint":
         return cls.from_bytes(Path(path).read_bytes())
 
 
 # ----------------------------------------------------------------------
 # Emulator state capture / restore
 # ----------------------------------------------------------------------
-def capture_emulator(emulator) -> Checkpoint:
+def capture_emulator(emulator: Any) -> Checkpoint:
     """Snapshot the full machine state into a :class:`Checkpoint`.
 
     The playback driver layers its own cursors on top (see
@@ -208,7 +208,7 @@ def capture_emulator(emulator) -> Checkpoint:
     return Checkpoint(manifest=manifest, sections=sections)
 
 
-def restore_emulator(emulator, checkpoint: Checkpoint) -> None:
+def restore_emulator(emulator: Any, checkpoint: Checkpoint) -> None:
     """Restore a captured machine state onto an equivalent emulator.
 
     The emulator must be built with the same application set and memory
@@ -339,7 +339,8 @@ class CheckpointManager:
     (:meth:`discard_latest`).
     """
 
-    def __init__(self, directory=None, keep: int = 4):
+    def __init__(self, directory: Union[str, Path, None] = None,
+                 keep: int = 4):
         if keep < 1:
             raise ValueError("keep must be >= 1")
         self.directory = Path(directory) if directory else None
@@ -394,7 +395,8 @@ class CheckpointManager:
             path.unlink()
 
     @classmethod
-    def load_directory(cls, directory, keep: int = 4) -> "CheckpointManager":
+    def load_directory(cls, directory: Union[str, Path],
+                       keep: int = 4) -> "CheckpointManager":
         """Rebuild a manager from a checkpoint directory (resume after
         the process died)."""
         manager = cls(directory=directory, keep=keep)

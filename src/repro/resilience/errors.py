@@ -10,8 +10,13 @@ from __future__ import annotations
 
 # Re-exported so resilience users have one import point for the typed
 # failures that originate in lower layers.
+from typing import TYPE_CHECKING
+
 from ..emulator.playback import GuestResetTimeout  # noqa: F401
 from ..tracelog.records import TraceFormatError  # noqa: F401
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .watchdog import DivergenceReport
 
 
 class ResilienceError(RuntimeError):
@@ -54,6 +59,6 @@ class DivergenceError(ResilienceError):
     localized first divergent tick, not just a string.
     """
 
-    def __init__(self, report):
+    def __init__(self, report: "DivergenceReport") -> None:
         self.report = report
         super().__init__(report.summary())

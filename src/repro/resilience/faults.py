@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple, Union
+from typing import Any, Dict, List, Tuple, Union
 
 from ..tracelog import ActivityLog
 from ..tracelog.records import LogEventType, LogRecord
@@ -64,7 +64,7 @@ class FaultSpec:
     name: str
     params: Dict[str, Union[int, float, str]] = field(default_factory=dict)
 
-    def get(self, key: str, default):
+    def get(self, key: str, default: Any) -> Any:
         return self.params.get(key, default)
 
     def describe(self) -> str:
@@ -144,7 +144,7 @@ class FaultPlan:
     # ------------------------------------------------------------------
     # Runtime faults
     # ------------------------------------------------------------------
-    def arm(self, driver) -> List[str]:
+    def arm(self, driver: Any) -> List[str]:
         """Install the runtime faults on a playback driver.  Scheduled
         faults live on the device's stimulus queue, so a checkpoint
         restore drops them (one-shot semantics)."""
@@ -155,7 +155,7 @@ class FaultPlan:
                 at = int(spec.get("at", device.tick + 1000))
                 detail = str(spec.get("detail", "scheduled-callback fault"))
 
-                def _blow(at=at, detail=detail):
+                def _blow(at: int = at, detail: str = detail) -> None:
                     raise ReplayFault("crash", at, detail)
 
                 device.schedule_call(at, _blow)
@@ -165,7 +165,7 @@ class FaultPlan:
                 seconds = int(spec.get("seconds", 30))
                 rtc = device.rtc
 
-                def _drift(rtc=rtc, seconds=seconds):
+                def _drift(rtc: Any = rtc, seconds: int = seconds) -> None:
                     rtc.base_seconds = (rtc.base_seconds + seconds) & 0xFFFFFFFF
 
                 device.schedule_call(at, _drift)
@@ -176,7 +176,7 @@ class FaultPlan:
                 notes.append("armed stall-reset (reset detection suppressed)")
         return notes
 
-    def disarm(self, driver) -> None:
+    def disarm(self, driver: Any) -> None:
         """Clear persistent runtime faults before a resync retry (the
         scheduled ones died with the restored stimulus queue)."""
         driver._fault_stall_reset = False

@@ -28,7 +28,8 @@ resilience machinery:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..emulator.playback import (
     DEFAULT_RESET_TIMEOUT,
@@ -95,9 +96,9 @@ class ResilientReplayResult:
 
 
 def resilient_replay(
-    state,
+    state: Any,
     log: ActivityLog,
-    apps=(),
+    apps: Sequence[Any] = (),
     *,
     profile: bool = True,
     trace_references: bool = True,
@@ -105,12 +106,12 @@ def resilient_replay(
     emulator_kwargs: Optional[dict] = None,
     reset_timeout: int = DEFAULT_RESET_TIMEOUT,
     checkpoint_every: int = 2000,
-    checkpoint_dir=None,
+    checkpoint_dir: Union[str, Path, None] = None,
     keep_checkpoints: int = 4,
     on_divergence: str = "strict",
     retry_budget: int = 3,
     watch: bool = True,
-    faults=None,
+    faults: Union[str, FaultPlan, None] = None,
     salvage: bool = False,
     idle_grace_ticks: int = 200,
     max_ticks: int = 100_000_000,
@@ -222,10 +223,16 @@ def resilient_replay(
     return outcome
 
 
-def _handle_failure(exc, outcome, manager, watchdog, driver, plan,
-                    policy, retry_budget, *, reference, replay_log, apps,
-                    profile, trace_references, emulator_kwargs,
-                    reset_timeout) -> Checkpoint:
+def _handle_failure(exc: BaseException, outcome: ReplayOutcome,
+                    manager: CheckpointManager,
+                    watchdog: Optional[DivergenceWatchdog],
+                    driver: Any, plan: Optional[FaultPlan],
+                    policy: str, retry_budget: List[int], *,
+                    reference: ActivityLog, replay_log: ActivityLog,
+                    apps: Sequence[Any], profile: bool,
+                    trace_references: bool,
+                    emulator_kwargs: Optional[dict],
+                    reset_timeout: int) -> Checkpoint:
     """Apply the divergence policy to one failure; returns the
     checkpoint to resume from, or raises the terminal error."""
     if policy == "strict":
@@ -279,7 +286,36 @@ def _handle_failure(exc, outcome, manager, watchdog, driver, plan,
     return checkpoint
 
 
-def _escalate(exc, outcome, manager, watchdog, **localize_kw):
+#: Memoized semantic-audit hints per application set — the ROM audit is
+#: pure (same apps, same ROM, same findings), so one run per app set
+#: serves every divergence report in the process.
+_static_hint_cache: Dict[Tuple[str, ...], List[str]] = {}
+
+
+def _static_hints(apps: Optional[Sequence[Any]]) -> List[str]:
+    """Determinism-relevant findings from the semantic ROM audit,
+    formatted for :attr:`DivergenceReport.static_hints`.  Best effort:
+    any analysis failure yields no hints, never a masked divergence
+    error."""
+    key = tuple(sorted(getattr(a, "name", repr(a)) for a in (apps or ())))
+    if key not in _static_hint_cache:
+        try:
+            from ..analysis.static.findings import Severity
+            from ..analysis.static.tracelint import deep_findings
+
+            report = deep_findings(list(apps) if apps else None)
+            _static_hint_cache[key] = [
+                f.format() for f in report.sorted()
+                if f.severity >= Severity.WARNING]
+        except Exception:       # pragma: no cover - defensive only
+            _static_hint_cache[key] = []
+    return _static_hint_cache[key]
+
+
+def _escalate(exc: BaseException, outcome: ReplayOutcome,
+              manager: CheckpointManager,
+              watchdog: Optional[DivergenceWatchdog],
+              **localize_kw: Any) -> BaseException:
     """Build the terminal, typed error for a failure the policy cannot
     (or may not) absorb."""
     if isinstance(exc, _DivergenceDetected):
@@ -289,6 +325,7 @@ def _escalate(exc, outcome, manager, watchdog, **localize_kw):
         last_good, first_bad = _localize(manager, exc.tick, **localize_kw)
         report.last_good_tick = last_good
         report.first_bad_tick = first_bad
+        report.static_hints = _static_hints(localize_kw.get("apps"))
         return DivergenceError(report)
     # ReplayFault / GuestResetTimeout are already typed; after a failed
     # resync they surface as-is (the caller sees retry context on the
@@ -301,8 +338,12 @@ def _escalate(exc, outcome, manager, watchdog, **localize_kw):
 # ----------------------------------------------------------------------
 # Bisection localization
 # ----------------------------------------------------------------------
-def _localize(manager, bad_tick, *, reference, replay_log, apps, profile,
-              trace_references, emulator_kwargs, reset_timeout):
+def _localize(manager: CheckpointManager, bad_tick: int, *,
+              reference: ActivityLog, replay_log: ActivityLog,
+              apps: Sequence[Any], profile: bool,
+              trace_references: bool,
+              emulator_kwargs: Optional[dict],
+              reset_timeout: int) -> Tuple[Optional[int], int]:
     """Narrow the first divergent window ``(last_good, first_bad]``.
 
     The coarse detection only says "the log had already diverged by
@@ -328,8 +369,11 @@ def _localize(manager, bad_tick, *, reference, replay_log, apps, profile,
         scratch_watchdog = DivergenceWatchdog(reference)
         last_scratch_cp = [checkpoint]
 
-        def hook(cp, _wd=scratch_watchdog, _em=scratch,
-                 _keep=last_scratch_cp, _hi=hi):
+        def hook(cp: Checkpoint,
+                 _wd: DivergenceWatchdog = scratch_watchdog,
+                 _em: Emulator = scratch,
+                 _keep: List[Checkpoint] = last_scratch_cp,
+                 _hi: int = hi) -> None:
             fresh = _wd.check(read_activity_log(_em.kernel))
             if fresh:
                 raise _StopLocalize(cp.tick)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, List, Optional, Union
 
 from ..analysis.static.findings import Report, Severity
 from ..tracelog import ActivityLog
@@ -159,7 +159,7 @@ def salvage_log(log: ActivityLog, strict: bool = False,
     return result
 
 
-def salvage_database_image(image, strict: bool = False) -> SalvageResult:
+def salvage_database_image(image: Any, strict: bool = False) -> SalvageResult:
     """Salvage straight off a transferred database image, recovering
     records the strict decoder would refuse (unknown type bytes are
     kept for diagnosis; truncated blobs are dropped)."""
@@ -197,7 +197,7 @@ def salvage_database_image(image, strict: bool = False) -> SalvageResult:
     return result
 
 
-def salvage_file(path, strict: bool = False) -> SalvageResult:
+def salvage_file(path: "Union[str, Path]", strict: bool = False) -> SalvageResult:
     """Salvage a .pdb activity-log file from disk."""
     from ..palmos.database import DatabaseImage
 

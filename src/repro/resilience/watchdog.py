@@ -72,6 +72,12 @@ class DivergenceReport:
     last_good_tick: Optional[int] = None
     first_bad_tick: Optional[int] = None
     retries: int = 0
+    #: Determinism-relevant findings from the semantic ROM audit
+    #: (``analysis.static.audit``), attached by the resilient runner
+    #: when a strict replay diverges: an unhacked nondeterminism source
+    #: or self-modifying code is the most likely root cause, and the
+    #: audit names it statically.
+    static_hints: List[str] = field(default_factory=list)
 
     def __bool__(self) -> bool:
         return bool(self.divergences)
@@ -109,6 +115,10 @@ class DivergenceReport:
             if div.actual is not None:
                 lines.append(f"      actual  : tick={div.actual.tick} "
                              f"data={div.actual.data:#010x}")
+        if self.static_hints:
+            lines.append("  static audit hints (possible root causes):")
+            for hint in self.static_hints:
+                lines.append(f"    * {hint}")
         return "\n".join(lines)
 
 

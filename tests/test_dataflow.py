@@ -1,0 +1,453 @@
+"""Tests for the abstract-interpretation dataflow engine
+(repro.analysis.static.dataflow).
+
+The centrepiece is the differential soundness test: hypothesis
+generates guest programs, the interpreter executes them with a
+per-instruction hook, and every value the static analysis claims
+constant at an instruction entry must equal the value the interpreter
+actually has there.  Soundness, not completeness — the analysis may
+say "unknown", it may never say a wrong constant.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.static import walk
+from repro.analysis.static.dataflow import (ENTRY_SP, AbsState,
+                                            analyze_constprop, join,
+                                            nondet_reachability, val_add,
+                                            val_sub, widen)
+from repro.m68k import CPU, FlatMemory
+from repro.m68k.asm import assemble
+
+CODE_BASE = 0x1000
+STACK_TOP = 0x20000
+RAM_SIZE = 0x40000
+M32 = 0xFFFFFFFF
+
+
+def _assemble(source: str):
+    """Assemble ``source`` with the host-exit marker appended (the same
+    convention as tests/m68k_utils.py) and return (program, blob)."""
+    program = assemble(source + "\n    dc.w $ffff\n    stop #$2700\n",
+                       origin=CODE_BASE)
+    return program, bytes(program.blob)
+
+
+def _fetch_of(blob: bytes):
+    def fetch(addr: int) -> int:
+        off = addr - CODE_BASE
+        if 0 <= off + 1 < len(blob) + 1:
+            hi = blob[off] if off < len(blob) else 0
+            lo = blob[off + 1] if off + 1 < len(blob) else 0
+            return (hi << 8) | lo
+        return 0
+    return fetch
+
+
+def _analyze(source: str, roots=(CODE_BASE,), **kw):
+    program, blob = _assemble(source)
+    fetch = _fetch_of(blob)
+    addrs = [program.symbols[r] if isinstance(r, str) else r for r in roots]
+    cfg = walk(fetch, addrs, code_range=(CODE_BASE, CODE_BASE + len(blob)))
+    return program, cfg, analyze_constprop(cfg, fetch, **kw)
+
+
+# ----------------------------------------------------------------------
+# Lattice algebra
+# ----------------------------------------------------------------------
+class TestLattice:
+    def test_join_pointwise(self):
+        x = AbsState(d=(1,) + (None,) * 7, a=(None,) * 7 + (ENTRY_SP,),
+                     slots=((-4, 7),))
+        y = AbsState(d=(1,) + (None,) * 7, a=(None,) * 7 + (ENTRY_SP,),
+                     slots=((-4, 7), (-8, 9)))
+        j = join(x, y)
+        assert j.dreg(0) == 1
+        assert j.sp == ENTRY_SP
+        assert j.slot(-4) == 7
+        assert j.slot(-8) is None      # only on one side
+
+    def test_join_conflicting_goes_top(self):
+        x = AbsState(d=(1,) + (None,) * 7, a=(None,) * 8)
+        y = AbsState(d=(2,) + (None,) * 7, a=(None,) * 8)
+        assert join(x, y).dreg(0) is None
+
+    def test_widen_drops_slots_keeps_registers(self):
+        x = AbsState(d=(5,) + (None,) * 7, a=(None,) * 7 + (ENTRY_SP,),
+                     slots=((-4, 7),))
+        w = widen(x)
+        assert w.dreg(0) == 5
+        assert w.sp == ENTRY_SP
+        assert w.slots == ()
+
+    def test_symbolic_arithmetic_signed(self):
+        # Adding an unsigned-32 encoding of -4 must move the symbolic
+        # offset down, not up by 4 billion.
+        assert val_add(ENTRY_SP, 0xFFFFFFFC) == ("s", -4)
+        assert val_sub(("s", -4), 0xFFFFFFFC) == ("s", 0)
+        assert val_sub(("s", 12), ("s", 4)) == 8
+
+
+# ----------------------------------------------------------------------
+# Constant propagation
+# ----------------------------------------------------------------------
+class TestConstProp:
+    def test_straight_line_arithmetic(self):
+        src = """
+start:  moveq   #5,d0
+        move.l  d0,d1
+        addq.l  #2,d1
+        lsl.l   #4,d1
+        not.l   d0
+here:   nop
+"""
+        program, cfg, res = _analyze(src)
+        consts = res.constants_at(program.symbols["here"])
+        assert consts["d1"] == 0x70
+        assert consts["d0"] == 5 ^ M32
+
+    def test_join_keeps_agreeing_constant_only(self):
+        src = """
+start:  moveq   #3,d1
+        moveq   #9,d2
+        tst.l   d0
+        beq.s   other
+        moveq   #4,d2
+        bra.s   done
+other:  nop
+done:   nop
+"""
+        program, cfg, res = _analyze(src)
+        consts = res.constants_at(program.symbols["done"])
+        assert consts["d1"] == 3          # same on both paths
+        assert "d2" not in consts         # 9 on one path, 4 on the other
+
+    def test_stack_slot_roundtrip(self):
+        src = """
+start:  moveq   #42,d3
+        move.l  d3,-(sp)
+        moveq   #0,d3
+        move.l  (sp)+,d4
+here:   nop
+"""
+        program, cfg, res = _analyze(src)
+        consts = res.constants_at(program.symbols["here"])
+        assert consts["d4"] == 42
+        assert consts["d3"] == 0
+
+    def test_call_havocs_registers_but_not_sp(self):
+        src = """
+start:  moveq   #1,d0
+        movea.l d0,a2
+        bsr.s   sub
+here:   nop
+        bra.s   out
+sub:    rts
+out:    nop
+"""
+        program, cfg, res = _analyze(src)
+        state = res.insn_in[program.symbols["here"]]
+        assert state.dreg(0) is None      # callee may clobber
+        assert state.areg(2) is None
+        assert state.sp == ENTRY_SP       # balanced-call convention
+
+    def test_loop_head_terminates_and_claims_nothing_false(self):
+        src = """
+start:  moveq   #10,d1
+        moveq   #0,d2
+loop:   addq.l  #1,d2
+        subq.l  #1,d1
+        bne.s   loop
+after:  nop
+"""
+        program, cfg, res = _analyze(src)
+        # d1/d2 vary around the loop: no constant may be claimed at the
+        # loop head (except on the first entry they would be wrong).
+        head = res.constants_at(program.symbols["loop"])
+        assert "d1" not in head
+        assert "d2" not in head
+
+    def test_readonly_image_reads_fold(self):
+        src = """
+start:  lea     table,a0
+        move.l  (a0),d5
+here:   nop
+        bra.s   here2
+table:  dc.l    $11223344
+here2:  nop
+"""
+        program, blob = _assemble(src)
+        fetch = _fetch_of(blob)
+        cfg = walk(fetch, [CODE_BASE],
+                   code_range=(CODE_BASE, CODE_BASE + len(blob)))
+        res = analyze_constprop(
+            cfg, fetch,
+            readonly_ranges=((CODE_BASE, CODE_BASE + len(blob)),))
+        consts = res.constants_at(program.symbols["here"])
+        assert consts["d5"] == 0x11223344
+        # Without the readonly promise the same read must stay unknown.
+        res2 = analyze_constprop(cfg, fetch)
+        assert "d5" not in res2.constants_at(program.symbols["here"])
+
+    def test_dead_store_detected(self):
+        src = """
+start:  moveq   #1,d0
+        move.l  d0,-(sp)
+        moveq   #2,d0
+        move.l  d0,(sp)
+        move.l  (sp)+,d1
+here:   nop
+"""
+        program, cfg, res = _analyze(src)
+        assert len(res.dead_stores) == 1
+        dead, overwriter = res.dead_stores[0]
+        assert dead < overwriter
+
+    def test_read_between_stores_is_not_dead(self):
+        src = """
+start:  moveq   #1,d0
+        move.l  d0,-(sp)
+        move.l  (sp),d1
+        move.l  d0,(sp)
+        move.l  (sp)+,d2
+here:   nop
+"""
+        program, cfg, res = _analyze(src)
+        assert res.dead_stores == []
+
+
+# ----------------------------------------------------------------------
+# Trap-argument recovery
+# ----------------------------------------------------------------------
+class TestTrapArguments:
+    def test_arguments_recovered_in_c_order(self):
+        src = """
+start:  move.l  #$10,-(sp)
+        move.l  #$20,-(sp)
+        dc.w    $a010
+here:   nop
+"""
+        program, cfg, res = _analyze(src)
+        assert len(res.trap_sites) == 1
+        site = res.trap_sites[0]
+        assert site.trap == 0x010
+        # Last pushed = lowest address = first C argument.
+        assert site.args == (0x20, 0x10)
+
+    def test_unknown_argument_is_none_and_trailing_trimmed(self):
+        src = """
+start:  move.l  #$77,-(sp)
+        move.l  d0,-(sp)
+        move.l  #$99,-(sp)
+        dc.w    $a018
+here:   nop
+"""
+        program, cfg, res = _analyze(src)
+        # Middle argument is unknown (None); a trailing unknown would
+        # simply be trimmed (the analysis cannot know the arity).
+        assert res.trap_sites[0].args == (0x99, None, 0x77)
+
+
+# ----------------------------------------------------------------------
+# Nondeterminism reachability
+# ----------------------------------------------------------------------
+class TestNondetReachability:
+    def test_backward_propagation_over_branches_and_calls(self):
+        src = """
+start:  bsr.s   helper
+        tst.l   d0
+        beq.s   clean
+        dc.w    $a010
+clean:  rts
+helper: dc.w    $a018
+        rts
+"""
+        program, cfg, res = _analyze(src)
+        reach = nondet_reachability(cfg, {0x010, 0x018})
+        start = program.symbols["start"]
+        clean = program.symbols["clean"]
+        helper = program.symbols["helper"]
+        # start reaches both (its own trap and the callee's).
+        assert reach[start] == frozenset({0x010, 0x018})
+        assert reach[helper] == frozenset({0x018})
+        assert reach.get(clean, frozenset()) == frozenset()
+
+    def test_unreachable_trap_not_attributed(self):
+        src = """
+start:  nop
+        rts
+unused: dc.w    $a010
+        rts
+"""
+        program, cfg, res = _analyze(src, roots=("start", "unused"))
+        reach = nondet_reachability(cfg, {0x010})
+        assert reach.get(program.symbols["start"], frozenset()) == frozenset()
+        assert reach[program.symbols["unused"]] == frozenset({0x010})
+
+
+# ----------------------------------------------------------------------
+# Differential soundness (hypothesis)
+# ----------------------------------------------------------------------
+_DREG = st.integers(0, 7)
+#: a0-a5 only: generated code must never redirect a7 (pushes through an
+#: arbitrary pointer could land in the code image or the vector table).
+_AREG = st.integers(0, 5)
+
+_OPS = st.one_of(
+    st.builds(lambda r, v: f"    moveq   #{v},d{r}",
+              _DREG, st.integers(-128, 127)),
+    st.builds(lambda a, b: f"    move.l  d{a},d{b}", _DREG, _DREG),
+    st.builds(lambda a, b: f"    add.l   d{a},d{b}", _DREG, _DREG),
+    st.builds(lambda a, b: f"    sub.l   d{a},d{b}", _DREG, _DREG),
+    st.builds(lambda a, b: f"    and.l   d{a},d{b}", _DREG, _DREG),
+    st.builds(lambda a, b: f"    or.l    d{a},d{b}", _DREG, _DREG),
+    st.builds(lambda a, b: f"    eor.l   d{a},d{b}", _DREG, _DREG),
+    st.builds(lambda a, b: f"    move.w  d{a},d{b}", _DREG, _DREG),
+    st.builds(lambda a, b: f"    add.b   d{a},d{b}", _DREG, _DREG),
+    st.builds(lambda a, b: f"    exg     d{a},d{b}", _DREG, _DREG),
+    st.builds(lambda a, b: f"    muls    d{a},d{b}", _DREG, _DREG),
+    st.builds(lambda r: f"    not.l   d{r}", _DREG),
+    st.builds(lambda r: f"    neg.l   d{r}", _DREG),
+    st.builds(lambda r: f"    swap    d{r}", _DREG),
+    st.builds(lambda r: f"    tst.l   d{r}", _DREG),
+    st.builds(lambda r, n: f"    lsl.l   #{n},d{r}",
+              _DREG, st.integers(1, 8)),
+    st.builds(lambda r, n: f"    lsr.l   #{n},d{r}",
+              _DREG, st.integers(1, 8)),
+    st.builds(lambda r, n: f"    asr.l   #{n},d{r}",
+              _DREG, st.integers(1, 8)),
+    st.builds(lambda r, n: f"    ror.l   #{n},d{r}",
+              _DREG, st.integers(1, 8)),
+    st.builds(lambda r, n: f"    addq.l  #{n},d{r}",
+              _DREG, st.integers(1, 8)),
+    st.builds(lambda r, n: f"    subq.l  #{n},d{r}",
+              _DREG, st.integers(1, 8)),
+    st.builds(lambda d, a: f"    movea.l d{d},a{a}", _DREG, _AREG),
+    st.builds(lambda a, n: f"    addq.l  #{n},a{a}",
+              _AREG, st.integers(1, 8)),
+    st.builds(lambda r: f"    move.l  d{r},-(sp)", _DREG),
+    st.builds(lambda r: f"    move.l  (sp)+,d{r}", _DREG),
+    st.builds(lambda r: f"    move.l  sp,a{r}", _AREG),
+)
+
+_SEGMENT = st.lists(_OPS, min_size=0, max_size=10)
+
+
+def _diamond_program(pre, then, els, post) -> str:
+    lines = ["start:"]
+    lines += pre
+    lines += ["    tst.l   d0", "    beq.s   elsel"]
+    lines += then
+    # The nops keep every short branch's displacement non-zero even
+    # when hypothesis shrinks a segment to empty.
+    lines += ["    nop", "    bra.s   joinl", "elsel:"]
+    lines += els
+    lines += ["    nop", "joinl:"]
+    lines += post
+    return "\n".join(lines) + "\n"
+
+
+def _check_soundness(source: str):
+    """Run ``source`` on the interpreter while checking every static
+    constant claim at every executed instruction entry."""
+    program, blob = _assemble(source)
+    fetch = _fetch_of(blob)
+    cfg = walk(fetch, [CODE_BASE],
+               code_range=(CODE_BASE, CODE_BASE + len(blob)))
+    res = analyze_constprop(cfg, fetch)
+
+    mem = FlatMemory(RAM_SIZE)
+    mem.write32(0, STACK_TOP)
+    mem.write32(4, CODE_BASE)
+    for addr, seg in program.segments:
+        mem.load(addr, seg)
+
+    def exit_handler(cpu, op):
+        if op == 0xFFFF:
+            cpu.stopped = True
+            return True
+        return False
+
+    cpu = CPU(mem, fline_handler=exit_handler)
+    cpu.reset()
+    violations = []
+
+    def hook(op):
+        pc = (cpu.pc - 2) & M32
+        state = res.insn_in.get(pc)
+        if state is None:
+            return
+        for i in range(8):
+            v = state.dreg(i)
+            if isinstance(v, int) and cpu.d[i] != v:
+                violations.append((pc, f"d{i}", v, cpu.d[i]))
+        for i in range(8):
+            v = state.areg(i)
+            if isinstance(v, int):
+                if cpu.a[i] != v:
+                    violations.append((pc, f"a{i}", v, cpu.a[i]))
+            elif isinstance(v, tuple):
+                expect = (STACK_TOP + v[1]) & M32
+                if cpu.a[i] != expect:
+                    violations.append((pc, f"a{i}", expect, cpu.a[i]))
+        for off, v in state.slots:
+            actual = mem.read32((STACK_TOP + off) & M32)
+            expect = (v if isinstance(v, int)
+                      else (STACK_TOP + v[1]) & M32)
+            if actual != expect:
+                violations.append((pc, f"slot{off:+d}", expect, actual))
+
+    cpu.opcode_hook = hook
+    cpu.run(100_000)
+    assert cpu.stopped, "program did not reach the exit marker"
+    assert not violations, (
+        "unsound constant claims (pc, loc, claimed, actual):\n" +
+        "\n".join(f"  {pc:#06x} {loc}: claimed {claim:#x}, "
+                  f"actual {actual:#x}"
+                  for pc, loc, claim, actual in violations[:10]) +
+        "\n" + source)
+
+
+class TestDifferentialSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(_SEGMENT, _SEGMENT, _SEGMENT, _SEGMENT)
+    def test_claimed_constants_match_interpreter(self, pre, then, els, post):
+        """Every register/stack-slot value the analysis claims constant
+        at an instruction entry equals the interpreted machine's value
+        whenever that instruction executes."""
+        _check_soundness(_diamond_program(pre, then, els, post))
+
+    def test_soundness_harness_catches_a_planted_lie(self):
+        """The harness itself must fail when fed a wrong claim — guard
+        against a vacuously-green differential test."""
+        source = _diamond_program(["    moveq   #7,d3"], [], [], [])
+        program, blob = _assemble(source)
+        fetch = _fetch_of(blob)
+        cfg = walk(fetch, [CODE_BASE],
+                   code_range=(CODE_BASE, CODE_BASE + len(blob)))
+        res = analyze_constprop(cfg, fetch)
+        target = program.symbols["joinl"]
+        state = res.insn_in[target]
+        lie = AbsState(d=(99,) + state.d[1:], a=state.a, slots=state.slots)
+        res.insn_in[target] = lie
+        mem = FlatMemory(RAM_SIZE)
+        mem.write32(0, STACK_TOP)
+        mem.write32(4, CODE_BASE)
+        for addr, seg in program.segments:
+            mem.load(addr, seg)
+        cpu = CPU(mem, fline_handler=lambda c, op: (
+            setattr(c, "stopped", True) or True if op == 0xFFFF else False))
+        cpu.reset()
+        caught = []
+        def hook(op):
+            pc = (cpu.pc - 2) & M32
+            state = res.insn_in.get(pc)
+            if state is not None:
+                for i in range(8):
+                    v = state.dreg(i)
+                    if isinstance(v, int) and cpu.d[i] != v:
+                        caught.append(pc)
+        cpu.opcode_hook = hook
+        cpu.run(10_000)
+        assert caught, "planted lie was not detected by the harness"

@@ -273,3 +273,103 @@ class TestRomAnalysis:
         dynamic = {idx: len(sites) for idx, sites in rom.census.sites.items()}
         assert rom.census.compare_dynamic(dynamic).ok
         assert not rom.census.compare_dynamic({0x1FF: 3}).ok
+
+
+# ----------------------------------------------------------------------
+# Satellites: length agreement under random extensions, deterministic
+# unreachable-block ordering, and stable report sorting
+# ----------------------------------------------------------------------
+class TestLengthAgreementProperty:
+    """decode.py and disasm.py must agree on instruction length for
+    every opcode word regardless of what follows it in memory — the
+    walker's block boundaries and the disassembler's listing otherwise
+    drift apart."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=300, deadline=None)
+    @given(op=st.integers(0, 0xFFFF),
+           exts=st.lists(st.integers(0, 0xFFFF), min_size=5, max_size=5))
+    def test_lengths_agree_for_all_words(self, op, exts):
+        from repro.analysis.static.decode import decode_insn, is_legal
+        from repro.m68k.disasm import disassemble_one
+
+        words = [op] + exts
+
+        def fetch(addr):
+            return words[(addr - ORIGIN) // 2]
+
+        insn = decode_insn(fetch, ORIGIN)
+        if not is_legal(op):
+            # Words the interpreter rejects decode as a 2-byte illegal
+            # marker; the disassembler may still render the pattern.
+            assert insn.length == 2 and insn.kind == "illegal"
+            return
+        _, disasm_len = disassemble_one(fetch, ORIGIN)
+        assert insn.length == disasm_len, (
+            f"op {op:#06x} exts {[f'{w:#06x}' for w in exts]}: "
+            f"decode {insn.length} != disasm {disasm_len}")
+        assert 2 <= insn.length <= 12 and insn.length % 2 == 0
+
+
+class TestUnreachableBlockOrdering:
+    def _cfg(self, root_order):
+        source = """
+start:  moveq   #0,d0
+        rts
+deadb:  moveq   #2,d2
+        rts
+deada:  moveq   #1,d1
+        rts
+"""
+        program = assemble(source, origin=ORIGIN)
+        roots = [program.symbols[name] for name in root_order]
+        cfg = walk(_fetch_of(bytes(program.blob)), roots)
+        # Narrow the roots after the walk: the orphan blocks stay in
+        # cfg.blocks but drop out of the reachable set.
+        cfg.roots = (program.symbols["start"],)
+        cfg._reachable = None
+        return program, cfg
+
+    def test_order_is_sorted_and_insertion_independent(self):
+        program, cfg1 = self._cfg(["start", "deadb", "deada"])
+        _, cfg2 = self._cfg(["deada", "start", "deadb"])
+        dead1 = [b.start for b in cfg1.unreachable_blocks()]
+        dead2 = [b.start for b in cfg2.unreachable_blocks()]
+        expected = sorted([program.symbols["deadb"],
+                           program.symbols["deada"]])
+        assert dead1 == expected
+        assert dead2 == expected
+        # Repeated calls are stable too.
+        assert [b.start for b in cfg1.unreachable_blocks()] == dead1
+
+
+class TestReportOrdering:
+    def test_sorted_is_severity_major_address_minor_and_stable(self):
+        from repro.analysis.static.findings import Report, Severity
+
+        report = Report()
+        report.add(Severity.INFO, "c-info", "one", address=0x10)
+        report.add(Severity.ERROR, "a-err", "late error", address=0x200)
+        report.add(Severity.WARNING, "b-warn", "no address")
+        report.add(Severity.ERROR, "a-err", "early error", address=0x20)
+        report.add(Severity.WARNING, "b-warn", "first tie", address=0x40)
+        report.add(Severity.WARNING, "b-warn2", "second tie", address=0x40)
+
+        ordered = report.sorted()
+        assert [f.severity for f in ordered] == [
+            Severity.ERROR, Severity.ERROR,
+            Severity.WARNING, Severity.WARNING, Severity.WARNING,
+            Severity.INFO]
+        # Errors ordered by address; addressless findings sort after
+        # addressed ones of the same severity.
+        assert [f.address for f in ordered[:2]] == [0x20, 0x200]
+        assert [f.address for f in ordered[2:5]] == [0x40, 0x40, None]
+        # Equal (severity, address) keeps insertion order: stable sort.
+        assert [f.code for f in ordered[2:4]] == ["b-warn", "b-warn2"]
+        # format() renders in the same order.
+        lines = report.format().splitlines()
+        assert lines[0].startswith("error") and "0x00000020" in lines[0]
+        # The original findings list is untouched.
+        assert report.findings[0].code == "c-info"
