@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -93,11 +94,16 @@ QUICK_SESSION = SessionSpec(name="bench-quick", seed=42, hours=0.5,
                             bouts=2, contacts=2)
 
 
+#: Emulator sizing shared by trace generation and the replay-core A/B.
+EMULATOR_KW = {"ram_size": 8 << 20, "flash_size": 1 << 20}
+
+
 def load_trace(args) -> tuple:
     """The benchmark trace: a synthetic session collected and replayed
     through the device model by default (that replay *is* the tracked
     trace-generation stage), or any ``.npz`` reference trace.  Returns
-    ``(addresses, writes, generation_record)``."""
+    ``(addresses, writes, generation_record, session)`` — ``session``
+    is ``None`` for the ``.npz`` path (no replay A/B possible)."""
     n = args.refs
     if args.trace:
         from repro.emulator import ReferenceTrace
@@ -107,16 +113,15 @@ def load_trace(args) -> tuple:
         writes = trace.is_write[:n]
         gen = {"source": str(args.trace), "refs": int(len(addresses))}
         return (np.ascontiguousarray(addresses, dtype=np.uint32),
-                np.ascontiguousarray(writes, dtype=bool), gen)
+                np.ascontiguousarray(writes, dtype=bool), gen, None)
 
-    emulator_kw = {"ram_size": 8 << 20, "flash_size": 1 << 20}
     spec = QUICK_SESSION if args.quick else BENCH_SESSION
     collect_s, session = _timed(
-        lambda: collect_table1_session(spec, ram_size=emulator_kw["ram_size"]))
+        lambda: collect_table1_session(spec, ram_size=EMULATOR_KW["ram_size"]))
     replay_s, (_, profiler, _) = _timed(
         lambda: replay_session(session.initial_state, session.log,
                                apps=standard_apps(), profile=True,
-                               emulator_kwargs=emulator_kw))
+                               emulator_kwargs=EMULATOR_KW))
     trace = profiler.reference_trace().memory_only()
     addresses = trace.addresses[:n]
     writes = trace.is_write[:n]
@@ -128,7 +133,44 @@ def load_trace(args) -> tuple:
            "replay_seconds": round(replay_s, 3),
            "replay_refs_per_sec": round(total / replay_s)}
     return (np.ascontiguousarray(addresses, dtype=np.uint32),
-            np.ascontiguousarray(writes, dtype=bool), gen)
+            np.ascontiguousarray(writes, dtype=bool), gen, session)
+
+
+def bench_replay(session, quick: bool) -> dict:
+    """Replay-core A/B on the same recorded session: the predecoded
+    block interpreter (``fast``) vs the stepping loop (``simple``),
+    with a bit-exactness cross-check over every observable statistic
+    (cycles, instructions, opcode histogram, reference counts and the
+    packed reference trace)."""
+    apps = standard_apps()
+    repeats = 1 if quick else 3
+    rows = {}
+    fingerprints = {}
+    refs = 0
+    for core in ("simple", "fast"):
+        def run(core=core):
+            return replay_session(session.initial_state, session.log,
+                                  apps=apps, profile=True,
+                                  emulator_kwargs={**EMULATOR_KW,
+                                                   "core": core})
+        seconds, (emulator, profiler, _) = _timed(run, repeats=repeats)
+        cpu = emulator.device.cpu
+        fingerprints[core] = (cpu.cycles, cpu.instructions,
+                              bytes(profiler.opcode_counts),
+                              profiler.counts_bytes(),
+                              profiler.trace_bytes())
+        refs = int(len(profiler.reference_trace().addresses))
+        rows[core] = {"seconds": round(seconds, 3),
+                      "refs_per_sec": round(refs / seconds)}
+    match = fingerprints["fast"] == fingerprints["simple"]
+    return {
+        "session_refs": refs,
+        "simple": rows["simple"],
+        "fast": rows["fast"],
+        "speedup": round(rows["fast"]["refs_per_sec"]
+                         / rows["simple"]["refs_per_sec"], 2),
+        "stats_match": bool(match),
+    }
 
 
 def bench_kernels(addresses, writes, scalar_refs: int) -> dict:
@@ -188,10 +230,17 @@ def bench_family_pass(addresses, scalar_refs: int) -> dict:
 
 
 def bench_sweep(addresses) -> dict:
-    """Wall clock of the full 56-configuration grid, three ways."""
+    """Wall clock of the full 56-configuration grid, three ways.
+
+    The parallel pass asks for 4 workers but never more than the
+    machine has — oversubscribing a single-core runner just adds
+    process overhead (the seed run recorded jobs4 *slower* than jobs1
+    on ``cpu_count: 1``).  The JSON says when the cap bit."""
+    requested = 4
+    jobs = min(requested, os.cpu_count() or 1)
     prev_s, prev = _timed(lambda: sweep_paper_grid(addresses))
     jobs1_s, p1 = _timed(lambda: sweep_parallel(addresses, jobs=1))
-    jobs4_s, p4 = _timed(lambda: sweep_parallel(addresses, jobs=4))
+    jobs4_s, p4 = _timed(lambda: sweep_parallel(addresses, jobs=jobs))
     key = lambda pts: [(p.config.label(), p.misses) for p in pts]  # noqa: E731
     deterministic = key(p1) == key(p4)
     match = key(prev) == key(p1)
@@ -200,6 +249,8 @@ def bench_sweep(addresses) -> dict:
         "previous_serial_seconds": round(prev_s, 3),
         "jobs1_seconds": round(jobs1_s, 3),
         "jobs4_seconds": round(jobs4_s, 3),
+        "jobs4_workers": jobs,
+        "jobs4_capped_to_cpu_count": jobs < requested,
         "jobs4_speedup_vs_previous_serial": round(prev_s / jobs4_s, 2),
         "jobs1_speedup_vs_previous_serial": round(prev_s / jobs1_s, 2),
         "deterministic_across_jobs": deterministic,
@@ -223,12 +274,11 @@ def main(argv=None) -> int:
         args.refs = 150_000 if args.quick else 2_000_000
     scalar_refs = 30_000 if args.quick else 300_000
 
-    addresses, writes, gen = load_trace(args)
+    addresses, writes, gen, session = load_trace(args)
     print(f"trace: {len(addresses):,} refs "
           f"({gen['source']}), write share "
           f"{float(np.count_nonzero(writes)) / len(addresses):.2f}")
 
-    import os
     report = {
         "meta": {
             "quick": args.quick,
@@ -243,6 +293,8 @@ def main(argv=None) -> int:
         "family_pass": bench_family_pass(addresses, scalar_refs),
         "sweep_grid": bench_sweep(addresses),
     }
+    if session is not None:
+        report["replay"] = bench_replay(session, args.quick)
 
     print(f"\n{'path':<22} {'scalar':>12} {'kernel':>12} {'speedup':>8} "
           f"{'match':>6}")
@@ -259,6 +311,13 @@ def main(argv=None) -> int:
           f"{sw['previous_serial_seconds']}s, jobs=1 "
           f"{sw['jobs1_seconds']}s, jobs=4 {sw['jobs4_seconds']}s "
           f"({sw['jobs4_speedup_vs_previous_serial']}x vs previous)")
+    rp = report.get("replay")
+    if rp is not None:
+        print(f"replay cores ({rp['session_refs']:,} refs): simple "
+              f"{rp['simple']['refs_per_sec']:,} refs/s, fast "
+              f"{rp['fast']['refs_per_sec']:,} refs/s "
+              f"({rp['speedup']}x), stats match "
+              f"{rp['stats_match']}")
 
     failures = [name for name, row in report["kernels"].items()
                 if not row["stats_match"]]
@@ -266,6 +325,8 @@ def main(argv=None) -> int:
         failures.append("family_pass")
     if not sw["stats_match"]:
         failures.append("sweep_grid")
+    if rp is not None and not rp["stats_match"]:
+        failures.append("replay")
     report["meta"]["divergences"] = failures
 
     out = Path(args.out)

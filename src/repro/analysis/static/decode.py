@@ -173,21 +173,25 @@ def _size_of(bits: int) -> int:
     return {0: 1, 1: 2, 2: 4}[bits]
 
 
-def decode_insn(fetch: Callable[[int], int], addr: int) -> Insn:
+def decode_insn(fetch: Callable[[int], int], addr: int,
+                want_text: bool = True) -> Insn:
     """Decode the instruction at ``addr`` into an :class:`Insn`.
 
     ``fetch`` reads a 16-bit word.  Never raises: illegal words come
-    back with ``kind == K_ILLEGAL`` and length 2.
+    back with ``kind == K_ILLEGAL`` and length 2.  ``want_text=False``
+    skips the disassembly rendering (``text`` comes back empty) — the
+    block-cache predecoder only needs lengths and kinds, and the text
+    formatting dominates decode time.
     """
     w = _Words(fetch, addr)
     op = w.u16()
     group = op >> 12
 
     if group == 0xA:
-        text, _ = disassemble_one(fetch, addr)
+        text = disassemble_one(fetch, addr)[0] if want_text else ""
         return Insn(addr, op, 2, text, kind=K_TRAP, trap=op & 0xFFF)
     if group == 0xF:
-        text, _ = disassemble_one(fetch, addr)
+        text = disassemble_one(fetch, addr)[0] if want_text else ""
         return Insn(addr, op, 2, text, kind=K_EMUCALL, emucall=op & 0xFFF)
     if not is_legal(op):
         return Insn(addr, op, 2, f"dc.w ${op:04x}", kind=K_ILLEGAL)
@@ -195,7 +199,8 @@ def decode_insn(fetch: Callable[[int], int], addr: int) -> Insn:
     insn = Insn(addr, op, 2, "")
     _decode_structure(w, op, insn)
     insn.length = w.addr - addr
-    insn.text, _ = disassemble_one(fetch, addr)
+    if want_text:
+        insn.text, _ = disassemble_one(fetch, addr)
     return insn
 
 

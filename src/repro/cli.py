@@ -39,6 +39,10 @@ def _add_replay(sub) -> None:
                    help="write the final screen as a PPM image")
     p.add_argument("--screen", action="store_true",
                    help="print the final screen as ASCII art")
+    p.add_argument("--core", default="fast", choices=("fast", "simple"),
+                   help="replay core: predecoded basic-block interpreter "
+                        "(fast, default) or per-instruction stepping "
+                        "(simple); both are bit-exact")
     res = p.add_argument_group("resilience (repro.resilience)")
     res.add_argument("--checkpoint-every", type=int, default=None,
                      metavar="N", help="snapshot the machine every N "
@@ -247,7 +251,7 @@ def cmd_replay(args) -> int:
     start = time.time()
     emulator, profiler, result = replay_session(
         state, log, apps=standard_apps(), profile=not args.no_profile,
-        jitter=jitter, emulator_kwargs=_EMU_KW)
+        jitter=jitter, emulator_kwargs={**_EMU_KW, "core": args.core})
     elapsed = time.time() - start
     if args.screenshot:
         from .analysis import screenshot_ppm
@@ -306,7 +310,8 @@ def _replay_resilient(args, jitter) -> int:
             return 1
     kwargs = dict(
         apps=standard_apps(), profile=not args.no_profile, jitter=jitter,
-        emulator_kwargs=_EMU_KW, on_divergence=args.on_divergence or "strict",
+        emulator_kwargs={**_EMU_KW, "core": args.core},
+        on_divergence=args.on_divergence or "strict",
         retry_budget=args.retry_budget, faults=plan,
         checkpoint_dir=args.checkpoint_dir)
     if args.checkpoint_every is not None:

@@ -40,6 +40,10 @@ class PalmDevice:
     entropy_seed:
         Seed for the deterministic "entropy" register the kernel reads
         at boot to seed ``SysRandom``.
+    core:
+        Replay core: ``"fast"`` (predecoded basic-block interpreter,
+        the default) or ``"simple"`` (per-instruction stepping).  Both
+        are bit-exact with each other.
     """
 
     def __init__(
@@ -50,6 +54,7 @@ class PalmDevice:
         flash_size: int = C.FLASH_SIZE,
         rtc_base: Optional[int] = None,
         entropy_seed: int = 0x1234_5678,
+        core: str = "fast",
     ):
         from .memcard import CardSlot
 
@@ -66,6 +71,9 @@ class PalmDevice:
         self.cpu = CPU(self.mem, aline_handler=aline_handler,
                        fline_handler=fline_handler)
         self.intc.attach_cpu(self.cpu)
+
+        self.core = None
+        self.set_core(core)
 
         self._stimuli: List[Tuple[int, int, Callable[[], None]]] = []
         self._wakes: List[int] = []
@@ -178,21 +186,20 @@ class PalmDevice:
             self._run_cpu_until_cycles(boundary)
             self.timer.advance_to(now + 1, cpu_awake=not cpu.stopped)
 
+    def set_core(self, name: str) -> None:
+        """Install the named replay core (``fast`` or ``simple``)."""
+        from ..m68k.blockcore import BlockCore, SimpleCore
+        if self.core is not None:
+            self.core.detach()
+        if name == "fast":
+            self.core = BlockCore(self.cpu, self.mem)
+        elif name == "simple":
+            self.core = SimpleCore(self.cpu, self.mem)
+        else:
+            raise ValueError(f"unknown replay core {name!r}")
+
     def _run_cpu_until_cycles(self, limit: int) -> None:
-        cpu = self.cpu
-        step = cpu.step
-        while True:
-            while cpu.cycles < limit and not cpu.stopped:
-                step()
-            if cpu.cycles >= limit:
-                return
-            # Stopped: a serviceable pending interrupt wakes the CPU
-            # (interrupt service happens inside step()).
-            level = cpu.pending_irq
-            if level and (level > cpu.imask or level == 7):
-                step()
-                continue
-            return
+        self.core.run_until_cycles(limit)
 
     def run_ticks(self, ticks: int) -> None:
         self.advance(self.timer.tick + ticks)

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from typing import Optional, Protocol
 
-from ..m68k.bus import FlatMemory, check_aligned
-from ..m68k.errors import BusError
+from ..m68k.bus import FlatMemory, WriteWatch, check_aligned
+from ..m68k.errors import AddressError, BusError
 from . import constants as C
 
 #: Region codes used by tracers and the cache study.
@@ -96,6 +96,36 @@ class MemoryMap:
         #: When True, guest writes to flash raise (real flash needs a
         #: programming sequence; a stray write is a guest bug).
         self.flash_write_protect = True
+        #: Mirror of ``self.ram.watch`` consulted by the inline RAM
+        #: write paths below (which bypass ``FlatMemory``); a replay
+        #: core installing a code watch must set both.
+        self.ram_watch: Optional[WriteWatch] = None
+        # The RAM/flash fast paths index the backing bytearrays
+        # directly.  FlatMemory mutates its buffer only in place (slice
+        # assignment), so these aliases stay valid for the lifetime of
+        # the map.
+        self._ram_data = self.ram.data
+        self._ram_base = self.ram.base
+        self._flash_data = self.flash.data
+        self._flash_base = self.flash.base
+
+    def __setattr__(self, name: str, value) -> None:
+        # Assigning ``tracer`` also caches a paired-reference callable:
+        # a 32-bit access emits two consecutive bus-width references,
+        # and the hot 32-bit arms fold them into one call.  Tracers may
+        # provide ``reference_pair`` (the profiler's fast path does);
+        # anything else gets a wrapper that calls ``reference`` twice,
+        # preserving the one-call-per-reference contract exactly.
+        if name == "tracer":
+            pair = getattr(value, "reference_pair", None)
+            if pair is None and value is not None:
+                ref = value.reference
+
+                def pair(addr, kind, region, _ref=ref):
+                    _ref(addr, kind, region)
+                    _ref(addr + 2, kind, region)
+            object.__setattr__(self, "_tracer_pair", pair)
+        object.__setattr__(self, name, value)
 
     # -- region helpers -----------------------------------------------------
     def region_of(self, addr: int) -> int:
@@ -127,15 +157,69 @@ class MemoryMap:
                 tracer.reference(addr + 2, kind, region)
 
     # -- Bus protocol ---------------------------------------------------------
+    # The RAM and flash arms below are inline copies of the generic
+    # `_trace` + `_backing` + FlatMemory accessor chain — the replay hot
+    # path spends most of its bus time here, and each inlined arm saves
+    # four or five method calls per reference.  Observable ordering is
+    # preserved exactly: references are traced *before* an alignment
+    # fault is raised, as the generic chain does.
     def read8(self, addr: int) -> int:
+        if addr < self.ram_limit:
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.reference(addr, KIND_READ, REGION_RAM)
+            return self._ram_data[addr - self._ram_base]
+        if C.FLASH_BASE <= addr < self.flash_limit:
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.reference(addr, KIND_READ, REGION_FLASH)
+            return self._flash_data[addr - self._flash_base]
         self._trace(addr, KIND_READ)
         return self._backing(addr).read8(addr)
 
     def read16(self, addr: int) -> int:
+        if addr < self.ram_limit:
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.reference(addr, KIND_READ, REGION_RAM)
+            if addr & 1:
+                raise AddressError(addr, 2)
+            d = self._ram_data
+            off = addr - self._ram_base
+            return (d[off] << 8) | d[off + 1]
+        if C.FLASH_BASE <= addr < self.flash_limit:
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.reference(addr, KIND_READ, REGION_FLASH)
+            if addr & 1:
+                raise AddressError(addr, 2)
+            d = self._flash_data
+            off = addr - self._flash_base
+            return (d[off] << 8) | d[off + 1]
         self._trace(addr, KIND_READ)
         return self._backing(addr).read16(addr)
 
     def read32(self, addr: int) -> int:
+        if addr < self.ram_limit:
+            pair = self._tracer_pair
+            if pair is not None:
+                pair(addr, KIND_READ, REGION_RAM)
+            if addr & 1:
+                raise AddressError(addr, 4)
+            d = self._ram_data
+            off = addr - self._ram_base
+            return ((d[off] << 24) | (d[off + 1] << 16)
+                    | (d[off + 2] << 8) | d[off + 3])
+        if C.FLASH_BASE <= addr < self.flash_limit:
+            pair = self._tracer_pair
+            if pair is not None:
+                pair(addr, KIND_READ, REGION_FLASH)
+            if addr & 1:
+                raise AddressError(addr, 4)
+            d = self._flash_data
+            off = addr - self._flash_base
+            return ((d[off] << 24) | (d[off + 1] << 16)
+                    | (d[off + 2] << 8) | d[off + 3])
         if addr >= C.HWREG_BASE:
             check_aligned(addr, 4)
             self._trace(addr, KIND_READ, count=2)
@@ -144,14 +228,55 @@ class MemoryMap:
         return self._backing(addr).read32(addr)
 
     def write8(self, addr: int, value: int) -> None:
+        if addr < self.ram_limit:
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.reference(addr, KIND_WRITE, REGION_RAM)
+            w = self.ram_watch
+            if w is not None and (addr >> 8) in w.pages:
+                w.hit(addr)
+            self._ram_data[addr - self._ram_base] = value & 0xFF
+            return
         self._trace(addr, KIND_WRITE)
         self._writable(addr).write8(addr, value)
 
     def write16(self, addr: int, value: int) -> None:
+        if addr < self.ram_limit:
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.reference(addr, KIND_WRITE, REGION_RAM)
+            w = self.ram_watch
+            if w is not None and (addr >> 8) in w.pages:
+                w.hit(addr)
+            if addr & 1:
+                raise AddressError(addr, 2)
+            d = self._ram_data
+            off = addr - self._ram_base
+            d[off] = (value >> 8) & 0xFF
+            d[off + 1] = value & 0xFF
+            return
         self._trace(addr, KIND_WRITE)
         self._writable(addr).write16(addr, value)
 
     def write32(self, addr: int, value: int) -> None:
+        if addr < self.ram_limit:
+            pair = self._tracer_pair
+            if pair is not None:
+                pair(addr, KIND_WRITE, REGION_RAM)
+            w = self.ram_watch
+            if w is not None and ((addr >> 8) in w.pages
+                                  or ((addr + 2) >> 8) in w.pages):
+                w.hit(addr)
+                w.hit(addr + 2)
+            if addr & 1:
+                raise AddressError(addr, 4)
+            d = self._ram_data
+            off = addr - self._ram_base
+            d[off] = (value >> 24) & 0xFF
+            d[off + 1] = (value >> 16) & 0xFF
+            d[off + 2] = (value >> 8) & 0xFF
+            d[off + 3] = value & 0xFF
+            return
         if addr >= C.HWREG_BASE:
             check_aligned(addr, 4)
             self._trace(addr, KIND_WRITE, count=2)
@@ -161,6 +286,24 @@ class MemoryMap:
         self._writable(addr).write32(addr, value)
 
     def fetch16(self, addr: int) -> int:
+        if addr < self.ram_limit:
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.reference(addr, KIND_FETCH, REGION_RAM)
+            if addr & 1:
+                raise AddressError(addr, 2)
+            d = self._ram_data
+            off = addr - self._ram_base
+            return (d[off] << 8) | d[off + 1]
+        if C.FLASH_BASE <= addr < self.flash_limit:
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.reference(addr, KIND_FETCH, REGION_FLASH)
+            if addr & 1:
+                raise AddressError(addr, 2)
+            d = self._flash_data
+            off = addr - self._flash_base
+            return (d[off] << 8) | d[off + 1]
         self._trace(addr, KIND_FETCH)
         return self._backing(addr).read16(addr)
 

@@ -599,7 +599,8 @@ def replay_session(state, log: ActivityLog, apps=(), profile: bool = True,
                    track_reference_pcs: bool = False,
                    jitter: Optional[JitterModel] = None,
                    emulator_kwargs: Optional[dict] = None,
-                   reset_timeout: int = DEFAULT_RESET_TIMEOUT):
+                   reset_timeout: int = DEFAULT_RESET_TIMEOUT,
+                   core: Optional[str] = None):
     """One-call replay: build the emulator, load β, apply δ.
 
     Returns ``(emulator, profiler, result)``; ``profiler`` is None when
@@ -607,9 +608,15 @@ def replay_session(state, log: ActivityLog, apps=(), profile: bool = True,
     of every executed opcode for the static/dynamic cross-check;
     ``track_reference_pcs=True`` additionally attributes every data
     reference to its instruction for the semantic audit's region
-    cross-check.
+    cross-check.  ``core`` selects the execution core (``"fast"``, the
+    predecoded block interpreter and the default, or ``"simple"``, the
+    stepping loop — bit-exact alternatives); it overrides any ``core``
+    key in ``emulator_kwargs``.
     """
-    emulator = Emulator(apps=apps, **(emulator_kwargs or {}))
+    kwargs = dict(emulator_kwargs or {})
+    if core is not None:
+        kwargs["core"] = core
+    emulator = Emulator(apps=apps, **kwargs)
     emulator.load_state(state, restore_clock=jitter is None,
                         final_reset=False)
     profiler = None

@@ -41,6 +41,7 @@ class Emulator:
         entropy_seed: int = 0xE11A_B0BA,
         rtc_base: Optional[int] = None,
         default_app: Optional[str] = None,
+        core: str = "fast",
     ):
         self.kernel = PalmOS(
             apps=apps,
@@ -49,6 +50,7 @@ class Emulator:
             rtc_base=rtc_base,
             entropy_seed=entropy_seed,
             default_app=default_app,
+            core=core,
         )
         self.profiler: Optional[Profiler] = None
         #: The session's memory card, reconstructed from the initial

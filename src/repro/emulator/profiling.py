@@ -7,12 +7,21 @@ respective array element" (§2.4.2).  The profiler here does exactly
 that, plus per-region reference accounting (RAM vs flash — the split
 Table 1 reports) and an optional full reference trace for the cache
 study.
+
+Hot-path design: when tracing, each reference is stored as **one**
+packed integer ``addr | (kind | region << 4) << 32`` appended to a
+plain Python list, which is flushed wholesale into numpy ``uint64``
+chunks every :data:`TRACE_CHUNK` entries.  The flat per-(kind, region)
+counters are *derived* from the chunk histograms instead of being
+incremented per call — one ``list.append`` per reference instead of an
+array increment plus two array appends.  With tracing disabled the
+per-call counter array is kept (there is nothing to derive from).
 """
 
 from __future__ import annotations
 
 from array import array
-from typing import Dict
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -31,6 +40,13 @@ from ..device.memmap import (
 #: flash accesses").
 T_RAM_CYCLES = 1
 T_FLASH_CYCLES = 3
+
+#: Pending packed references are flushed into a numpy chunk once the
+#: list reaches this length (the block core appends fetch tokens in
+#: batches, so the flush threshold is a floor, not an exact size).
+TRACE_CHUNK = 65536
+
+_MASK32 = 0xFFFFFFFF
 
 
 def ref_mask_bit(kind: int, region: int) -> int:
@@ -64,13 +80,17 @@ class Profiler:
         self.reference_pcs: Dict[int, int] = {}
         self._current_pc = -1
         self.opcode_counts: array = array("Q", bytes(8 * 0x10000))
-        #: Flat reference counters indexed ``kind | region << 4`` — the
-        #: same packing as the trace's ``kinds`` bytes.  One array index
-        #: per call instead of a dict lookup on a tuple key; the
-        #: ``counts`` mapping of the original API is derived on demand.
+        #: Flat reference counters indexed ``kind | region << 4``, kept
+        #: per-call only when tracing is off; with tracing on the same
+        #: numbers are derived from the trace chunks (the trace and the
+        #: counters are one-to-one by construction).
         self._counts: array = array("Q", bytes(8 * 256))
-        self._addr = array("I")
-        self._kind = array("B")  # kind | region << 4
+        #: Packed pending references; flushed into ``_chunks``.  The
+        #: list object's identity is stable for the process lifetime —
+        #: fast paths bind ``_pending.append`` directly.
+        self._pending: List[int] = []
+        self._chunks: List[np.ndarray] = []
+        self._chunk_counts = np.zeros(256, dtype=np.uint64)
         self.instructions = 0
         #: pc -> opcode word for every executed instruction address,
         #: filled only when the per-address hook is wired (see
@@ -83,10 +103,21 @@ class Profiler:
         #: trace in memory).  Hardware-register references are skipped,
         #: as in the off-line pipeline's ``memory_only()``.
         self.online_caches: list = []
+        if trace_references and not track_reference_pcs:
+            # Shadow the general methods with specialised closures:
+            # this is the replay hot path (one append per reference).
+            self.reference, self.reference_pair = (  # type: ignore[method-assign]
+                self._make_fast_reference())
 
     # -- hooks ---------------------------------------------------------
     def reference(self, addr: int, kind: int, region: int) -> None:
-        self._counts[kind | (region << 4)] += 1
+        kb = kind | (region << 4)
+        if self.trace_references:
+            self._pending.append((addr & _MASK32) | (kb << 32))
+            if len(self._pending) >= TRACE_CHUNK:
+                self._flush_trace()
+        else:
+            self._counts[kb] += 1
         if self.track_reference_pcs and kind != KIND_FETCH \
                 and self._current_pc >= 0:
             # Opcode-word fetches happen *before* the per-pc hook runs
@@ -95,13 +126,77 @@ class Profiler:
             self.reference_pcs[self._current_pc] = \
                 self.reference_pcs.get(self._current_pc, 0) \
                 | ref_mask_bit(kind, region)
-        if self.trace_references:
-            self._addr.append(addr & 0xFFFFFFFF)
-            self._kind.append(kind | (region << 4))
         if self.online_caches and region != REGION_HW:
             write = kind == KIND_WRITE
             for cache in self.online_caches:
                 cache.access(addr, write)
+
+    def reference_pair(self, addr: int, kind: int, region: int) -> None:
+        """The two consecutive bus-width references of one 32-bit
+        access, exactly as two :meth:`reference` calls would record
+        them (the bus folds them into one call on its hot paths)."""
+        self.reference(addr, kind, region)
+        self.reference(addr + 2, kind, region)
+
+    def _make_fast_reference(self):
+        """The tracing hot path as a closure over locals.  Semantics are
+        identical to the general method for this configuration
+        (``trace_references=True``, ``track_reference_pcs=False``);
+        online caches attached at any time are still honoured because
+        the closure tests the live list object."""
+        pending = self._pending
+        append = pending.append
+        caches = self.online_caches
+        flush = self._flush_trace
+
+        def reference(addr: int, kind: int, region: int) -> None:
+            append((addr & _MASK32) | ((kind | (region << 4)) << 32))
+            if len(pending) >= TRACE_CHUNK:
+                flush()
+            if caches and region != REGION_HW:
+                write = kind == KIND_WRITE
+                for cache in caches:
+                    cache.access(addr, write)
+
+        def reference_pair(addr: int, kind: int, region: int) -> None:
+            # Identical to two reference() calls: the flush boundary
+            # may shift by one token, but the recorded byte stream and
+            # derived counts are unchanged (chunking is unobservable).
+            kb = (kind | (region << 4)) << 32
+            append((addr & _MASK32) | kb)
+            append(((addr + 2) & _MASK32) | kb)
+            if len(pending) >= TRACE_CHUNK:
+                flush()
+            if caches and region != REGION_HW:
+                write = kind == KIND_WRITE
+                for cache in caches:
+                    cache.access(addr, write)
+                    cache.access(addr + 2, write)
+
+        return reference, reference_pair
+
+    def _flush_trace(self) -> None:
+        pending = self._pending
+        if not pending:
+            return
+        chunk = np.array(pending, dtype=np.uint64)
+        del pending[:]
+        self._chunks.append(chunk)
+        kinds = (chunk >> np.uint64(32)).astype(np.uint8)
+        self._chunk_counts += np.bincount(
+            kinds, minlength=256).astype(np.uint64)
+
+    def _counts_snapshot(self) -> np.ndarray:
+        """The 256 flat counters as a uint64 array (derived from the
+        trace when tracing, the per-call array otherwise)."""
+        if not self.trace_references:
+            return np.frombuffer(self._counts, dtype=np.uint64)
+        out = self._chunk_counts.copy()
+        if self._pending:
+            kinds = (np.array(self._pending, dtype=np.uint64)
+                     >> np.uint64(32)).astype(np.uint8)
+            out += np.bincount(kinds, minlength=256).astype(np.uint64)
+        return out
 
     def opcode(self, op: int) -> None:
         self.opcode_counts[op] += 1
@@ -127,12 +222,12 @@ class Profiler:
         """The reference counters as the historical ``(kind, region) ->
         count`` mapping (derived from the flat array; zero entries are
         omitted, as the dict-based implementation never created them)."""
-        return {(i & 0x0F, i >> 4): n
-                for i, n in enumerate(self._counts) if n}
+        return {(i & 0x0F, i >> 4): int(n)
+                for i, n in enumerate(self._counts_snapshot()) if n}
 
     def _region_total(self, region: int) -> int:
         base = region << 4
-        return sum(self._counts[base:base + 16])
+        return int(self._counts_snapshot()[base:base + 16].sum())
 
     @property
     def ram_refs(self) -> int:
@@ -152,10 +247,10 @@ class Profiler:
 
     @property
     def total_refs(self) -> int:
-        return sum(self._counts)
+        return int(self._counts_snapshot().sum())
 
     def _kind_total(self, kind: int) -> int:
-        return sum(self._counts[kind::16])
+        return int(self._counts_snapshot()[kind::16].sum())
 
     @property
     def fetch_refs(self) -> int:
@@ -172,27 +267,85 @@ class Profiler:
     def average_memory_cycles(self) -> float:
         """Equation 3: average effective memory access time without a
         cache, in cycles per reference."""
-        ram = self.ram_refs + self.hw_refs  # registers behave like RAM
-        flash = self.flash_refs + self.card_refs  # cards cost like flash
+        snapshot = self._counts_snapshot()
+        ram = int(snapshot[:16].sum())      # registers behave like RAM
+        ram += int(snapshot[REGION_HW << 4:(REGION_HW << 4) + 16].sum())
+        flash = int(snapshot[REGION_FLASH << 4:(REGION_FLASH << 4) + 16].sum())
+        flash += int(snapshot[REGION_CARD << 4:(REGION_CARD << 4) + 16].sum())
         total = ram + flash
         if total == 0:
             return 0.0
         return (ram * T_RAM_CYCLES + flash * T_FLASH_CYCLES) / total
 
     # -- the reference trace -------------------------------------------------
+    def _packed_trace(self) -> np.ndarray:
+        """All trace entries as one packed uint64 array."""
+        self._flush_trace()
+        if not self._chunks:
+            return np.empty(0, dtype=np.uint64)
+        if len(self._chunks) == 1:
+            return self._chunks[0]
+        merged = np.concatenate(self._chunks)
+        # Re-consolidate so repeated stats calls stay O(1) chunks.
+        self._chunks = [merged]
+        return merged
+
     def reference_trace(self) -> "ReferenceTrace":
         if not self.trace_references:
             raise RuntimeError("profiler was created with trace_references=False")
+        packed = self._packed_trace()
         return ReferenceTrace(
-            addresses=np.frombuffer(self._addr, dtype=np.uint32).copy(),
-            kinds=np.frombuffer(self._kind, dtype=np.uint8).copy(),
+            addresses=(packed & np.uint64(_MASK32)).astype(np.uint32),
+            kinds=(packed >> np.uint64(32)).astype(np.uint8),
         )
+
+    # -- checkpoint serialization ---------------------------------------
+    # The resilience checkpoints (PRCKPT01) store the profiler as four
+    # sections; these methods own their byte layout so the container
+    # stays byte-identical no matter how the profiler buffers its data
+    # internally (and across replay cores).
+    def counts_bytes(self) -> bytes:
+        """The flat counters as 256 native uint64 values (the
+        ``prof_counts`` checkpoint section)."""
+        if not self.trace_references:
+            return self._counts.tobytes()
+        return self._counts_snapshot().tobytes()
+
+    def restore_counts(self, blob: bytes) -> None:
+        if self.trace_references:
+            # Derived from the trace; restore_trace() carries the data.
+            return
+        self._counts = array("Q")
+        self._counts.frombytes(blob)
+
+    def trace_bytes(self) -> Tuple[bytes, bytes]:
+        """The reference trace as (addresses, kinds) byte strings —
+        native uint32 addresses and uint8 packed kinds, exactly the
+        historical ``prof_addr``/``prof_kind`` checkpoint sections."""
+        packed = self._packed_trace()
+        return ((packed & np.uint64(_MASK32)).astype(np.uint32).tobytes(),
+                (packed >> np.uint64(32)).astype(np.uint8).tobytes())
+
+    def restore_trace(self, addr_blob: bytes, kind_blob: bytes) -> None:
+        addrs = np.frombuffer(addr_blob, dtype=np.uint32).astype(np.uint64)
+        kinds = np.frombuffer(kind_blob, dtype=np.uint8)
+        packed = addrs | (kinds.astype(np.uint64) << np.uint64(32))
+        del self._pending[:]
+        self._chunks = [packed] if len(packed) else []
+        self._chunk_counts = np.bincount(
+            kinds, minlength=256).astype(np.uint64)
 
     # -- opcode statistics -----------------------------------------------------
     def top_opcodes(self, n: int = 10) -> list[tuple[int, int]]:
         """The ``n`` most-executed opcode words as (opcode, count)."""
         counts = np.frombuffer(self.opcode_counts, dtype=np.uint64)
-        order = np.argsort(counts)[::-1][:n]
+        n = min(n, counts.size)
+        if n <= 0:
+            return []
+        # Partition out the top-n slice, then sort only that slice —
+        # O(N + n log n) instead of a full 65536-entry argsort.
+        top = np.argpartition(counts, counts.size - n)[counts.size - n:]
+        order = top[np.argsort(counts[top])][::-1]
         return [(int(op), int(counts[op])) for op in order if counts[op]]
 
     def opcode_histogram(self) -> np.ndarray:
@@ -235,13 +388,17 @@ class ReferenceTrace:
         return ReferenceTrace(self.addresses[mask], self.kinds[mask])
 
     def counts(self) -> dict:
+        # One histogram over the packed bytes; region and kind totals
+        # are nibble slices of it (six full passes before).
+        packed = np.bincount(self.kinds, minlength=256)
         out = {}
         for region, name in [(REGION_RAM, "ram"), (REGION_FLASH, "flash"),
                              (REGION_HW, "hw")]:
-            out[name] = int(np.count_nonzero(self.region == region))
+            base = region << 4
+            out[name] = int(packed[base:base + 16].sum())
         for kind, name in [(KIND_FETCH, "fetch"), (KIND_READ, "read"),
                            (KIND_WRITE, "write")]:
-            out[name] = int(np.count_nonzero(self.kind == kind))
+            out[name] = int(packed[kind::16].sum())
         return out
 
     # -- persistence ---------------------------------------------------------

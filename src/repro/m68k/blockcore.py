@@ -1,0 +1,370 @@
+"""Replay execution cores: simple stepping and predecoded basic blocks.
+
+The paper pays a per-instruction cost for forcing the real ROM trap
+dispatcher (§2.4.2); this module amortizes the *host-side* share of
+that cost the way Shade's trace-generating translation cache and
+Embra's fast machine simulation do: straight-line instruction runs are
+decoded **once** into flat lists of ``(pc, next_pc, fetch_token,
+opcode, handler)`` entries keyed by entry pc, then executed in a tight
+loop with no per-step 65536-entry table dispatch, no bus fetch for the
+opcode word, and (when profiling) a single precomputed list append for
+the fetch reference.
+
+Two cores implement the same contract —
+``run_until_cycles(limit)`` with the exact semantics of
+:meth:`repro.m68k.cpu.CPU.step` iterated under the device scheduler's
+cycle budget — and are selectable per device (``PalmDevice(core=...)``,
+``palm-repro replay --core={fast,simple}``):
+
+* :class:`SimpleCore` — the original per-instruction stepping loop.
+* :class:`BlockCore` — the predecoded block cache.
+
+Bit-exactness is the design constraint, not an afterthought.  Blocks
+are *self-verifying*: before executing an entry the core checks that
+``cpu.pc`` equals the entry's predecoded address, so a taken branch, an
+exception, or even a mispredicted instruction length only ever breaks
+out of the block (costing a rebuild) and can never execute the wrong
+instruction.  Interrupt serviceability and the cycle budget are
+re-checked before every instruction, exactly as the stepping loop does.
+
+Invalidation: guest code lives in RAM (installed hacks, the overhead
+thunk) as well as flash, so every RAM store — from the guest bus *or*
+from host-side helpers (``HostAccess``) — is checked against a set of
+watched 256-byte pages (:class:`CodeWatch`, installed as the
+``FlatMemory.watch`` / ``MemoryMap.ram_watch`` hook); a hit marks every
+block overlapping the page invalid, which the executor notices before
+the next instruction of a running block.  Bulk loads (checkpoint
+restore, flash re-image) drop the whole cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .cpu import CPU
+
+_MASK32 = 0xFFFFFFFF
+
+#: Invalidation granularity: 256-byte pages.
+PAGE_SHIFT = 8
+
+#: Longest straight-line run predecoded into one block.
+MAX_BLOCK_INSNS = 64
+
+# Lazily-resolved collaborators (imported on first use to keep this
+# module importable from low-level code without dragging the emulator
+# package in at import time).
+_Profiler = None
+_TRACE_CHUNK = 0
+_decode_insn = None
+_K_NORMAL = None
+
+
+def _resolve_profiler():
+    global _Profiler, _TRACE_CHUNK
+    if _Profiler is None:
+        from ..emulator.profiling import TRACE_CHUNK, Profiler
+        _Profiler = Profiler
+        _TRACE_CHUNK = TRACE_CHUNK
+    return _Profiler
+
+
+def _resolve_decoder():
+    global _decode_insn, _K_NORMAL
+    if _decode_insn is None:
+        from ..analysis.static.decode import K_NORMAL, decode_insn
+        _decode_insn = decode_insn
+        _K_NORMAL = K_NORMAL
+    return _decode_insn
+
+
+class SimpleCore:
+    """The original stepping loop (one ``CPU.step()`` per instruction)."""
+
+    name = "simple"
+
+    def __init__(self, cpu: CPU, mem=None):
+        self.cpu = cpu
+
+    def detach(self) -> None:
+        pass
+
+    def run_until_cycles(self, limit: int) -> None:
+        cpu = self.cpu
+        step = cpu.step
+        while True:
+            while cpu.cycles < limit and not cpu.stopped:
+                step()
+            if cpu.cycles >= limit:
+                return
+            # Stopped: a serviceable pending interrupt wakes the CPU
+            # (interrupt service happens inside step()).
+            level = cpu.pending_irq
+            if level and (level > cpu.imask or level == 7):
+                step()
+                continue
+            return
+
+
+class CodeWatch:
+    """The write watch a :class:`BlockCore` installs on guest memory.
+
+    ``pages`` is consulted inline by the RAM write fast paths; `hit`
+    and `bulk` route into the core's invalidation.
+    """
+
+    __slots__ = ("pages", "_core")
+
+    def __init__(self, core: "BlockCore"):
+        self.pages: Set[int] = set()
+        self._core = core
+
+    def hit(self, addr: int) -> None:
+        self._core.invalidate_page(addr >> PAGE_SHIFT)
+
+    def bulk(self) -> None:
+        self._core.flush()
+
+
+class _Block:
+    """One predecoded straight-line run."""
+
+    __slots__ = ("entries", "valid", "pages", "region", "op_counts")
+
+    def __init__(self, entries: List[tuple], pages: Tuple[int, ...],
+                 region: int):
+        self.entries = entries
+        self.valid = True
+        self.pages = pages
+        self.region = region
+        # The block's opcode histogram, pre-aggregated: a full block
+        # run (the overwhelmingly common case) bumps one counter per
+        # *distinct* opcode instead of one per instruction.  The
+        # histogram is order-insensitive, so batching is unobservable.
+        agg: Dict[int, int] = {}
+        for entry in entries:
+            op = entry[3]
+            agg[op] = agg.get(op, 0) + 1
+        self.op_counts = tuple(agg.items())
+
+
+class BlockCore:
+    """Predecoded basic-block interpreter (the ``fast`` replay core)."""
+
+    name = "fast"
+
+    def __init__(self, cpu: CPU, mem):
+        self.cpu = cpu
+        self.mem = mem
+        self.blocks: Dict[int, _Block] = {}
+        self._page_blocks: Dict[int, List[_Block]] = {}
+        self.watch = CodeWatch(self)
+        mem.ram.watch = self.watch
+        mem.flash.watch = self.watch  # bulk re-images drop the cache
+        mem.ram_watch = self.watch
+        #: Counters for the bench harness / debugging.
+        self.blocks_built = 0
+        self.invalidations = 0
+
+    def detach(self) -> None:
+        """Uninstall the watch (switching cores on a live device)."""
+        self.flush()
+        mem = self.mem
+        if mem.ram.watch is self.watch:
+            mem.ram.watch = None
+        if mem.flash.watch is self.watch:
+            mem.flash.watch = None
+        if getattr(mem, "ram_watch", None) is self.watch:
+            mem.ram_watch = None
+
+    # -- invalidation ---------------------------------------------------
+    def flush(self) -> None:
+        """Drop every predecoded block (bulk memory replacement)."""
+        for blocks in self._page_blocks.values():
+            for block in blocks:
+                block.valid = False
+        for block in self.blocks.values():
+            block.valid = False
+        self.blocks.clear()
+        self._page_blocks.clear()
+        self.watch.pages.clear()
+
+    def invalidate_page(self, page: int) -> None:
+        """A write landed in a watched page: kill its blocks."""
+        blocks = self._page_blocks.pop(page, None)
+        self.watch.pages.discard(page)
+        if blocks:
+            self.invalidations += 1
+            for block in blocks:
+                block.valid = False
+
+    # -- block construction ---------------------------------------------
+    def _build(self, pc: int) -> Optional[_Block]:
+        """Predecode the straight-line run entered at ``pc``; None when
+        the pc is not block-eligible (odd, outside RAM/flash, or its
+        first word has no handler) — the caller single-steps instead."""
+        if pc & 1:
+            return None
+        mem = self.mem
+        if pc < mem.ram_limit:
+            backing, region, limit = mem.ram, 0, mem.ram_limit
+        elif mem.flash.base <= pc < mem.flash_limit:
+            backing, region, limit = mem.flash, 1, mem.flash_limit
+        else:
+            return None
+        decode = _resolve_decoder()
+        data = backing.data
+        base = backing.base
+        size = len(data)
+        table = self.cpu.dispatch_table
+
+        def fetch(a: int) -> int:
+            off = a - base
+            if 0 <= off and off + 1 < size:
+                return (data[off] << 8) | data[off + 1]
+            return 0
+
+        entries: List[tuple] = []
+        addr = pc
+        end = pc
+        while len(entries) < MAX_BLOCK_INSNS and addr + 1 < limit:
+            off = addr - base
+            op = (data[off] << 8) | data[off + 1]
+            handler = table[op]
+            if handler is None:
+                # A-line / F-line / illegal: the stepping fallback owns
+                # the host-handler and exception plumbing.
+                break
+            insn = decode(fetch, addr, want_text=False)
+            if insn.end > limit:
+                break
+            # The fetch reference the stepping loop would emit for this
+            # opcode word, packed for the profiler's trace buffer.
+            token = addr | (region << 36)
+            entries.append((addr, (addr + 2) & _MASK32, token, op, handler))
+            end = insn.end
+            if insn.kind != _K_NORMAL:
+                # Branches, calls, returns, stop, trap #n: terminal —
+                # control continues at a pc only execution knows.
+                break
+            addr = insn.end
+        if not entries:
+            return None
+
+        pages = tuple(range(pc >> PAGE_SHIFT, ((end - 1) >> PAGE_SHIFT) + 1))
+        block = _Block(entries, pages, region)
+        self.blocks[pc] = block
+        if region == 0:
+            # Only RAM pages need write watching; flash is
+            # write-protected during replay and bulk loads flush.
+            for page in pages:
+                self._page_blocks.setdefault(page, []).append(block)
+                self.watch.pages.add(page)
+        self.blocks_built += 1
+        return block
+
+    # -- execution ------------------------------------------------------
+    def run_until_cycles(self, limit: int) -> None:
+        """Exact-semantics equivalent of the stepping loop: per
+        instruction, the pending-interrupt gate, the stopped gate and
+        the cycle budget are evaluated in ``CPU.step()`` order."""
+        cpu = self.cpu
+        mem = self.mem
+        step = cpu.step
+        blocks = self.blocks
+
+        # Per-run fast-path selection (hooks and tracer only change
+        # between scheduler runs, never inside one).
+        tracer = mem.tracer
+        fast_append = None     # profiler trace append for fetch tokens
+        emit = None            # generic tracer.reference fallback
+        profiler = None
+        if tracer is not None:
+            P = _resolve_profiler()
+            if (type(tracer) is P and tracer.trace_references
+                    and not tracer.online_caches):
+                profiler = tracer
+                fast_append = tracer._pending.append
+            else:
+                emit = tracer.reference
+        hook = cpu.opcode_hook
+        opcounts = None
+        if (hook is not None and tracer is not None
+                and type(tracer) is _resolve_profiler()
+                and getattr(hook, "__self__", None) is tracer
+                and getattr(hook, "__func__", None)
+                is _resolve_profiler().opcode):
+            # The standard histogram hook, inlined: count the opcode
+            # here and batch the instruction totals per block run.
+            opcounts = tracer.opcode_counts
+            hook = None
+
+        while True:
+            if cpu.cycles >= limit:
+                return
+            irq = cpu.pending_irq
+            if irq and (irq > cpu.imask or irq == 7):
+                step()          # services the interrupt, step-identically
+                continue
+            if cpu.stopped:
+                return
+            block = blocks.get(cpu.pc)
+            if block is None or not block.valid:
+                block = self._build(cpu.pc)
+                if block is None:
+                    step()      # not block-eligible: A/F-line, MMIO, ...
+                    continue
+            executed = 0
+            try:
+                if fast_append is not None and opcounts is not None:
+                    # The replay-profiling hot loop: one list append per
+                    # fetch; opcode counts are batched in the finally.
+                    for pc, nxt, token, op, handler in block.entries:
+                        if cpu.cycles >= limit or cpu.pc != pc \
+                                or not block.valid:
+                            break
+                        irq = cpu.pending_irq
+                        if irq and (irq > cpu.imask or irq == 7):
+                            break
+                        fast_append(token)
+                        cpu.pc = nxt
+                        cpu.cycles += 4
+                        executed += 1
+                        handler(cpu)
+                else:
+                    region = block.region
+                    for pc, nxt, token, op, handler in block.entries:
+                        if cpu.cycles >= limit or cpu.pc != pc \
+                                or not block.valid:
+                            break
+                        irq = cpu.pending_irq
+                        if irq and (irq > cpu.imask or irq == 7):
+                            break
+                        if fast_append is not None:
+                            fast_append(token)
+                        elif emit is not None:
+                            emit(pc, 0, region)
+                        cpu.pc = nxt
+                        cpu.cycles += 4
+                        executed += 1
+                        if hook is not None:
+                            hook(op)
+                        handler(cpu)
+            finally:
+                # Batched bookkeeping survives guest faults raised by a
+                # handler mid-block (the faulting instruction counts,
+                # exactly as in step()).
+                if executed:
+                    cpu.instructions += executed
+                    if opcounts is not None:
+                        tracer.instructions += executed
+                        entries = block.entries
+                        if executed == len(entries):
+                            for op, n in block.op_counts:
+                                opcounts[op] += n
+                        else:
+                            for i in range(executed):
+                                opcounts[entries[i][3]] += 1
+                if profiler is not None \
+                        and len(profiler._pending) >= _TRACE_CHUNK:
+                    profiler._flush_trace()

@@ -10,7 +10,7 @@ All values are big-endian, as on the 68000.
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import Optional, Protocol
 
 from .errors import AddressError
 
@@ -42,16 +42,37 @@ def check_aligned(addr: int, size: int) -> None:
         raise AddressError(addr, size)
 
 
+class WriteWatch(Protocol):
+    """Receives write notifications for watched 256-byte pages.
+
+    Installed by code-caching replay cores: ``pages`` names the pages
+    holding predecoded guest code, :meth:`hit` invalidates the blocks a
+    write lands in, and :meth:`bulk` drops everything (bulk loads don't
+    enumerate individual addresses).
+    """
+
+    pages: set
+
+    def hit(self, addr: int) -> None: ...
+
+    def bulk(self) -> None: ...
+
+
 class FlatMemory:
     """A flat big-endian byte-addressable memory.
 
     Used directly in unit tests and as the building block for the device
-    memory map's RAM and flash regions.
+    memory map's RAM and flash regions.  ``watch`` (normally None) is a
+    :class:`WriteWatch` notified of writes into its watched pages —
+    host-side stores (HotSync installs, hack code, checkpoint restores)
+    go through these accessors too, so self-modifying-code detection
+    cannot be bypassed from outside the guest bus.
     """
 
     def __init__(self, size: int, base: int = 0):
         self.base = base
         self.data = bytearray(size)
+        self.watch: Optional[WriteWatch] = None
 
     def __len__(self) -> int:
         return len(self.data)
@@ -72,15 +93,28 @@ class FlatMemory:
         return (d[off] << 24) | (d[off + 1] << 16) | (d[off + 2] << 8) | d[off + 3]
 
     def write8(self, addr: int, value: int) -> None:
+        w = self.watch
+        if w is not None and (addr >> 8) in w.pages:
+            w.hit(addr)
         self.data[addr - self.base] = value & 0xFF
 
     def write16(self, addr: int, value: int) -> None:
+        w = self.watch
+        if w is not None and (addr >> 8) in w.pages:
+            w.hit(addr)
         check_aligned(addr, 2)
         off = addr - self.base
         self.data[off] = (value >> 8) & 0xFF
         self.data[off + 1] = value & 0xFF
 
     def write32(self, addr: int, value: int) -> None:
+        w = self.watch
+        if w is not None:
+            # An aligned long can straddle a page boundary (addr ≡ 0xFE
+            # mod 256), so both halves are checked.
+            if (addr >> 8) in w.pages or ((addr + 2) >> 8) in w.pages:
+                w.hit(addr)
+                w.hit(addr + 2)
         check_aligned(addr, 4)
         off = addr - self.base
         d = self.data
@@ -95,6 +129,8 @@ class FlatMemory:
     # -- bulk helpers ----------------------------------------------------
     def load(self, addr: int, blob: bytes) -> None:
         """Copy ``blob`` into memory starting at ``addr``."""
+        if self.watch is not None:
+            self.watch.bulk()
         off = addr - self.base
         self.data[off:off + len(blob)] = blob
 

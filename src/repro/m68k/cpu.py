@@ -93,10 +93,16 @@ class CPU:
         self.interrupt_hook: Optional[Callable[[], None]] = None
 
         if CPU._dispatch is None:
-            from .decoder import build_dispatch_table
+            from .decoder import dispatch_table
 
-            CPU._dispatch = build_dispatch_table()
+            CPU._dispatch = dispatch_table()
         self._table = CPU._dispatch
+
+    @property
+    def dispatch_table(self) -> list:
+        """The 65536-entry opcode handler table (shared, read-only by
+        convention).  Replay cores predecode handlers out of it."""
+        return self._table
 
     # ------------------------------------------------------------------
     # Status register
@@ -173,29 +179,39 @@ class CPU:
         return word
 
     def fetch_ext32(self) -> int:
-        hi = self.fetch_ext16()
-        lo = self.fetch_ext16()
+        hi = self.bus.fetch16(self.pc)
+        lo = self.bus.fetch16((self.pc + 2) & _MASK32)
+        self.pc = (self.pc + 4) & _MASK32
+        self.cycles += 8
         return (hi << 16) | lo
 
     # ------------------------------------------------------------------
     # Stack helpers (always the active SP)
     # ------------------------------------------------------------------
     def push16(self, value: int) -> None:
-        self.a[7] = (self.a[7] - 2) & _MASK32
-        self.write(self.a[7], 2, value)
+        addr = (self.a[7] - 2) & _MASK32
+        self.a[7] = addr
+        self.cycles += 4
+        self.bus.write16(addr, value & 0xFFFF)
 
     def push32(self, value: int) -> None:
-        self.a[7] = (self.a[7] - 4) & _MASK32
-        self.write(self.a[7], 4, value)
+        addr = (self.a[7] - 4) & _MASK32
+        self.a[7] = addr
+        self.cycles += 8
+        self.bus.write32(addr, value & _MASK32)
 
     def pop16(self) -> int:
-        value = self.read(self.a[7], 2)
-        self.a[7] = (self.a[7] + 2) & _MASK32
+        addr = self.a[7]
+        self.cycles += 4
+        value = self.bus.read16(addr)
+        self.a[7] = (addr + 2) & _MASK32
         return value
 
     def pop32(self) -> int:
-        value = self.read(self.a[7], 4)
-        self.a[7] = (self.a[7] + 4) & _MASK32
+        addr = self.a[7]
+        self.cycles += 8
+        value = self.bus.read32(addr)
+        self.a[7] = (addr + 4) & _MASK32
         return value
 
     # ------------------------------------------------------------------

@@ -16,3 +16,18 @@ from .instructions import Handler, build_handler
 def build_dispatch_table() -> List[Optional[Handler]]:
     """Build the 65536-entry opcode dispatch table."""
     return [build_handler(op) for op in range(0x10000)]
+
+
+_TABLE: Optional[List[Optional[Handler]]] = None
+
+
+def dispatch_table() -> List[Optional[Handler]]:
+    """The process-wide dispatch table, built on first use.
+
+    Shared by every :class:`~repro.m68k.cpu.CPU` instance and by the
+    block-predecoding replay core, which snapshots handlers out of it.
+    """
+    global _TABLE
+    if _TABLE is None:
+        _TABLE = build_dispatch_table()
+    return _TABLE

@@ -170,6 +170,286 @@ def modify_ea(cpu, mode: int, reg: int, size: int, fn) -> int:
 
 
 # ----------------------------------------------------------------------
+# Build-time operand specialisation
+# ----------------------------------------------------------------------
+# ea_addr/read_ea/write_ea/modify_ea re-dispatch on (mode, reg, size)
+# at *execution* time even though all three are static per opcode word.
+# The factories below bake that dispatch into closures when the table
+# is built.  Runtime semantics — extension-word fetch order, cycle
+# counting, address-register update timing, operand masking — are
+# identical to the generic helpers, which remain for the dynamic call
+# sites (e.g. MOVEM's once-per-execution register walk).
+
+def make_ea_addr(mode: int, reg: int, size: int):
+    """Closure computing a memory operand's address (modes 2-7)."""
+    if mode == 2:
+        def addr_of(cpu):
+            return cpu.a[reg]
+    elif mode == 3:
+        inc = 2 if (size == 1 and reg == 7) else size
+
+        def addr_of(cpu):
+            a = cpu.a
+            addr = a[reg]
+            a[reg] = (addr + inc) & M32
+            return addr
+    elif mode == 4:
+        dec = 2 if (size == 1 and reg == 7) else size
+
+        def addr_of(cpu):
+            a = cpu.a
+            addr = (a[reg] - dec) & M32
+            a[reg] = addr
+            return addr
+    elif mode == 5:
+        def addr_of(cpu):
+            return (cpu.a[reg] + sext32(cpu.fetch_ext16(), 2)) & M32
+    elif mode == 6:
+        def addr_of(cpu):
+            return _indexed(cpu, cpu.a[reg])
+    elif mode == 7 and reg == 0:
+        def addr_of(cpu):
+            return sext32(cpu.fetch_ext16(), 2)
+    elif mode == 7 and reg == 1:
+        def addr_of(cpu):
+            return cpu.fetch_ext32()
+    elif mode == 7 and reg == 2:
+        def addr_of(cpu):
+            base = cpu.pc
+            return (base + sext32(cpu.fetch_ext16(), 2)) & M32
+    elif mode == 7 and reg == 3:
+        def addr_of(cpu):
+            return _indexed(cpu, cpu.pc)
+    else:
+        raise AssertionError(f"no address for mode={mode} reg={reg}")
+    return addr_of
+
+
+_BUS_READ = {1: "read8", 2: "read16", 4: "read32"}
+_BUS_WRITE = {1: "write8", 2: "write16", 4: "write32"}
+
+
+def _mem_addr_code(mode: int, reg: int, size: int):
+    """Source lines leaving the operand address (unmasked) in ``addr``,
+    for the register-relative modes 2-5 — the overwhelming majority of
+    memory operands — or ``None`` for the extension-word modes that
+    keep the shared ``make_ea_addr`` closures.  Inlining the address
+    arithmetic into the reader/writer/modifier body saves one Python
+    call per memory access on the replay hot path."""
+    if mode == 2:
+        return f"    addr = cpu.a[{reg}]\n"
+    if mode == 3:
+        inc = 2 if (size == 1 and reg == 7) else size
+        return (f"    a = cpu.a\n"
+                f"    addr = a[{reg}]\n"
+                f"    a[{reg}] = (addr + {inc}) & {M32}\n")
+    if mode == 4:
+        dec = 2 if (size == 1 and reg == 7) else size
+        return (f"    a = cpu.a\n"
+                f"    addr = (a[{reg}] - {dec}) & {M32}\n"
+                f"    a[{reg}] = addr\n")
+    if mode == 5:
+        return (f"    addr = (cpu.a[{reg}]"
+                f" + sext32(cpu.fetch_ext16(), 2)) & {M32}\n")
+    return None
+
+
+def _specialize(src: str):
+    """Compile one specialised accessor from source (build-time only)."""
+    env = {"sext32": sext32}
+    exec(compile(src, "<ea-specialised>", "exec"), env)
+    return env["f"]
+
+
+def _move_read_code(mode: int, reg: int, size: int):
+    """Source lines leaving the (masked) source operand in ``val``, or
+    ``None`` when the mode needs the shared closures."""
+    mask = MASKS[size]
+    if mode == 0:
+        return f"    val = cpu.d[{reg}] & {mask}\n"
+    if mode == 1:
+        return f"    val = cpu.a[{reg}] & {mask}\n"
+    if mode == 7 and reg == 4:
+        if size == 4:
+            return "    val = cpu.fetch_ext32()\n"
+        return f"    val = cpu.fetch_ext16() & {mask}\n"
+    code = _mem_addr_code(mode, reg, size)
+    if code is None:
+        return None
+    cost = 8 if size == 4 else 4
+    return (code +
+            f"    cpu.cycles += {cost}\n"
+            f"    val = cpu.bus.{_BUS_READ[size]}(addr & {M32})\n")
+
+
+def _move_write_code(mode: int, reg: int, size: int):
+    """Source lines storing ``val`` (already masked) to the
+    destination operand, or ``None``."""
+    if mode == 0:
+        inv = ~MASKS[size] & M32
+        return (f"    d = cpu.d\n"
+                f"    d[{reg}] = (d[{reg}] & {inv}) | val\n")
+    code = _mem_addr_code(mode, reg, size)
+    if code is None:
+        return None
+    cost = 8 if size == 4 else 4
+    return (code +
+            f"    cpu.cycles += {cost}\n"
+            f"    cpu.bus.{_BUS_WRITE[size]}(addr & {M32}, val)\n")
+
+
+def make_reader(mode: int, reg: int, size: int):
+    """Closure with the semantics of ``read_ea(cpu, mode, reg, size)``."""
+    mask = MASKS[size]
+    if mode == 0:
+        def read(cpu):
+            return cpu.d[reg] & mask
+        return read
+    if mode == 1:
+        def read(cpu):
+            return cpu.a[reg] & mask
+        return read
+    if mode == 7 and reg == 4:
+        if size == 4:
+            def read(cpu):
+                return cpu.fetch_ext32()
+        else:
+            def read(cpu):
+                return cpu.fetch_ext16() & mask
+        return read
+    cost = 8 if size == 4 else 4
+    code = _mem_addr_code(mode, reg, size)
+    if code is not None:
+        return _specialize(
+            "def f(cpu):\n" + code +
+            f"    cpu.cycles += {cost}\n"
+            f"    return cpu.bus.{_BUS_READ[size]}(addr & {M32})\n")
+    addr_of = make_ea_addr(mode, reg, size)
+    if size == 1:
+        def read(cpu):
+            addr = addr_of(cpu) & M32
+            cpu.cycles += 4
+            return cpu.bus.read8(addr)
+    elif size == 2:
+        def read(cpu):
+            addr = addr_of(cpu) & M32
+            cpu.cycles += 4
+            return cpu.bus.read16(addr)
+    else:
+        def read(cpu):
+            addr = addr_of(cpu) & M32
+            cpu.cycles += 8
+            return cpu.bus.read32(addr)
+    return read
+
+
+def make_writer(mode: int, reg: int, size: int):
+    """Closure with the semantics of ``write_ea(cpu, ..., value)``."""
+    mask = MASKS[size]
+    if mode == 0:
+        inv = ~mask & M32
+
+        def write(cpu, value):
+            d = cpu.d
+            d[reg] = (d[reg] & inv) | (value & mask)
+        return write
+    if mode == 1:
+        def write(cpu, value):
+            cpu.a[reg] = sext32(value, size)
+        return write
+    cost = 8 if size == 4 else 4
+    code = _mem_addr_code(mode, reg, size)
+    if code is not None:
+        return _specialize(
+            "def f(cpu, value):\n" + code +
+            f"    cpu.cycles += {cost}\n"
+            f"    cpu.bus.{_BUS_WRITE[size]}(addr & {M32}, value & {mask})\n")
+    addr_of = make_ea_addr(mode, reg, size)
+    if size == 1:
+        def write(cpu, value):
+            addr = addr_of(cpu) & M32
+            cpu.cycles += 4
+            cpu.bus.write8(addr, value & 0xFF)
+    elif size == 2:
+        def write(cpu, value):
+            addr = addr_of(cpu) & M32
+            cpu.cycles += 4
+            cpu.bus.write16(addr, value & 0xFFFF)
+    else:
+        def write(cpu, value):
+            addr = addr_of(cpu) & M32
+            cpu.cycles += 8
+            cpu.bus.write32(addr, value & M32)
+    return write
+
+
+def make_modifier(mode: int, reg: int, size: int):
+    """Closure ``modify(cpu, fn)`` with the semantics of ``modify_ea``,
+    except ``fn`` takes ``(cpu, old)`` so callers can build it once at
+    table-build time instead of allocating a lambda per execution."""
+    mask = MASKS[size]
+    if mode == 0:
+        inv = ~mask & M32
+
+        def modify(cpu, fn):
+            d = cpu.d
+            old = d[reg] & mask
+            new = fn(cpu, old) & mask
+            d[reg] = (d[reg] & inv) | new
+            return new
+        return modify
+    cost = 8 if size == 4 else 4
+    code = _mem_addr_code(mode, reg, size)
+    if code is not None:
+        return _specialize(
+            "def f(cpu, fn):\n" + code +
+            f"    addr &= {M32}\n"
+            f"    cpu.cycles += {cost}\n"
+            f"    old = cpu.bus.{_BUS_READ[size]}(addr)\n"
+            f"    new = fn(cpu, old) & {mask}\n"
+            f"    cpu.cycles += {cost}\n"
+            f"    cpu.bus.{_BUS_WRITE[size]}(addr, new)\n"
+            f"    return new\n")
+    addr_of = make_ea_addr(mode, reg, size)
+    if size == 1:
+        def modify(cpu, fn):
+            addr = addr_of(cpu) & M32
+            cpu.cycles += 4
+            old = cpu.bus.read8(addr)
+            new = fn(cpu, old) & 0xFF
+            cpu.cycles += 4
+            cpu.bus.write8(addr, new)
+            return new
+    elif size == 2:
+        def modify(cpu, fn):
+            addr = addr_of(cpu) & M32
+            cpu.cycles += 4
+            old = cpu.bus.read16(addr)
+            new = fn(cpu, old) & 0xFFFF
+            cpu.cycles += 4
+            cpu.bus.write16(addr, new)
+            return new
+    else:
+        def modify(cpu, fn):
+            addr = addr_of(cpu) & M32
+            cpu.cycles += 8
+            old = cpu.bus.read32(addr)
+            new = fn(cpu, old) & M32
+            cpu.cycles += 8
+            cpu.bus.write32(addr, new)
+            return new
+    return modify
+
+
+def _clr_fn(cpu, v):
+    return 0
+
+
+def _not_fn(cpu, v):
+    return ~v
+
+
+# ----------------------------------------------------------------------
 # Flag computation
 # ----------------------------------------------------------------------
 def set_nz(cpu, r: int, size: int) -> None:
@@ -191,7 +471,8 @@ def flags_add(cpu, a: int, b: int, size: int, *, with_x: bool = True) -> int:
     cpu.v = 1 if (~(a ^ b)) & (a ^ r) & msb else 0
     if with_x:
         cpu.x = cpu.c
-    set_nz(cpu, r, size)
+    cpu.n = 1 if r & msb else 0
+    cpu.z = 1 if r == 0 else 0
     return r
 
 
@@ -203,7 +484,20 @@ def flags_sub(cpu, a: int, b: int, size: int, *, with_x: bool = True) -> int:
     cpu.v = 1 if (a ^ b) & (a ^ r) & msb else 0
     if with_x:
         cpu.x = cpu.c
-    set_nz(cpu, r, size)
+    cpu.n = 1 if r & msb else 0
+    cpu.z = 1 if r == 0 else 0
+    return r
+
+
+def flags_cmp(cpu, a: int, b: int, size: int) -> int:
+    """``flags_sub(..., with_x=False)`` without the keyword overhead —
+    the compare instructions are hot enough for it to show."""
+    mask, msb = MASKS[size], MSBS[size]
+    r = (a - b) & mask
+    cpu.c = 1 if b > a else 0
+    cpu.v = 1 if (a ^ b) & (a ^ r) & msb else 0
+    cpu.n = 1 if r & msb else 0
+    cpu.z = 1 if r == 0 else 0
     return r
 
 
@@ -239,6 +533,41 @@ def cond_true(cpu, cc: int) -> bool:
     if cc == 14:  # GT
         return not cpu.z and cpu.n == cpu.v
     return bool(cpu.z or cpu.n != cpu.v)  # LE
+
+
+#: ``COND_CHECKS[cc](cpu)`` == ``cond_true(cpu, cc)`` — the condition
+#: code is static per opcode word, so handlers index this at build time.
+COND_CHECKS = [
+    lambda cpu: True,                                   # T
+    lambda cpu: False,                                  # F
+    lambda cpu: not (cpu.c or cpu.z),                   # HI
+    lambda cpu: bool(cpu.c or cpu.z),                   # LS
+    lambda cpu: not cpu.c,                              # CC
+    lambda cpu: bool(cpu.c),                            # CS
+    lambda cpu: not cpu.z,                              # NE
+    lambda cpu: bool(cpu.z),                            # EQ
+    lambda cpu: not cpu.v,                              # VC
+    lambda cpu: bool(cpu.v),                            # VS
+    lambda cpu: not cpu.n,                              # PL
+    lambda cpu: bool(cpu.n),                            # MI
+    lambda cpu: cpu.n == cpu.v,                         # GE
+    lambda cpu: cpu.n != cpu.v,                         # LT
+    lambda cpu: not cpu.z and cpu.n == cpu.v,           # GT
+    lambda cpu: bool(cpu.z or cpu.n != cpu.v),          # LE
+]
+
+#: The same sixteen predicates as source expressions, for generated
+#: handlers that inline the test instead of calling through a lambda.
+COND_EXPRS = [
+    "True", "False",
+    "not (cpu.c or cpu.z)", "(cpu.c or cpu.z)",
+    "not cpu.c", "cpu.c",
+    "not cpu.z", "cpu.z",
+    "not cpu.v", "cpu.v",
+    "not cpu.n", "cpu.n",
+    "cpu.n == cpu.v", "cpu.n != cpu.v",
+    "not cpu.z and cpu.n == cpu.v", "(cpu.z or cpu.n != cpu.v)",
+]
 
 
 # ----------------------------------------------------------------------
@@ -317,9 +646,9 @@ def _build_bitop(op: int) -> Optional[Handler]:
     if not ea_is(mode, reg, spec) or (not dynamic and _ea_class(mode, reg) == "imm"):
         return None
 
-    def handler(cpu):
-        num = cpu.d[bitreg] if dynamic else cpu.fetch_ext16()
-        if mode == 0:
+    if mode == 0:
+        def handler(cpu):
+            num = cpu.d[bitreg] if dynamic else cpu.fetch_ext16()
             bit = 1 << (num & 31)
             val = cpu.d[reg]
             cpu.z = 0 if val & bit else 1
@@ -329,17 +658,38 @@ def _build_bitop(op: int) -> Optional[Handler]:
                 cpu.d[reg] = val & ~bit & M32
             elif btype == 3:
                 cpu.d[reg] = val | bit
-        else:
+        return handler
+
+    if mode == 7 and reg == 4:  # BTST Dn,#imm: no address to specialise;
+        # keep the generic path (which rejects it exactly as before).
+        def handler(cpu):
+            num = cpu.d[bitreg] if dynamic else cpu.fetch_ext16()
             bit = 1 << (num & 7)
             addr = ea_addr(cpu, mode, reg, 1)
             val = cpu.read(addr, 1)
             cpu.z = 0 if val & bit else 1
-            if btype == 1:
-                cpu.write(addr, 1, val ^ bit)
-            elif btype == 2:
-                cpu.write(addr, 1, val & ~bit)
-            elif btype == 3:
-                cpu.write(addr, 1, val | bit)
+        return handler
+
+    addr_of = make_ea_addr(mode, reg, 1)
+
+    def handler(cpu):
+        # The bit number (an ext word for the static form) comes from
+        # the instruction stream *before* the EA's extension words.
+        num = cpu.d[bitreg] if dynamic else cpu.fetch_ext16()
+        bit = 1 << (num & 7)
+        addr = addr_of(cpu) & M32
+        cpu.cycles += 4
+        val = cpu.bus.read8(addr)
+        cpu.z = 0 if val & bit else 1
+        if btype == 1:
+            cpu.cycles += 4
+            cpu.bus.write8(addr, (val ^ bit) & 0xFF)
+        elif btype == 2:
+            cpu.cycles += 4
+            cpu.bus.write8(addr, (val & ~bit) & 0xFF)
+        elif btype == 3:
+            cpu.cycles += 4
+            cpu.bus.write8(addr, (val | bit) & 0xFF)
 
     return handler
 
@@ -402,30 +752,46 @@ def _build_group0(op: int) -> Optional[Handler]:
     if not ea_is(mode, reg, spec) or _ea_class(mode, reg) == "imm":
         return None
 
+    mask = MASKS[size]
+
     if kind == 6:  # CMPI
-        def handler(cpu):
-            imm = cpu.fetch_ext32() if size == 4 else cpu.fetch_ext16() & MASKS[size]
-            val = read_ea(cpu, mode, reg, size)
-            flags_sub(cpu, val, imm, size, with_x=False)
+        read = make_reader(mode, reg, size)
+        if size == 4:
+            def handler(cpu):
+                imm = cpu.fetch_ext32()
+                flags_cmp(cpu, read(cpu), imm, size)
+        else:
+            def handler(cpu):
+                imm = cpu.fetch_ext16() & mask
+                flags_cmp(cpu, read(cpu), imm, size)
         return handler
 
-    if kind in (2, 3):  # SUBI / ADDI
-        sub = kind == 2
+    modify = make_modifier(mode, reg, size)
 
-        def handler(cpu):
-            imm = cpu.fetch_ext32() if size == 4 else cpu.fetch_ext16() & MASKS[size]
-            if sub:
-                modify_ea(cpu, mode, reg, size, lambda v: flags_sub(cpu, v, imm, size))
-            else:
-                modify_ea(cpu, mode, reg, size, lambda v: flags_add(cpu, v, imm, size))
+    if kind in (2, 3):  # SUBI / ADDI
+        arith = flags_sub if kind == 2 else flags_add
+        if size == 4:
+            def handler(cpu):
+                imm = cpu.fetch_ext32()
+                modify(cpu, lambda c, v: arith(c, v, imm, size))
+        else:
+            def handler(cpu):
+                imm = cpu.fetch_ext16() & mask
+                modify(cpu, lambda c, v: arith(c, v, imm, size))
         return handler
 
     bit_op = {0: lambda a, b: a | b, 1: lambda a, b: a & b, 5: lambda a, b: a ^ b}[kind]
 
-    def handler(cpu):
-        imm = cpu.fetch_ext32() if size == 4 else cpu.fetch_ext16() & MASKS[size]
-        r = modify_ea(cpu, mode, reg, size, lambda v: bit_op(v, imm))
-        flags_logic(cpu, r, size)
+    if size == 4:
+        def handler(cpu):
+            imm = cpu.fetch_ext32()
+            r = modify(cpu, lambda c, v: bit_op(v, imm))
+            flags_logic(cpu, r, size)
+    else:
+        def handler(cpu):
+            imm = cpu.fetch_ext16() & mask
+            r = modify(cpu, lambda c, v: bit_op(v, imm))
+            flags_logic(cpu, r, size)
 
     return handler
 
@@ -445,18 +811,43 @@ def _build_move(op: int) -> Optional[Handler]:
     if dst_mode == 1:  # MOVEA
         if size == 1:
             return None
-
-        def handler(cpu):
-            cpu.a[dst_reg] = sext32(read_ea(cpu, src_mode, src_reg, size), size)
+        read = make_reader(src_mode, src_reg, size)
+        if size == 4:
+            def handler(cpu):
+                cpu.a[dst_reg] = read(cpu)
+        else:
+            def handler(cpu):
+                cpu.a[dst_reg] = sext32(read(cpu), 2)
         return handler
 
     if not ea_is(dst_mode, dst_reg, "data_alterable"):
         return None
 
+    msb = MSBS[size]
+
+    # MOVE is the most executed opcode by a wide margin; when both
+    # operands use common addressing modes, fuse the read, the write
+    # and the flag update into one generated body with no inner calls.
+    src_code = _move_read_code(src_mode, src_reg, size)
+    dst_code = _move_write_code(dst_mode, dst_reg, size)
+    if src_code is not None and dst_code is not None:
+        return _specialize(
+            "def f(cpu):\n" + src_code + dst_code +
+            f"    cpu.n = 1 if val & {msb} else 0\n"
+            f"    cpu.z = 1 if val == 0 else 0\n"
+            f"    cpu.v = 0\n"
+            f"    cpu.c = 0\n")
+
+    read = make_reader(src_mode, src_reg, size)
+    write = make_writer(dst_mode, dst_reg, size)
+
     def handler(cpu):
-        val = read_ea(cpu, src_mode, src_reg, size)
-        write_ea(cpu, dst_mode, dst_reg, size, val)
-        flags_logic(cpu, val, size)
+        val = read(cpu)
+        write(cpu, val)
+        cpu.n = 1 if val & msb else 0
+        cpu.z = 1 if val == 0 else 0
+        cpu.v = 0
+        cpu.c = 0
 
     return handler
 
@@ -579,27 +970,30 @@ def _build_group4(op: int) -> Optional[Handler]:
     if op & 0xFFC0 == 0x4E80:  # JSR
         if not ea_is(mode, reg, "control"):
             return None
+        addr_of = make_ea_addr(mode, reg, 4)
 
         def handler(cpu):
-            target = ea_addr(cpu, mode, reg, 4)
+            target = addr_of(cpu)
             cpu.push32(cpu.pc)
             cpu.pc = target
         return handler
     if op & 0xFFC0 == 0x4EC0:  # JMP
         if not ea_is(mode, reg, "control"):
             return None
+        addr_of = make_ea_addr(mode, reg, 4)
 
         def handler(cpu):
-            cpu.pc = ea_addr(cpu, mode, reg, 4)
+            cpu.pc = addr_of(cpu)
         return handler
 
     if op & 0xF1C0 == 0x41C0:  # LEA
         if not ea_is(mode, reg, "control"):
             return None
         areg = (op >> 9) & 7
+        addr_of = make_ea_addr(mode, reg, 4)
 
         def handler(cpu):
-            cpu.a[areg] = ea_addr(cpu, mode, reg, 4)
+            cpu.a[areg] = addr_of(cpu)
         return handler
 
     if op & 0xF1C0 == 0x4180:  # CHK <ea>,Dn
@@ -640,23 +1034,26 @@ def _build_group4(op: int) -> Optional[Handler]:
     if op & 0xFFC0 == 0x40C0:  # MOVE SR,ea
         if not ea_is(mode, reg, "data_alterable"):
             return None
+        write = make_writer(mode, reg, 2)
 
         def handler(cpu):
-            write_ea(cpu, mode, reg, 2, cpu.sr)
+            write(cpu, cpu.sr)
         return handler
     if op & 0xFFC0 == 0x44C0:  # MOVE ea,CCR
         if not ea_is(mode, reg, "data"):
             return None
+        read = make_reader(mode, reg, 2)
 
         def handler(cpu):
-            cpu.ccr = read_ea(cpu, mode, reg, 2) & 0xFF
+            cpu.ccr = read(cpu) & 0xFF
         return handler
     if op & 0xFFC0 == 0x46C0:  # MOVE ea,SR
         if not ea_is(mode, reg, "data"):
             return None
+        read = make_reader(mode, reg, 2)
 
         def handler(cpu):
-            cpu.sr = read_ea(cpu, mode, reg, 2)
+            cpu.sr = read(cpu)
         return handler
 
     if op & 0xFFF8 == 0x4840:  # SWAP Dn
@@ -669,9 +1066,10 @@ def _build_group4(op: int) -> Optional[Handler]:
     if op & 0xFFC0 == 0x4840:  # PEA
         if not ea_is(mode, reg, "control"):
             return None
+        addr_of = make_ea_addr(mode, reg, 4)
 
         def handler(cpu):
-            cpu.push32(ea_addr(cpu, mode, reg, 4))
+            cpu.push32(addr_of(cpu))
         return handler
 
     if op & 0xFFB8 == 0x4880 and mode == 0:  # EXT.W / EXT.L
@@ -698,35 +1096,42 @@ def _build_group4(op: int) -> Optional[Handler]:
             return None
         variant = op & 0xFF00
 
+        modify = make_modifier(mode, reg, size)
+
         if variant == 0x4200:  # CLR
             def handler(cpu):
-                modify_ea(cpu, mode, reg, size, lambda v: 0)
+                modify(cpu, _clr_fn)
                 cpu.n = cpu.v = cpu.c = 0
                 cpu.z = 1
             return handler
 
         if variant == 0x4400:  # NEG
+            def neg_fn(cpu, v):
+                return flags_sub(cpu, 0, v, size)
+
             def handler(cpu):
-                modify_ea(cpu, mode, reg, size, lambda v: flags_sub(cpu, 0, v, size))
+                modify(cpu, neg_fn)
             return handler
 
         if variant == 0x4000:  # NEGX
+            mask, msb = MASKS[size], MSBS[size]
+
+            def negx_fn(cpu, v):
+                r = (0 - v - cpu.x) & mask
+                cpu.c = 1 if (v + cpu.x) > 0 else 0
+                cpu.x = cpu.c
+                cpu.v = 1 if v & r & msb else 0
+                cpu.n = 1 if r & msb else 0
+                if r:
+                    cpu.z = 0
+                return r
+
             def handler(cpu):
-                def fn(v):
-                    mask, msb = MASKS[size], MSBS[size]
-                    r = (0 - v - cpu.x) & mask
-                    cpu.c = 1 if (v + cpu.x) > 0 else 0
-                    cpu.x = cpu.c
-                    cpu.v = 1 if v & r & msb else 0
-                    cpu.n = 1 if r & msb else 0
-                    if r:
-                        cpu.z = 0
-                    return r
-                modify_ea(cpu, mode, reg, size, fn)
+                modify(cpu, negx_fn)
             return handler
 
         def handler(cpu):  # NOT
-            r = modify_ea(cpu, mode, reg, size, lambda v: ~v)
+            r = modify(cpu, _not_fn)
             flags_logic(cpu, r, size)
         return handler
 
@@ -734,9 +1139,15 @@ def _build_group4(op: int) -> Optional[Handler]:
         size = SIZE_BY_BITS[szbits]
         if not ea_is(mode, reg, "data_alterable"):
             return None
+        read = make_reader(mode, reg, size)
+        msb = MSBS[size]
 
         def handler(cpu):
-            flags_logic(cpu, read_ea(cpu, mode, reg, size), size)
+            val = read(cpu)
+            cpu.n = 1 if val & msb else 0
+            cpu.z = 1 if val == 0 else 0
+            cpu.v = 0
+            cpu.c = 0
         return handler
 
     return None
@@ -750,21 +1161,26 @@ def _build_group5(op: int) -> Optional[Handler]:
     szbits = (op >> 6) & 3
     if szbits == 3:
         cc = (op >> 8) & 15
+        check = COND_CHECKS[cc]
         if mode == 1:  # DBcc
             def handler(cpu):
                 base = cpu.pc
                 disp = sext32(cpu.fetch_ext16(), 2)
-                if not cond_true(cpu, cc):
+                if not check(cpu):
                     count = (cpu.d[reg] - 1) & 0xFFFF
-                    write_dreg(cpu, reg, 2, count)
+                    cpu.d[reg] = (cpu.d[reg] & 0xFFFF0000) | count
                     if count != 0xFFFF:
                         cpu.pc = (base + disp) & M32
             return handler
         if not ea_is(mode, reg, "data_alterable"):
             return None
+        modify = make_modifier(mode, reg, 1)
+
+        def scc_fn(cpu, v):
+            return 0xFF if check(cpu) else 0
 
         def handler(cpu):  # Scc
-            modify_ea(cpu, mode, reg, 1, lambda v: 0xFF if cond_true(cpu, cc) else 0)
+            modify(cpu, scc_fn)
         return handler
 
     size = SIZE_BY_BITS[szbits]
@@ -774,22 +1190,37 @@ def _build_group5(op: int) -> Optional[Handler]:
         if size == 1:
             return None
 
-        def handler(cpu):  # ADDQ/SUBQ to An: whole register, no flags
-            if sub:
+        if sub:
+            def handler(cpu):  # ADDQ/SUBQ to An: whole register, no flags
                 cpu.a[reg] = (cpu.a[reg] - data) & M32
-            else:
+        else:
+            def handler(cpu):
                 cpu.a[reg] = (cpu.a[reg] + data) & M32
         return handler
 
     if not ea_is(mode, reg, "data_alterable"):
         return None
 
-    if sub:
+    arith = flags_sub if sub else flags_add
+    if mode == 0:
+        # The data-register form is hot enough (loop counters, pointer
+        # arithmetic) to bypass the modify/fn indirection entirely.
+        mask = MASKS[size]
+        inv = ~mask & M32
+
         def handler(cpu):
-            modify_ea(cpu, mode, reg, size, lambda v: flags_sub(cpu, v, data, size))
-    else:
-        def handler(cpu):
-            modify_ea(cpu, mode, reg, size, lambda v: flags_add(cpu, v, data, size))
+            d = cpu.d
+            r = arith(cpu, d[reg] & mask, data, size)
+            d[reg] = (d[reg] & inv) | r
+        return handler
+
+    modify = make_modifier(mode, reg, size)
+
+    def quick_fn(cpu, v):
+        return arith(cpu, v, data, size)
+
+    def handler(cpu):
+        modify(cpu, quick_fn)
     return handler
 
 
@@ -800,21 +1231,44 @@ def _build_group6(op: int) -> Handler:
     cc = (op >> 8) & 15
     disp8 = op & 0xFF
 
-    def handler(cpu):
-        if disp8 == 0:
-            base = cpu.pc
-            disp = sext32(cpu.fetch_ext16(), 2)
+    if disp8 == 0:  # word displacement (fetched whether taken or not)
+        if cc == 0:  # BRA.w
+            def handler(cpu):
+                base = cpu.pc
+                disp = sext32(cpu.fetch_ext16(), 2)
+                cpu.pc = (base + disp) & M32
+        elif cc == 1:  # BSR.w: the return address follows the ext word
+            def handler(cpu):
+                base = cpu.pc
+                disp = sext32(cpu.fetch_ext16(), 2)
+                target = (base + disp) & M32
+                cpu.push32(cpu.pc)
+                cpu.pc = target
         else:
-            base = cpu.pc
-            disp = sext32(disp8, 1)
-        target = (base + disp) & M32
-        if cc == 0:  # BRA
-            cpu.pc = target
-        elif cc == 1:  # BSR
+            return _specialize(
+                "def f(cpu):\n"
+                "    base = cpu.pc\n"
+                "    disp = sext32(cpu.fetch_ext16(), 2)\n"
+                f"    if {COND_EXPRS[cc]}:\n"
+                f"        cpu.pc = (base + disp) & {M32}\n")
+        return handler
+
+    disp = sext32(disp8, 1)
+    if cc == 0:  # BRA.s
+        def handler(cpu):
+            cpu.pc = (cpu.pc + disp) & M32
+    elif cc == 1:  # BSR.s
+        def handler(cpu):
+            target = (cpu.pc + disp) & M32
             cpu.push32(cpu.pc)
             cpu.pc = target
-        elif cond_true(cpu, cc):
-            cpu.pc = target
+    else:
+        # Taken-short-branch is among the hottest opcodes: inline the
+        # condition test into a generated body (no lambda call).
+        return _specialize(
+            "def f(cpu):\n"
+            f"    if {COND_EXPRS[cc]}:\n"
+            f"        cpu.pc = (cpu.pc + {disp}) & {M32}\n")
 
     return handler
 
@@ -882,25 +1336,37 @@ def _build_addsub(op: int, sub: bool) -> Optional[Handler]:
         size = 2 if opmode == 3 else 4
         if not ea_is(mode, reg, "all"):
             return None
-
-        def handler(cpu):
-            val = sext32(read_ea(cpu, mode, reg, size), size)
+        read = make_reader(mode, reg, size)
+        if size == 4:
             if sub:
-                cpu.a[dreg] = (cpu.a[dreg] - val) & M32
+                def handler(cpu):
+                    cpu.a[dreg] = (cpu.a[dreg] - read(cpu)) & M32
             else:
-                cpu.a[dreg] = (cpu.a[dreg] + val) & M32
+                def handler(cpu):
+                    cpu.a[dreg] = (cpu.a[dreg] + read(cpu)) & M32
+        else:
+            if sub:
+                def handler(cpu):
+                    cpu.a[dreg] = (cpu.a[dreg] - sext32(read(cpu), 2)) & M32
+            else:
+                def handler(cpu):
+                    cpu.a[dreg] = (cpu.a[dreg] + sext32(read(cpu), 2)) & M32
         return handler
 
     size = SIZE_BY_BITS[opmode & 3]
     if opmode < 3:  # <ea> op Dn -> Dn
         if not ea_is(mode, reg, "all") or (mode == 1 and size == 1):
             return None
+        read = make_reader(mode, reg, size)
+        arith = flags_sub if sub else flags_add
+        mask = MASKS[size]
+        inv = ~mask & M32
 
         def handler(cpu):
-            src = read_ea(cpu, mode, reg, size)
-            dst = cpu.d[dreg] & MASKS[size]
-            r = flags_sub(cpu, dst, src, size) if sub else flags_add(cpu, dst, src, size)
-            write_dreg(cpu, dreg, size, r)
+            src = read(cpu)
+            d = cpu.d
+            r = arith(cpu, d[dreg] & mask, src, size)
+            d[dreg] = (d[dreg] & inv) | r
         return handler
 
     # opmode 4-6
@@ -942,12 +1408,15 @@ def _build_addsub(op: int, sub: bool) -> Optional[Handler]:
     if not ea_is(mode, reg, "memory_alterable"):
         return None
 
+    modify = make_modifier(mode, reg, size)
+    mask = MASKS[size]
+    arith = flags_sub if sub else flags_add
+
+    def arith_fn(cpu, v):
+        return arith(cpu, v, cpu.d[dreg] & mask, size)
+
     def handler(cpu):  # Dn op <ea> -> <ea>
-        src = cpu.d[dreg] & MASKS[size]
-        if sub:
-            modify_ea(cpu, mode, reg, size, lambda v: flags_sub(cpu, v, src, size))
-        else:
-            modify_ea(cpu, mode, reg, size, lambda v: flags_add(cpu, v, src, size))
+        modify(cpu, arith_fn)
 
     return handler
 
@@ -958,24 +1427,36 @@ def _build_logic(op: int, bit_op) -> Optional[Handler]:
     dreg = (op >> 9) & 7
     opmode = (op >> 6) & 7
     size = SIZE_BY_BITS[opmode & 3]
+    mask = MASKS[size]
 
     if opmode < 3:  # <ea> op Dn -> Dn
         if not ea_is(mode, reg, "data"):
             return None
+        read = make_reader(mode, reg, size)
+        msb = MSBS[size]
+        inv = ~mask & M32
 
         def handler(cpu):
-            src = read_ea(cpu, mode, reg, size)
-            r = bit_op(cpu.d[dreg] & MASKS[size], src)
-            write_dreg(cpu, dreg, size, r)
-            flags_logic(cpu, r, size)
+            src = read(cpu)
+            d = cpu.d
+            r = bit_op(d[dreg] & mask, src)
+            d[dreg] = (d[dreg] & inv) | r
+            cpu.n = 1 if r & msb else 0
+            cpu.z = 1 if r == 0 else 0
+            cpu.v = 0
+            cpu.c = 0
         return handler
 
     if not ea_is(mode, reg, "memory_alterable"):
         return None
 
+    modify = make_modifier(mode, reg, size)
+
+    def logic_fn(cpu, v):
+        return bit_op(v, cpu.d[dreg] & mask)
+
     def handler(cpu):  # Dn op <ea> -> <ea>
-        src = cpu.d[dreg] & MASKS[size]
-        r = modify_ea(cpu, mode, reg, size, lambda v: bit_op(v, src))
+        r = modify(cpu, logic_fn)
         flags_logic(cpu, r, size)
 
     return handler
@@ -1024,20 +1505,27 @@ def _build_groupB(op: int) -> Optional[Handler]:
         size = 2 if opmode == 3 else 4
         if not ea_is(mode, reg, "all"):
             return None
-
-        def handler(cpu):
-            val = sext32(read_ea(cpu, mode, reg, size), size)
-            flags_sub(cpu, cpu.a[dreg], val, 4, with_x=False)
+        read = make_reader(mode, reg, size)
+        if size == 4:
+            def handler(cpu):
+                val = read(cpu)
+                flags_cmp(cpu, cpu.a[dreg], val, 4)
+        else:
+            def handler(cpu):
+                val = sext32(read(cpu), 2)
+                flags_cmp(cpu, cpu.a[dreg], val, 4)
         return handler
 
     size = SIZE_BY_BITS[opmode & 3]
     if opmode < 3:  # CMP
         if not ea_is(mode, reg, "all") or (mode == 1 and size == 1):
             return None
+        read = make_reader(mode, reg, size)
+        mask = MASKS[size]
 
         def handler(cpu):
-            src = read_ea(cpu, mode, reg, size)
-            flags_sub(cpu, cpu.d[dreg] & MASKS[size], src, size, with_x=False)
+            src = read(cpu)
+            flags_cmp(cpu, cpu.d[dreg] & mask, src, size)
         return handler
 
     if mode == 1:  # CMPM (Ay)+,(Ax)+
@@ -1048,15 +1536,20 @@ def _build_groupB(op: int) -> Optional[Handler]:
             inc_x = 2 if (size == 1 and dreg == 7) else size
             dst = cpu.read(cpu.a[dreg], size)
             cpu.a[dreg] = (cpu.a[dreg] + inc_x) & M32
-            flags_sub(cpu, dst, src, size, with_x=False)
+            flags_cmp(cpu, dst, src, size)
         return handler
 
     if not ea_is(mode, reg, "data_alterable"):  # EOR Dn -> <ea>
         return None
 
+    modify = make_modifier(mode, reg, size)
+    mask = MASKS[size]
+
+    def eor_fn(cpu, v):
+        return v ^ (cpu.d[dreg] & mask)
+
     def handler(cpu):
-        src = cpu.d[dreg] & MASKS[size]
-        r = modify_ea(cpu, mode, reg, size, lambda v: v ^ src)
+        r = modify(cpu, eor_fn)
         flags_logic(cpu, r, size)
 
     return handler
@@ -1148,8 +1641,13 @@ def _build_groupE(op: int) -> Optional[Handler]:
         if not ea_is(mode, reg, "memory_alterable"):
             return None
 
+        modify = make_modifier(mode, reg, 2)
+
+        def shift_fn(cpu, v):
+            return _shift(cpu, kind, left, v, 1, 2)
+
         def handler(cpu):
-            modify_ea(cpu, mode, reg, 2, lambda v: _shift(cpu, kind, left, v, 1, 2))
+            modify(cpu, shift_fn)
         return handler
 
     size = SIZE_BY_BITS[szbits]
@@ -1158,10 +1656,21 @@ def _build_groupE(op: int) -> Optional[Handler]:
     count_field = (op >> 9) & 7
     by_register = bool(op & 0x0020)
 
-    def handler(cpu):
-        cnt = cpu.d[count_field] & 63 if by_register else (count_field or 8)
-        val = cpu.d[reg] & MASKS[size]
-        write_dreg(cpu, reg, size, _shift(cpu, kind, left, val, cnt, size))
+    mask = MASKS[size]
+    inv = ~mask & M32
+    if by_register:
+        def handler(cpu):
+            d = cpu.d
+            cnt = d[count_field] & 63
+            r = _shift(cpu, kind, left, d[reg] & mask, cnt, size)
+            d[reg] = (d[reg] & inv) | (r & mask)
+    else:
+        cnt = count_field or 8
+
+        def handler(cpu):
+            d = cpu.d
+            r = _shift(cpu, kind, left, d[reg] & mask, cnt, size)
+            d[reg] = (d[reg] & inv) | (r & mask)
 
     return handler
 
@@ -1187,10 +1696,15 @@ def build_handler(op: int) -> Optional[Handler]:
             return None
         dreg = (op >> 9) & 7
         data = sext32(op & 0xFF, 1)
+        n = 1 if data & 0x80000000 else 0
+        z = 1 if data == 0 else 0
 
         def handler(cpu):
             cpu.d[dreg] = data
-            flags_logic(cpu, data, 4)
+            cpu.n = n
+            cpu.z = z
+            cpu.v = 0
+            cpu.c = 0
         return handler
     if group == 0x8:
         return _build_group8(op)

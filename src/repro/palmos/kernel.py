@@ -57,6 +57,7 @@ class PalmOS:
         rtc_base: Optional[int] = None,
         entropy_seed: int = 0x1234_5678,
         default_app: Optional[str] = None,
+        core: str = "fast",
     ):
         self.rom_builder = RomBuilder(apps)
         self.rom_program = self.rom_builder.build()
@@ -67,6 +68,7 @@ class PalmOS:
             flash_size=flash_size,
             rtc_base=rtc_base,
             entropy_seed=entropy_seed,
+            core=core,
         )
         image = self.rom_program.image(C.FLASH_BASE, flash_size)
         self.device.mem.load_flash_image(bytes(image))

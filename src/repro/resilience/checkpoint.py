@@ -192,10 +192,11 @@ def capture_emulator(emulator: Any) -> Checkpoint:
             "instructions": profiler.instructions,
         }
         sections["prof_opcode_counts"] = profiler.opcode_counts.tobytes()
-        sections["prof_counts"] = profiler._counts.tobytes()
+        sections["prof_counts"] = profiler.counts_bytes()
         if profiler.trace_references:
-            sections["prof_addr"] = profiler._addr.tobytes()
-            sections["prof_kind"] = profiler._kind.tobytes()
+            addr_blob, kind_blob = profiler.trace_bytes()
+            sections["prof_addr"] = addr_blob
+            sections["prof_kind"] = kind_blob
         if profiler.opcode_addresses:
             addrs = array("I", profiler.opcode_addresses.keys())
             ops = array("H", profiler.opcode_addresses.values())
@@ -239,7 +240,9 @@ def restore_emulator(emulator: Any, checkpoint: Checkpoint) -> None:
     ram = checkpoint.sections.get("ram")
     if ram is None or len(ram) != len(mem.ram):
         raise CheckpointError("checkpoint RAM section missing or mis-sized")
-    mem.ram.data[:] = ram
+    # Bulk-load through the watched path so a block-caching replay core
+    # drops any predecoded blocks built over the previous RAM contents.
+    mem.ram.load(mem.ram.base, bytes(ram))
 
     c = state["cpu"]
     cpu.d[:] = c["d"]
@@ -310,13 +313,10 @@ def restore_emulator(emulator: Any, checkpoint: Checkpoint) -> None:
         profiler.instructions = prof_state["instructions"]
         profiler.opcode_counts = array("Q")
         profiler.opcode_counts.frombytes(checkpoint.sections["prof_opcode_counts"])
-        profiler._counts = array("Q")
-        profiler._counts.frombytes(checkpoint.sections["prof_counts"])
+        profiler.restore_counts(checkpoint.sections["prof_counts"])
         if prof_state["trace_references"]:
-            profiler._addr = array("I")
-            profiler._addr.frombytes(checkpoint.sections["prof_addr"])
-            profiler._kind = array("B")
-            profiler._kind.frombytes(checkpoint.sections["prof_kind"])
+            profiler.restore_trace(checkpoint.sections["prof_addr"],
+                                   checkpoint.sections["prof_kind"])
         profiler.opcode_addresses = {}
         if "prof_opaddr_pc" in checkpoint.sections:
             addrs = array("I")
