@@ -173,6 +173,59 @@ def bench_replay(session, quick: bool) -> dict:
     }
 
 
+def bench_sanitize(session, quick: bool) -> dict:
+    """Sanitizer overhead on the fast core, three ways: plain replay,
+    full shadow checking, and checking with the static elision set.
+    Correctness flags: the two sanitized runs must report bit-identical
+    findings (elision soundness) and a recorded clean session must
+    report none; the overhead ratio is tracked, never gated (timing)."""
+    apps = standard_apps()
+    repeats = 1 if quick else 3
+
+    def run(sanitize, elide=True):
+        return replay_session(session.initial_state, session.log,
+                              apps=apps, profile=True,
+                              emulator_kwargs=EMULATOR_KW,
+                              sanitize=sanitize, sanitize_elide=elide)
+
+    plain_s, (_, profiler, _) = _timed(lambda: run(False), repeats=repeats)
+    refs = int(len(profiler.reference_trace().addresses))
+    full_s, (emu_full, _, _) = _timed(lambda: run(True, elide=False),
+                                      repeats=repeats)
+    elided_s, (emu_elided, _, _) = _timed(lambda: run(True), repeats=repeats)
+
+    def findings(emulator):
+        return sorted((f.code, int(f.severity), f.address, f.block)
+                      for f in emulator.sanitizer.report.sorted())
+
+    full_findings = findings(emu_full)
+    elided_findings = findings(emu_elided)
+    findings_match = full_findings == elided_findings
+    clean = not elided_findings
+    stats = emu_elided.sanitizer.stats()
+    plain_rps = refs / plain_s
+    full_rps = refs / full_s
+    elided_rps = refs / elided_s
+    return {
+        "session_refs": refs,
+        "plain": {"seconds": round(plain_s, 3),
+                  "refs_per_sec": round(plain_rps)},
+        "sanitized_full": {"seconds": round(full_s, 3),
+                           "refs_per_sec": round(full_rps),
+                           "overhead": round(full_s / plain_s, 2)},
+        "sanitized_elided": {"seconds": round(elided_s, 3),
+                             "refs_per_sec": round(elided_rps),
+                             "overhead": round(elided_s / plain_s, 2)},
+        "elision_rate": stats["elision_rate"],
+        "elide_pcs": stats["elide_pcs"],
+        "data_accesses": stats["data_accesses"],
+        "findings": len(elided_findings),
+        "clean": clean,
+        "findings_match": findings_match,
+        "stats_match": bool(findings_match and clean),
+    }
+
+
 def bench_kernels(addresses, writes, scalar_refs: int) -> dict:
     """Kernel vs scalar throughput per configuration, plus an exact
     stats cross-check on a shared prefix."""
@@ -295,6 +348,7 @@ def main(argv=None) -> int:
     }
     if session is not None:
         report["replay"] = bench_replay(session, args.quick)
+        report["sanitize"] = bench_sanitize(session, args.quick)
 
     print(f"\n{'path':<22} {'scalar':>12} {'kernel':>12} {'speedup':>8} "
           f"{'match':>6}")
@@ -327,6 +381,18 @@ def main(argv=None) -> int:
         failures.append("sweep_grid")
     if rp is not None and not rp["stats_match"]:
         failures.append("replay")
+    sz = report.get("sanitize")
+    if sz is not None:
+        print(f"sanitize ({sz['session_refs']:,} refs): plain "
+              f"{sz['plain']['refs_per_sec']:,} refs/s, full "
+              f"{sz['sanitized_full']['refs_per_sec']:,} refs/s "
+              f"({sz['sanitized_full']['overhead']}x), elided "
+              f"{sz['sanitized_elided']['refs_per_sec']:,} refs/s "
+              f"({sz['sanitized_elided']['overhead']}x, elision rate "
+              f"{sz['elision_rate']}), clean {sz['clean']}, "
+              f"findings match {sz['findings_match']}")
+        if not sz["stats_match"]:
+            failures.append("sanitize")
     report["meta"]["divergences"] = failures
 
     out = Path(args.out)

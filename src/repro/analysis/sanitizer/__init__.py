@@ -1,0 +1,26 @@
+"""Guest memory sanitizer: dynamic shadow checking with static elision.
+
+The dynamic layer (:mod:`.shadow`, :mod:`.core`) keeps MemCheck-style
+addressability/definedness bits over the allocator-managed part of
+guest RAM and turns violations into typed findings.  The static layer
+(:mod:`.elide`) proves accesses safe from the PR-4 dataflow facts and
+emits a per-pc elision set so sanitized replay skips checks it can
+discharge at analysis time.  :mod:`.corpus` holds the seeded defect
+programs that prove every class is caught.
+"""
+
+from .core import AllocInfo, MemorySanitizer, REDZONE
+from .elide import ElisionResult, compute_elision
+from .shadow import A_BIT, D_BIT, OK, ShadowMap
+
+__all__ = [
+    "A_BIT",
+    "AllocInfo",
+    "D_BIT",
+    "ElisionResult",
+    "MemorySanitizer",
+    "OK",
+    "REDZONE",
+    "ShadowMap",
+    "compute_elision",
+]

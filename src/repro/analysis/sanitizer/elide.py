@@ -1,0 +1,136 @@
+"""Static discharge of shadow checks.
+
+The dynamic sanitizer pays a range compare and a shadow probe for every
+guest data access.  Most accesses in real Palm OS code cannot possibly
+touch allocator-managed storage: they are stack-frame slots addressed
+relative to the entry A7, or constant addresses aimed at globals, the
+frame buffer, or the trap table.  The dataflow pre-pass (PR 4's
+constant propagation over the PR 1 CFG) proves exactly those facts, so
+this module turns them into a **per-pc elision set**: program-counter
+values at which the bus hook may skip checking entirely.
+
+Proof rules (both must hold for *every* memory operand of the
+instruction, and the instruction must be fully modeled by the dataflow
+pass and not part of an overlapping decode):
+
+``stack``
+    The effective address is ``entry-A7 + k`` with ``|k| <= 256`` and
+    ``k + size <= 256``.  Guest stacks live in
+    ``[STACK_BOTTOM, STACK_TOP)`` — disjoint from the sanitized heap
+    window by more than the slack — so the access can never reach it.
+    (The same A7-stays-in-the-stack assumption underpins the region
+    audit's stack classification.)
+
+``const``
+    The effective address is a compile-time constant and the accessed
+    byte range does not intersect the sanitized window
+    ``[DYNAMIC_HEAP_BASE, ram_end)``.
+
+Soundness: an elided access can never land in the sanitized window, so
+skipping its shadow probe cannot hide a finding — full-check and elided
+runs produce bit-identical reports (the differential suite asserts
+this).
+
+The pc window of a proven instruction is ``[addr+2, end]``: both cores
+advance pc past the opcode word before the handler runs, and handlers
+fetch their own extension words, so during execution pc sweeps exactly
+that range and never collides with a neighbouring instruction's window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from ...palmos import layout as L
+from ..static.dataflow import ConstResult, MemOp
+from ..static.walker import CFG
+
+#: Maximum |entry-A7 offset| provable as a stack access.  STACK_BOTTOM
+#: (0x1000) minus this stays far above address 0 and STACK_TOP (0x8000)
+#: plus this stays far below DYNAMIC_HEAP_BASE (0x1D000).
+STACK_SLACK = 256
+
+
+@dataclass(frozen=True)
+class ElisionResult:
+    """The proven elision set plus accounting for reports."""
+
+    safe_pcs: FrozenSet[int]
+    #: pc value -> address of the owning instruction (covers *all*
+    #: instructions, proven or not — used for finding attribution).
+    attribution: Mapping[int, int]
+    proven_insns: int
+    candidate_insns: int
+    total_insns: int
+    by_rule: Mapping[str, int] = field(default_factory=dict)
+
+    @property
+    def proof_rate(self) -> float:
+        """Fraction of candidate (memory-touching, modeled)
+        instructions whose checks were discharged."""
+        if not self.candidate_insns:
+            return 0.0
+        return self.proven_insns / self.candidate_insns
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "total_insns": self.total_insns,
+            "candidate_insns": self.candidate_insns,
+            "proven_insns": self.proven_insns,
+            "proof_rate": round(self.proof_rate, 4),
+            "safe_pcs": len(self.safe_pcs),
+            "by_rule": dict(self.by_rule),
+        }
+
+
+def _op_safe(op: MemOp, heap_lo: int, heap_hi: int) -> Optional[str]:
+    """The rule name proving this operand safe, or None."""
+    if op.base == "stack" and op.sp_off is not None:
+        if abs(op.sp_off) <= STACK_SLACK and op.sp_off + op.size <= STACK_SLACK:
+            return "stack"
+        return None
+    if op.base == "const" and op.addr is not None:
+        if op.addr + op.size <= heap_lo or op.addr >= heap_hi:
+            return "const"
+        return None
+    return None
+
+
+def _pc_window(start: int, end: int) -> Iterable[int]:
+    return range(start + 2, end + 2, 2)
+
+
+def compute_elision(cfg: CFG, const: ConstResult, *,
+                    heap_lo: int = L.DYNAMIC_HEAP_BASE,
+                    heap_hi: int) -> ElisionResult:
+    """Prove per-instruction access safety and build the elision set."""
+    safe: set[int] = set()
+    attribution: Dict[int, int] = {}
+    by_rule: Dict[str, int] = {"stack": 0, "const": 0}
+    proven = 0
+    candidates = 0
+    total = 0
+    overlap_addrs = {a for pair in cfg.overlaps for a in pair}
+    for insn in cfg.instructions():
+        total += 1
+        start, end = insn.addr, insn.end
+        for pc in _pc_window(start, end):
+            attribution.setdefault(pc, start)
+        ops: Tuple[MemOp, ...] = const.mem_ops.get(start, ())
+        if not ops:
+            continue
+        candidates += 1
+        if start not in const.modeled or start in overlap_addrs:
+            continue
+        rules = [_op_safe(op, heap_lo, heap_hi) for op in ops]
+        if any(r is None for r in rules):
+            continue
+        proven += 1
+        for r in rules:
+            assert r is not None
+            by_rule[r] += 1
+        safe.update(_pc_window(start, end))
+    return ElisionResult(safe_pcs=frozenset(safe), attribution=attribution,
+                         proven_insns=proven, candidate_insns=candidates,
+                         total_insns=total, by_rule=by_rule)

@@ -1,0 +1,89 @@
+"""Byte-granular shadow state over guest RAM.
+
+Two bits per guest byte, MemCheck style:
+
+* **A** (addressable) — the byte belongs to live storage the guest may
+  touch: a heap allocation's payload, or any RAM the allocator does not
+  manage.  Red zones, chunk headers and free heap space have A clear.
+* **D** (defined) — the byte has been written since it became
+  addressable.  Fresh ``MemPtrNew`` payloads start with D clear so a
+  read-before-write is visible; everything else starts defined.
+
+The map only covers the allocator-managed window (the dynamic heap
+through the end of RAM) — accesses below it (vectors, globals, stack,
+event queue, framebuffer) can never touch heap storage and are
+discharged by a range compare in the bus hook instead.
+"""
+
+from __future__ import annotations
+
+A_BIT = 0x01
+D_BIT = 0x02
+OK = A_BIT | D_BIT
+
+
+class ShadowMap:
+    """Shadow bits for guest addresses in ``[lo, hi)``.
+
+    The backing array is padded by four bytes so the widest bus access
+    (32-bit) starting on the last in-window byte can be probed without
+    a bounds check on the hot path.
+    """
+
+    def __init__(self, lo: int, hi: int):
+        if hi <= lo:
+            raise ValueError(f"empty shadow window [{lo:#x}, {hi:#x})")
+        self.lo = lo
+        self.hi = hi
+        self._bytes = bytearray(b"\x03" * (hi - lo + 4))
+
+    # -- hot-path access (the bus hook indexes ``raw`` directly) --------
+    @property
+    def raw(self) -> bytearray:
+        return self._bytes
+
+    def state(self, addr: int) -> int:
+        """The shadow bits of one guest byte."""
+        return self._bytes[addr - self.lo]
+
+    # -- range marking ---------------------------------------------------
+    def _fill(self, addr: int, length: int, value: int) -> None:
+        if length <= 0:
+            return
+        start = max(addr, self.lo) - self.lo
+        end = min(addr + length, self.hi) - self.lo
+        if end <= start:
+            return
+        self._bytes[start:end] = bytes([value]) * (end - start)
+
+    def mark_noaccess(self, addr: int, length: int) -> None:
+        """Red zones, chunk headers, freed and never-allocated space."""
+        self._fill(addr, length, 0)
+
+    def mark_undefined(self, addr: int, length: int) -> None:
+        """Addressable but not yet written (a fresh app allocation)."""
+        self._fill(addr, length, A_BIT)
+
+    def mark_ok(self, addr: int, length: int) -> None:
+        """Addressable and defined."""
+        self._fill(addr, length, OK)
+
+    def set_defined(self, addr: int, length: int) -> None:
+        """OR the D bit over a range (a write landed there); A bits are
+        left untouched so writes into red zones stay unaddressable."""
+        b = self._bytes
+        start = max(addr, self.lo) - self.lo
+        end = min(addr + length, self.hi) - self.lo
+        for off in range(start, end):
+            b[off] |= D_BIT
+
+    # -- slow-path queries ------------------------------------------------
+    def first_missing(self, addr: int, length: int, need: int) -> int:
+        """The first address in ``[addr, addr+length)`` whose shadow
+        lacks one of the ``need`` bits (callers guarantee one exists)."""
+        b = self._bytes
+        lo = self.lo
+        for a in range(addr, addr + length):
+            if b[a - lo] & need != need:
+                return a
+        return addr

@@ -67,6 +67,14 @@ def _add_replay(sub) -> None:
                      metavar="TICKS",
                      help="ticks to wait for a guest reset before "
                           "raising GuestResetTimeout (default 100000)")
+    san = p.add_argument_group("sanitizer (repro.analysis.sanitizer)")
+    san.add_argument("--sanitize", action="store_true",
+                     help="replay with the guest memory sanitizer "
+                          "attached (shadow checking, heap red zones, "
+                          "leak check at exit)")
+    san.add_argument("--no-sanitize-elide", action="store_true",
+                     help="disable the static check-elision set "
+                          "(full shadow checking on every access)")
 
 
 def _add_validate(sub) -> None:
@@ -141,6 +149,34 @@ def _add_audit(sub) -> None:
                         "the call graph summary")
 
 
+def _add_sanitize(sub) -> None:
+    p = sub.add_parser(
+        "sanitize",
+        help="run the seeded defect corpus through the guest memory "
+             "sanitizer (shadow state + static check elision) and gate "
+             "against the committed baseline")
+    p.add_argument("--program", action="append", default=None,
+                   metavar="NAME",
+                   help="run only this corpus program (repeatable); "
+                        "default: all")
+    p.add_argument("--no-elide", action="store_true",
+                   help="disable the static elision set (full shadow "
+                        "checking)")
+    p.add_argument("--differential", action="store_true",
+                   help="also run every program with and without "
+                        "elision and require bit-identical findings")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="compare against this baseline and fail only "
+                        "on NEW findings (missing defect classes still "
+                        "fail)")
+    p.add_argument("--write-baseline", default=None, metavar="FILE",
+                   help="write the current findings as a new baseline")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write machine-readable results to FILE")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print per-program elision statistics")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -157,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_rom(sub)
     _add_lint(sub)
     _add_audit(sub)
+    _add_sanitize(sub)
     return parser
 
 
@@ -246,12 +283,19 @@ def cmd_replay(args) -> int:
 
     jitter = JitterModel(seed=args.jitter) if args.jitter is not None else None
     if _resilience_active(args):
+        if args.sanitize:
+            print("--sanitize does not combine with the resilience "
+                  "options (checkpoint state excludes shadow memory)",
+                  file=sys.stderr)
+            return 2
         return _replay_resilient(args, jitter)
     state, log = _load_archive(args.session)
     start = time.time()
     emulator, profiler, result = replay_session(
         state, log, apps=standard_apps(), profile=not args.no_profile,
-        jitter=jitter, emulator_kwargs={**_EMU_KW, "core": args.core})
+        jitter=jitter, emulator_kwargs={**_EMU_KW, "core": args.core},
+        sanitize=args.sanitize,
+        sanitize_elide=not args.no_sanitize_elide)
     elapsed = time.time() - start
     if args.screenshot:
         from .analysis import screenshot_ppm
@@ -272,6 +316,18 @@ def cmd_replay(args) -> int:
         if args.trace:
             profiler.reference_trace().save(args.trace)
             print(f"trace written: {args.trace}")
+    if args.sanitize:
+        san = emulator.sanitizer
+        stats = san.stats()
+        print(f"sanitizer    : {stats['data_accesses']:,} data accesses, "
+              f"{stats['elided']:,} statically elided "
+              f"(rate {stats['elision_rate']}), "
+              f"{stats['probed']:,} shadow probes")
+        report = san.report
+        if len(report):
+            print(report.format())
+            return 1
+        print("sanitizer    : no findings")
     return 0
 
 
@@ -552,6 +608,91 @@ def cmd_audit(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_sanitize(args) -> int:
+    import json as _json
+
+    from .analysis.sanitizer import corpus as san_corpus
+
+    names = args.program
+    if names:
+        known = san_corpus.programs_by_name()
+        unknown = [n for n in names if n not in known]
+        if unknown:
+            print(f"unknown corpus program(s): {', '.join(unknown)}; "
+                  f"choose from {', '.join(known)}", file=sys.stderr)
+            return 2
+    results = san_corpus.run_corpus(names, elide=not args.no_elide)
+
+    print("sanitize: seeded defect corpus "
+          f"({'full checking' if args.no_elide else 'static elision on'})")
+    failures = []
+    for r in results:
+        expect = (f"{r.program.code}@{r.expected_address:#x}"
+                  if r.program.code else "no findings")
+        got = (", ".join(f"{c}@{a:#x}" for c, _s, a in r.findings)
+               or "no findings")
+        status = "ok" if r.matched else "MISSED"
+        if not r.matched:
+            failures.append(r.program.name)
+        print(f"  {r.program.name:12s} {status:7s} expected {expect}, "
+              f"got {got}")
+        if args.verbose:
+            e = r.elision.stats()
+            s = r.san_stats
+            print(f"  {'':12s} elision: {e['proven_insns']}/"
+                  f"{e['candidate_insns']} insns proven, dynamic rate "
+                  f"{s['elision_rate']} ({s['elided']}/{s['data_accesses']})")
+
+    if args.differential:
+        diverged = san_corpus.differential(names)
+        if diverged:
+            print(f"DIFFERENTIAL FAILURE (elided vs full findings "
+                  f"differ): {', '.join(diverged)}")
+            failures.extend(diverged)
+        else:
+            print("differential : elided and full checking report "
+                  "identical findings")
+
+    if args.json:
+        payload = {
+            "programs": {
+                r.program.name: {
+                    "ptr": r.ptr,
+                    "expected": r.program.code,
+                    "expected_address": r.expected_address,
+                    "matched": r.matched,
+                    "findings": [list(f) for f in r.findings],
+                    "elision": r.elision.stats(),
+                    "stats": r.san_stats,
+                } for r in results
+            },
+        }
+        Path(args.json).write_text(_json.dumps(payload, indent=2) + "\n")
+        print(f"json         : {args.json}")
+    if args.write_baseline:
+        baseline = san_corpus.baseline_keys(results)
+        Path(args.write_baseline).write_text(
+            _json.dumps({"programs": baseline}, indent=2) + "\n")
+        frozen = sum(len(v) for v in baseline.values())
+        print(f"baseline     : {args.write_baseline} "
+              f"({frozen} finding(s) frozen)")
+
+    if args.baseline:
+        baseline = _json.loads(Path(args.baseline).read_text())["programs"]
+        fresh = san_corpus.new_findings_against(results, baseline)
+        if fresh:
+            print(f"{len(fresh)} NEW finding(s) not in the baseline:")
+            for prog, code, addr in fresh:
+                print(f"  {prog}: {code} at {addr:#x}")
+            failures.append("baseline")
+        else:
+            known = sum(len(v) for v in baseline.values())
+            print(f"no new findings against {args.baseline} "
+                  f"({known} baselined)")
+
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "collect": cmd_collect,
     "replay": cmd_replay,
@@ -561,6 +702,7 @@ _COMMANDS = {
     "rom": cmd_rom,
     "lint": cmd_lint,
     "audit": cmd_audit,
+    "sanitize": cmd_sanitize,
 }
 
 

@@ -38,6 +38,17 @@ class Tracer(Protocol):
     def reference(self, addr: int, kind: int, region: int) -> None: ...
 
 
+class SanitizerHook(Protocol):
+    """Shadow-state checker for guest data accesses (see
+    :mod:`repro.analysis.sanitizer`).  Called once per CPU data access
+    with the architectural width — not per bus-width reference, and
+    never for instruction fetches."""
+
+    def check_read(self, addr: int, size: int) -> None: ...
+
+    def check_write(self, addr: int, size: int) -> None: ...
+
+
 class HardwareRegs:
     """Routes the 0xFFFFF000 register window to the peripherals."""
 
@@ -100,6 +111,9 @@ class MemoryMap:
         #: write paths below (which bypass ``FlatMemory``); a replay
         #: core installing a code watch must set both.
         self.ram_watch: Optional[WriteWatch] = None
+        #: Memory sanitizer consulted by the inline RAM arms (reads and
+        #: writes only; fetches are covered by the static layer).
+        self.san: Optional[SanitizerHook] = None
         # The RAM/flash fast paths index the backing bytearrays
         # directly.  FlatMemory mutates its buffer only in place (slice
         # assignment), so these aliases stay valid for the lifetime of
@@ -168,6 +182,9 @@ class MemoryMap:
             tracer = self.tracer
             if tracer is not None:
                 tracer.reference(addr, KIND_READ, REGION_RAM)
+            s = self.san
+            if s is not None:
+                s.check_read(addr, 1)
             return self._ram_data[addr - self._ram_base]
         if C.FLASH_BASE <= addr < self.flash_limit:
             tracer = self.tracer
@@ -182,6 +199,9 @@ class MemoryMap:
             tracer = self.tracer
             if tracer is not None:
                 tracer.reference(addr, KIND_READ, REGION_RAM)
+            s = self.san
+            if s is not None:
+                s.check_read(addr, 2)
             if addr & 1:
                 raise AddressError(addr, 2)
             d = self._ram_data
@@ -204,6 +224,9 @@ class MemoryMap:
             pair = self._tracer_pair
             if pair is not None:
                 pair(addr, KIND_READ, REGION_RAM)
+            s = self.san
+            if s is not None:
+                s.check_read(addr, 4)
             if addr & 1:
                 raise AddressError(addr, 4)
             d = self._ram_data
@@ -232,6 +255,9 @@ class MemoryMap:
             tracer = self.tracer
             if tracer is not None:
                 tracer.reference(addr, KIND_WRITE, REGION_RAM)
+            s = self.san
+            if s is not None:
+                s.check_write(addr, 1)
             w = self.ram_watch
             if w is not None and (addr >> 8) in w.pages:
                 w.hit(addr)
@@ -245,6 +271,9 @@ class MemoryMap:
             tracer = self.tracer
             if tracer is not None:
                 tracer.reference(addr, KIND_WRITE, REGION_RAM)
+            s = self.san
+            if s is not None:
+                s.check_write(addr, 2)
             w = self.ram_watch
             if w is not None and (addr >> 8) in w.pages:
                 w.hit(addr)
@@ -263,6 +292,9 @@ class MemoryMap:
             pair = self._tracer_pair
             if pair is not None:
                 pair(addr, KIND_WRITE, REGION_RAM)
+            s = self.san
+            if s is not None:
+                s.check_write(addr, 4)
             w = self.ram_watch
             if w is not None and ((addr >> 8) in w.pages
                                   or ((addr + 2) >> 8) in w.pages):

@@ -600,7 +600,9 @@ def replay_session(state, log: ActivityLog, apps=(), profile: bool = True,
                    jitter: Optional[JitterModel] = None,
                    emulator_kwargs: Optional[dict] = None,
                    reset_timeout: int = DEFAULT_RESET_TIMEOUT,
-                   core: Optional[str] = None):
+                   core: Optional[str] = None,
+                   sanitize: bool = False,
+                   sanitize_elide: bool = True):
     """One-call replay: build the emulator, load β, apply δ.
 
     Returns ``(emulator, profiler, result)``; ``profiler`` is None when
@@ -612,6 +614,12 @@ def replay_session(state, log: ActivityLog, apps=(), profile: bool = True,
     predecoded block interpreter and the default, or ``"simple"``, the
     stepping loop — bit-exact alternatives); it overrides any ``core``
     key in ``emulator_kwargs``.
+
+    ``sanitize=True`` attaches the guest memory sanitizer for the whole
+    replay (leak check at the end) and leaves it — detached, report
+    intact — as ``emulator.sanitizer``.  ``sanitize_elide=False``
+    disables the static check-elision set (full shadow checking; used
+    by the differential suite).
     """
     kwargs = dict(emulator_kwargs or {})
     if core is not None:
@@ -625,7 +633,39 @@ def replay_session(state, log: ActivityLog, apps=(), profile: bool = True,
             trace_references=trace_references,
             track_opcode_addresses=track_opcode_addresses,
             track_reference_pcs=track_reference_pcs)
+    san = None
+    if sanitize:
+        san = _session_sanitizer(emulator, apps, kwargs,
+                                 elide=sanitize_elide)
+        san.attach(emulator.kernel)
+    emulator.sanitizer = san
     driver = PlaybackDriver(emulator, log, jitter=jitter,
                             reset_timeout=reset_timeout)
-    result = driver.run(reset=True)
+    try:
+        result = driver.run(reset=True)
+    finally:
+        if san is not None and san.attached:
+            san.detach()
     return emulator, profiler, result
+
+
+def _session_sanitizer(emulator: Emulator, apps, kwargs: dict, *,
+                       elide: bool):
+    """Build a sanitizer for a replay: the elision set comes from the
+    static audit of the same ROM the emulator is running (identical
+    builds place code at identical addresses), so ROM pcs proven safe
+    skip their shadow probes; RAM-resident code (installed hacks) never
+    appears in the set and is always checked."""
+    from ..analysis.sanitizer import MemorySanitizer
+    from ..analysis.sanitizer.elide import compute_elision
+    from ..analysis.static.audit import audit_rom
+
+    audit = audit_rom(apps=apps,
+                      ram_size=kwargs.get("ram_size"),
+                      flash_size=kwargs.get("flash_size"))
+    elision = compute_elision(
+        audit.cfg, audit.const,
+        heap_hi=int(emulator.kernel.device.mem.ram_limit))
+    return MemorySanitizer(
+        elide_pcs=elision.safe_pcs if elide else frozenset(),
+        attribution=elision.attribution)

@@ -15,7 +15,11 @@ them through one of two accessors:
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
+
+if TYPE_CHECKING:
+    from ..m68k.bus import FlatMemory
+    from ..m68k.cpu import CPU
 
 
 class GuestAccess(Protocol):
@@ -43,7 +47,7 @@ class TracedAccess:
     fetch would.
     """
 
-    def __init__(self, cpu, microcode_fetch: bool = True):
+    def __init__(self, cpu: "CPU", microcode_fetch: bool = True):
         self._cpu = cpu
         self.microcode_fetch = microcode_fetch
 
@@ -97,7 +101,7 @@ class TracedAccess:
 class HostAccess:
     """Raw access to a :class:`repro.m68k.bus.FlatMemory` (no tracing)."""
 
-    def __init__(self, memory):
+    def __init__(self, memory: "FlatMemory"):
         self._memory = memory
 
     def read8(self, addr: int) -> int:

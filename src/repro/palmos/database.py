@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Tuple
 
 from . import layout as L
 from .access import GuestAccess
@@ -107,8 +107,8 @@ class DatabaseImage:
         (raw_name, attributes, version, cdate, mdate, bdate, modnum,
          _appinfo, _sortinfo, type_raw, creator_raw, seed, _nextlist,
          nrecords) = struct.unpack(">32sHHIIIIII4s4sIIH", blob[:78])
-        records = []
-        offsets = []
+        records: List[RecordImage] = []
+        offsets: List[Tuple[int, int, int]] = []
         pos = 78
         for _ in range(nrecords):
             off, attr, uid_raw = struct.unpack(">IB3s", blob[pos:pos + 8])
@@ -140,7 +140,8 @@ class DatabaseManager:
     paper's final-state validation observes).
     """
 
-    def __init__(self, access: GuestAccess, heap: Heap, now_fn):
+    def __init__(self, access: GuestAccess, heap: Heap,
+                 now_fn: Callable[[], int]):
         self.access = access
         self.heap = heap
         self.now_fn = now_fn
@@ -153,7 +154,7 @@ class DatabaseManager:
     # Database list
     # ------------------------------------------------------------------
     def list_databases(self) -> List[int]:
-        result = []
+        result: List[int] = []
         addr = self.access.read32(L.DB_LIST_HEAD)
         while addr:
             result.append(addr)
@@ -461,7 +462,7 @@ class DatabaseManager:
         return db
 
     def export_all(self, backup_only: bool = False) -> List[DatabaseImage]:
-        images = []
+        images: List[DatabaseImage] = []
         for db in self.list_databases():
             if backup_only and not self.attributes(db) & L.DM_ATTR_BACKUP:
                 continue

@@ -13,10 +13,13 @@ with database size (§2.3.3, Figure 3).
 
 from __future__ import annotations
 
-from typing import Iterator, NamedTuple
+from typing import TYPE_CHECKING, Iterator, NamedTuple, Optional
 
 from . import layout as L
 from .access import GuestAccess
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.sanitizer.core import MemorySanitizer
 
 
 class ChunkInfo(NamedTuple):
@@ -49,6 +52,10 @@ class Heap:
         self.limit = limit
         self.rover_global = rover_global
         self.first_chunk = base + first_chunk_offset
+        #: Attached memory sanitizer, if any (see
+        #: :mod:`repro.analysis.sanitizer`).  When set, allocations grow
+        #: red zones and frees pass through a quarantine.
+        self.san: Optional["MemorySanitizer"] = None
 
     def with_access(self, access: GuestAccess) -> "Heap":
         """The same heap viewed through a different accessor."""
@@ -63,6 +70,8 @@ class Heap:
         a.write16(self.first_chunk + 4, L.CHUNK_FLAG_FREE)
         a.write16(self.first_chunk + 6, 0)
         a.write32(self.rover_global, self.first_chunk)
+        if self.san is not None:
+            self.san.on_format(self)
 
     # ------------------------------------------------------------------
     def _read_header(self, addr: int) -> tuple[int, int, int]:
@@ -75,10 +84,47 @@ class Heap:
                 f"corrupt chunk at {addr:#x}: size={size:#x} flags={flags:#x}")
         return size, flags, owner
 
-    def alloc(self, size: int, owner: int = L.OWNER_KERNEL,
-              _retry: bool = True) -> int:
+    def header_of(self, payload: int) -> tuple[int, int, int]:
+        """Validated ``(size, flags, owner)`` for an arbitrary payload
+        pointer.  Unlike :meth:`_read_header` (which trusts its caller
+        to pass a real chunk address), this guards against garbage
+        pointers before acting on the bytes behind them."""
+        addr = payload - L.CHUNK_HEADER_SIZE
+        if payload & 1 or not self.first_chunk <= addr < self.limit:
+            raise HeapError(f"invalid chunk: bad payload pointer {payload:#x}")
+        size, flags, owner = self._read_header(addr)
+        if flags & ~L.CHUNK_FLAG_FREE:
+            raise HeapError(
+                f"invalid chunk at {addr:#x}: unknown flag bits {flags:#x}")
+        return size, flags, owner
+
+    def alloc(self, size: int, owner: int = L.OWNER_KERNEL) -> int:
         """Allocate ``size`` payload bytes; returns the payload address
         or 0 when the heap is exhausted.
+
+        With a sanitizer attached the chunk is padded with red zones on
+        both sides and the sanitizer-adjusted payload pointer is
+        returned; on exhaustion the free-chunk quarantine is drained
+        and the search retried before giving up.
+        """
+        if size <= 0:
+            return 0
+        if self.san is None:
+            return self._alloc_chunk(size, owner)
+        inner = _align(size) + 2 * self.san.redzone
+        chunk = self._alloc_chunk(inner, owner)
+        if not chunk:
+            for parked in self.san.drain(self, all_chunks=True):
+                self._free_chunk(parked)
+            self.coalesce_all()
+            chunk = self._alloc_chunk(inner, owner)
+            if not chunk:
+                return 0
+        return self.san.on_alloc(self, chunk, size, owner)
+
+    def _alloc_chunk(self, size: int, owner: int = L.OWNER_KERNEL,
+                     _retry: bool = True) -> int:
+        """The raw next-fit search: no red zones, no quarantine.
 
         Frees only coalesce forward (O(1)); when a next-fit pass finds
         nothing, a full coalescing sweep runs and the search retries
@@ -104,7 +150,7 @@ class Heap:
             if wrapped and addr >= rover:
                 if _retry:
                     self.coalesce_all()
-                    return self.alloc(size, owner, _retry=False)
+                    return self._alloc_chunk(size, owner, _retry=False)
                 return 0  # out of memory
         # Split the tail off when it is big enough to be useful.
         if csize - need >= L.MIN_CHUNK_SPLIT:
@@ -120,7 +166,23 @@ class Heap:
         return addr + L.CHUNK_HEADER_SIZE
 
     def free(self, payload: int) -> None:
-        """Free the chunk whose payload starts at ``payload``."""
+        """Free the chunk whose payload starts at ``payload``.
+
+        The pointer is validated against the chunk header before any
+        list surgery — a garbage pointer raises :class:`HeapError`
+        instead of corrupting the walk.  With a sanitizer attached the
+        chunk is quarantined; its storage returns to the heap only when
+        the quarantine rotates it out.
+        """
+        if self.san is not None:
+            self.san.on_free(self, payload)
+            for parked in self.san.drain(self):
+                self._free_chunk(parked)
+            return
+        self.header_of(payload)
+        self._free_chunk(payload)
+
+    def _free_chunk(self, payload: int) -> None:
         a = self.access
         addr = payload - L.CHUNK_HEADER_SIZE
         size, flags, _ = self._read_header(addr)
@@ -162,7 +224,11 @@ class Heap:
 
     # ------------------------------------------------------------------
     def payload_size(self, payload: int) -> int:
-        size, _, _ = self._read_header(payload - L.CHUNK_HEADER_SIZE)
+        if self.san is not None:
+            tracked = self.san.payload_size(payload)
+            if tracked is not None:
+                return tracked
+        size, _, _ = self.header_of(payload)
         return size - L.CHUNK_HEADER_SIZE
 
     def chunks(self) -> Iterator[ChunkInfo]:

@@ -10,7 +10,7 @@ collection procedure uses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from ..device import PalmDevice, constants as C
 from .access import HostAccess, TracedAccess
@@ -26,6 +26,10 @@ from . import layout as L
 from .rom import AppSpec, RomBuilder
 from .syscalls import SysCalls
 from .traps import Trap
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.sanitizer.core import MemorySanitizer
+    from ..m68k.cpu import CPU
 
 #: Database that holds installed system extensions (hacks).  Records
 #: survive soft resets in the storage heap; boot re-patches the trap
@@ -88,7 +92,11 @@ class PalmOS:
         #: emulator turns this off when profiling.
         self.allow_native = True
         #: Optional host time source (the replay jitter model).
-        self.time_override = None
+        self.time_override: Optional[Callable[[], int]] = None
+        #: Attached memory sanitizer (see
+        #: :mod:`repro.analysis.sanitizer`); trap microcode runs with
+        #: checking suspended while it is set.
+        self.sanitizer: Optional["MemorySanitizer"] = None
 
         self.default_stubs: Dict[int, int] = self.rom_builder.stub_addresses(
             self.rom_program)
@@ -116,11 +124,27 @@ class PalmOS:
     # ------------------------------------------------------------------
     # CPU hooks
     # ------------------------------------------------------------------
-    def _on_aline(self, cpu, op: int) -> bool:
-        return self.syscalls.aline(cpu, op)
+    def _on_aline(self, cpu: "CPU", op: int) -> bool:
+        san = self.sanitizer
+        if san is None:
+            return self.syscalls.aline(cpu, op)
+        # Trap semantics are trusted microcode: suspend checking but
+        # keep shadow definedness maintained (see MemorySanitizer).
+        san.kernel_enter()
+        try:
+            return self.syscalls.aline(cpu, op)
+        finally:
+            san.kernel_exit()
 
-    def _on_fline(self, cpu, op: int) -> bool:
-        return self.syscalls.fline(cpu, op)
+    def _on_fline(self, cpu: "CPU", op: int) -> bool:
+        san = self.sanitizer
+        if san is None:
+            return self.syscalls.fline(cpu, op)
+        san.kernel_enter()
+        try:
+            return self.syscalls.fline(cpu, op)
+        finally:
+            san.kernel_exit()
 
     # ------------------------------------------------------------------
     # Time
@@ -310,7 +334,7 @@ class PalmOS:
         done = {"flag": False}
         prev_fline = cpu.fline_handler
 
-        def fline(c, op):
+        def fline(c: "CPU", op: int) -> bool:
             if op == 0xFFFF:
                 done["flag"] = True
                 c.stopped = True

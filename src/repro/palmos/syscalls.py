@@ -21,9 +21,10 @@ traces ("microcode").
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..device import constants as C
+from .access import TracedAccess
 from . import layout as L
 from .database import DmError
 from .events import Event, EventType
@@ -47,6 +48,10 @@ from .traps import (
     decode_emucall,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..m68k.cpu import CPU
+    from .kernel import PalmOS
+
 _SCREEN_W = C.SCREEN_WIDTH
 _SCREEN_H = C.SCREEN_HEIGHT
 _ROW_BYTES = _SCREEN_W * C.SCREEN_BYTES_PER_PIXEL
@@ -55,7 +60,7 @@ _ROW_BYTES = _SCREEN_W * C.SCREEN_BYTES_PER_PIXEL
 class SysCalls:
     """Trap semantics bound to a :class:`repro.palmos.kernel.PalmOS`."""
 
-    def __init__(self, kernel):
+    def __init__(self, kernel: "PalmOS"):
         self.k = kernel
         self._ctx: List[dict] = []
         #: Replay hooks (installed by the playback driver).
@@ -70,7 +75,7 @@ class SysCalls:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def fline(self, cpu, op: int) -> bool:
+    def fline(self, cpu: "CPU", op: int) -> bool:
         code, phase = decode_emucall(op)
         if code >= 0x700:
             if code == CALL_BOOT:
@@ -97,7 +102,7 @@ class SysCalls:
         handler(cpu, 6 + STUB_SAVED_BYTES.get(code, 0))
         return True
 
-    def aline(self, cpu, op: int) -> bool:
+    def aline(self, cpu: "CPU", op: int) -> bool:
         """A-line hook: seed override, then the native fast path.
 
         §2.4.2: for non-zero SysRandom calls "the seed value from the
@@ -130,14 +135,14 @@ class SysCalls:
     # Helpers
     # ------------------------------------------------------------------
     @property
-    def acc(self):
+    def acc(self) -> TracedAccess:
         return self.k.traced
 
-    def _arg(self, cpu, base: int, i: int) -> int:
+    def _arg(self, cpu: "CPU", base: int, i: int) -> int:
         return self.acc.read32(cpu.a[7] + base + 4 * i)
 
     def _cstring(self, addr: int, limit: int = 32) -> str:
-        out = []
+        out: List[str] = []
         for i in range(limit):
             byte = self.acc.read8(addr + i)
             if byte == 0:
@@ -191,7 +196,7 @@ class SysCalls:
     # ==================================================================
     # Event manager
     # ==================================================================
-    def t_EvtEnqueueKey(self, cpu, base):
+    def t_EvtEnqueueKey(self, cpu: "CPU", base: int) -> None:
         packed = self._arg(cpu, base, 0)
         down = bool(packed & 0x8000_0000)
         event = Event(EventType.keyDownEvent if down else EventType.keyUpEvent,
@@ -199,7 +204,7 @@ class SysCalls:
         ok = self.k.queue.enqueue(event)
         cpu.d[0] = 0 if ok else ERR_EVT_QUEUE_FULL
 
-    def t_EvtEnqueuePenPoint(self, cpu, base):
+    def t_EvtEnqueuePenPoint(self, cpu: "CPU", base: int) -> None:
         packed = self._arg(cpu, base, 0)
         down = bool(packed & 0x8000_0000)
         x = (packed >> 8) & 0xFF
@@ -219,17 +224,17 @@ class SysCalls:
         ok = self.k.queue.enqueue(Event(etype, x=x, y=y))
         cpu.d[0] = 0 if ok else ERR_EVT_QUEUE_FULL
 
-    def t_EvtEnqueueEvent(self, cpu, base):
+    def t_EvtEnqueueEvent(self, cpu: "CPU", base: int) -> None:
         ptr = self._arg(cpu, base, 0)
         event = Event.read_from(self.acc, ptr)
         cpu.d[0] = 0 if self.k.queue.enqueue(event) else ERR_EVT_QUEUE_FULL
 
-    def t_EvtFlushQueue(self, cpu, base):
+    def t_EvtFlushQueue(self, cpu: "CPU", base: int) -> None:
         self.k.queue.flush()
         cpu.d[0] = 0
 
     # -- EvtGetEvent (blocking, F-line path only) -----------------------
-    def p_EvtGetEvent(self, cpu, base):
+    def p_EvtGetEvent(self, cpu: "CPU", base: int) -> None:
         event_ptr = self._arg(cpu, base, 0)
         timeout = self._arg(cpu, base, 1)
         self.acc.write32(L.G_EVT_PTR, event_ptr)
@@ -240,7 +245,7 @@ class SysCalls:
             self.k.device.request_wake(deadline)
         self.acc.write32(L.G_EVT_DEADLINE, deadline)
 
-    def _evt_try(self, cpu):
+    def _evt_try(self, cpu: "CPU") -> None:
         event = self.k.queue.dequeue()
         if event is not None:
             event = self.k.map_hard_button(event)
@@ -257,20 +262,20 @@ class SysCalls:
         cpu.d[0] = 1
 
     # -- SysTaskDelay ----------------------------------------------------
-    def p_SysTaskDelay(self, cpu, base):
+    def p_SysTaskDelay(self, cpu: "CPU", base: int) -> None:
         ticks = self._arg(cpu, base, 0)
         deadline = self.k.device.tick + ticks
         self.acc.write32(L.G_DELAY_DEADLINE, deadline)
         self.k.device.request_wake(deadline)
 
-    def _delay_try(self, cpu):
+    def _delay_try(self, cpu: "CPU") -> None:
         deadline = self.acc.read32(L.G_DELAY_DEADLINE)
         cpu.d[0] = 1 if self.k.device.tick >= deadline else 0
 
     # ==================================================================
     # Key / system / time
     # ==================================================================
-    def t_KeyCurrentState(self, cpu, base):
+    def t_KeyCurrentState(self, cpu: "CPU", base: int) -> None:
         raw = self.acc.read32(C.REG_KEY_STATE)
         if self.key_state_override is not None:
             # Recorded bit fields are keyed by guest tick (the clock
@@ -278,7 +283,7 @@ class SysCalls:
             raw = self.key_state_override(self.k.device.guest_tick, raw)
         cpu.d[0] = raw
 
-    def t_SysRandom(self, cpu, base):
+    def t_SysRandom(self, cpu: "CPU", base: int) -> None:
         # Replay's seed override happens at A-line dispatch (see aline).
         seed = self._arg(cpu, base, 0)
         if seed:
@@ -288,22 +293,22 @@ class SysCalls:
         self.acc.write32(L.G_RAND_SEED, state)
         cpu.d[0] = (state >> 16) & 0x7FFF
 
-    def t_SysNotifyBroadcast(self, cpu, base):
+    def t_SysNotifyBroadcast(self, cpu: "CPU", base: int) -> None:
         notify_type = self._arg(cpu, base, 0)
         ok = self.k.queue.enqueue(Event(EventType.notifyEvent,
                                         data=notify_type))
         cpu.d[0] = 0 if ok else ERR_EVT_QUEUE_FULL
 
-    def t_SysUIAppSwitch(self, cpu, base):
+    def t_SysUIAppSwitch(self, cpu: "CPU", base: int) -> None:
         app_id = self._arg(cpu, base, 0)
         self.acc.write32(L.G_NEXT_APP, app_id)
         self.k.queue.enqueue(Event(EventType.appStopEvent))
         cpu.d[0] = 0
 
-    def t_SysTicksPerSecond(self, cpu, base):
+    def t_SysTicksPerSecond(self, cpu: "CPU", base: int) -> None:
         cpu.d[0] = C.TICKS_PER_SECOND
 
-    def t_SysSetTrapAddress(self, cpu, base):
+    def t_SysSetTrapAddress(self, cpu: "CPU", base: int) -> None:
         trap = self._arg(cpu, base, 0) & 0x1FF
         addr = self._arg(cpu, base, 1)
         entry = L.TRAP_TABLE + trap * 4
@@ -311,17 +316,17 @@ class SysCalls:
         self.acc.write32(entry, addr)
         cpu.d[0] = old
 
-    def t_SysGetTrapAddress(self, cpu, base):
+    def t_SysGetTrapAddress(self, cpu: "CPU", base: int) -> None:
         trap = self._arg(cpu, base, 0) & 0x1FF
         cpu.d[0] = self.acc.read32(L.TRAP_TABLE + trap * 4)
 
-    def t_SysCurrentApp(self, cpu, base):
+    def t_SysCurrentApp(self, cpu: "CPU", base: int) -> None:
         cpu.d[0] = self.acc.read32(L.G_CURRENT_APP)
 
-    def t_TimGetTicks(self, cpu, base):
+    def t_TimGetTicks(self, cpu: "CPU", base: int) -> None:
         cpu.d[0] = self.acc.read32(C.REG_TMR_TICKS)
 
-    def t_SysReset(self, cpu, base):
+    def t_SysReset(self, cpu: "CPU", base: int) -> None:
         """Soft reset, mid-session (the paper's deferred future work).
 
         The device performs a warm reset immediately: the CPU restarts
@@ -331,20 +336,20 @@ class SysCalls:
         caller — reset discards the in-flight trap frame."""
         self.k.device.warm_reset()
 
-    def t_TimGetSeconds(self, cpu, base):
+    def t_TimGetSeconds(self, cpu: "CPU", base: int) -> None:
         cpu.d[0] = self.k.now_seconds(charge=True)
 
     # ==================================================================
     # Memory manager
     # ==================================================================
-    def t_MemPtrNew(self, cpu, base):
+    def t_MemPtrNew(self, cpu: "CPU", base: int) -> None:
         size = self._arg(cpu, base, 0)
         ptr = self.k.dyn_heap.alloc(size, L.OWNER_APP)
         if not ptr:
             self._set_last_err(ERR_MEM_NOT_ENOUGH)
         cpu.d[0] = ptr
 
-    def t_MemPtrFree(self, cpu, base):
+    def t_MemPtrFree(self, cpu: "CPU", base: int) -> None:
         ptr = self._arg(cpu, base, 0)
         try:
             self.k.dyn_heap.free(ptr)
@@ -352,17 +357,17 @@ class SysCalls:
         except HeapError:
             cpu.d[0] = ERR_MEM_INVALID_PTR
 
-    def t_MemPtrSize(self, cpu, base):
+    def t_MemPtrSize(self, cpu: "CPU", base: int) -> None:
         try:
             cpu.d[0] = self.k.dyn_heap.payload_size(self._arg(cpu, base, 0))
         except HeapError:
             cpu.d[0] = 0
 
-    def t_MemHeapFreeBytes(self, cpu, base):
+    def t_MemHeapFreeBytes(self, cpu: "CPU", base: int) -> None:
         heap = self.k.dyn_heap if self._arg(cpu, base, 0) == 0 else self.k.sto_heap
         cpu.d[0] = heap.free_bytes()
 
-    def n_MemMove(self, cpu, base):
+    def n_MemMove(self, cpu: "CPU", base: int) -> None:
         dst = self._arg(cpu, base, 0)
         src = self._arg(cpu, base, 1)
         length = self._arg(cpu, base, 2)
@@ -370,7 +375,7 @@ class SysCalls:
         self.acc.write_bytes(dst, data)
         cpu.d[0] = 0
 
-    def n_MemSet(self, cpu, base):
+    def n_MemSet(self, cpu: "CPU", base: int) -> None:
         ptr = self._arg(cpu, base, 0)
         length = self._arg(cpu, base, 1)
         value = self._arg(cpu, base, 2) & 0xFF
@@ -380,7 +385,7 @@ class SysCalls:
     # ==================================================================
     # Data manager — simple traps
     # ==================================================================
-    def t_DmCreateDatabase(self, cpu, base):
+    def t_DmCreateDatabase(self, cpu: "CPU", base: int) -> None:
         from .database import fourcc_str
         name = self._cstring(self._arg(cpu, base, 0))
         type_code = fourcc_str(self._arg(cpu, base, 1))
@@ -394,7 +399,7 @@ class SysCalls:
             self._set_last_err(err.code)
             cpu.d[0] = 0
 
-    def t_DmDeleteDatabase(self, cpu, base):
+    def t_DmDeleteDatabase(self, cpu: "CPU", base: int) -> None:
         name = self._cstring(self._arg(cpu, base, 0))
         try:
             self.k.dm.delete(name)
@@ -403,14 +408,14 @@ class SysCalls:
             self._set_last_err(err.code)
             cpu.d[0] = err.code
 
-    def t_DmFindDatabase(self, cpu, base):
+    def t_DmFindDatabase(self, cpu: "CPU", base: int) -> None:
         name = self._cstring(self._arg(cpu, base, 0))
         db = self.k.dm.find(name)
         if not db:
             self._set_last_err(ERR_DM_NOT_FOUND)
         cpu.d[0] = db
 
-    def t_DmOpenDatabase(self, cpu, base):
+    def t_DmOpenDatabase(self, cpu: "CPU", base: int) -> None:
         db = self._arg(cpu, base, 0)
         if db:
             self.k.dm.open_db(db)
@@ -418,29 +423,29 @@ class SysCalls:
             self._set_last_err(ERR_DM_NOT_FOUND)
         cpu.d[0] = db
 
-    def t_DmCloseDatabase(self, cpu, base):
+    def t_DmCloseDatabase(self, cpu: "CPU", base: int) -> None:
         db = self._arg(cpu, base, 0)
         if db:
             self.k.dm.close_db(db)
         cpu.d[0] = 0
 
-    def t_DmDatabaseInfo(self, cpu, base):
+    def t_DmDatabaseInfo(self, cpu: "CPU", base: int) -> None:
         db = self._arg(cpu, base, 0)
         buf = self._arg(cpu, base, 1)
         header = self.acc.read_bytes(db + L.DB_PDB, L.PDB_SIZE)
         self.acc.write_bytes(buf, header)
         cpu.d[0] = 0
 
-    def t_DmSetDatabaseInfo(self, cpu, base):
+    def t_DmSetDatabaseInfo(self, cpu: "CPU", base: int) -> None:
         db = self._arg(cpu, base, 0)
         attrs = self._arg(cpu, base, 1) & 0xFFFF
         self.k.dm.set_attributes(db, attrs)
         cpu.d[0] = 0
 
-    def t_DmNumRecords(self, cpu, base):
+    def t_DmNumRecords(self, cpu: "CPU", base: int) -> None:
         cpu.d[0] = self.k.dm.num_records(self._arg(cpu, base, 0))
 
-    def t_DmRecordInfo(self, cpu, base):
+    def t_DmRecordInfo(self, cpu: "CPU", base: int) -> None:
         db = self._arg(cpu, base, 0)
         index = self._arg(cpu, base, 1)
         try:
@@ -450,7 +455,7 @@ class SysCalls:
             self._set_last_err(err.code)
             cpu.d[0] = 0
 
-    def t_DmSetRecordInfo(self, cpu, base):
+    def t_DmSetRecordInfo(self, cpu: "CPU", base: int) -> None:
         db = self._arg(cpu, base, 0)
         index = self._arg(cpu, base, 1)
         attr = self._arg(cpu, base, 2) & 0xFF
@@ -462,16 +467,16 @@ class SysCalls:
             self._set_last_err(err.code)
             cpu.d[0] = err.code
 
-    def t_DmReleaseRecord(self, cpu, base):
+    def t_DmReleaseRecord(self, cpu: "CPU", base: int) -> None:
         db = self._arg(cpu, base, 0)
         if db:
             self.k.dm.touch(db)
         cpu.d[0] = 0
 
-    def t_DmGetLastErr(self, cpu, base):
+    def t_DmGetLastErr(self, cpu: "CPU", base: int) -> None:
         cpu.d[0] = self.acc.read32(L.G_DM_LAST_ERR)
 
-    def t_DmNextDatabase(self, cpu, base):
+    def t_DmNextDatabase(self, cpu: "CPU", base: int) -> None:
         prev = self._arg(cpu, base, 0)
         if prev:
             cpu.d[0] = self.acc.read32(prev + L.DB_NEXT)
@@ -481,12 +486,13 @@ class SysCalls:
     # ==================================================================
     # Data manager — walk-based traps (68k data plane)
     # ==================================================================
-    def _walk_setup(self, cpu, db: int, index: int) -> None:
+    def _walk_setup(self, cpu: "CPU", db: int, index: int) -> None:
         """Load d0 = hop count, a0 = head field for the ROM walk loop."""
         cpu.d[0] = index
         cpu.a[0] = db + L.DB_FIRST_RECORD
 
-    def _prep_indexed(self, cpu, base, *, for_insert: bool, extra: dict):
+    def _prep_indexed(self, cpu: "CPU", base: int, *,
+                      for_insert: bool, extra: dict) -> None:
         db = self._arg(cpu, base, 0)
         index = self._arg(cpu, base, 1)
         count = self.k.dm.num_records(db) if db else 0
@@ -504,7 +510,7 @@ class SysCalls:
         self._walk_setup(cpu, db, index)
 
     # -- DmNewRecord(db, index, size) ------------------------------------
-    def p_DmNewRecord(self, cpu, base):
+    def p_DmNewRecord(self, cpu: "CPU", base: int) -> None:
         size = self._arg(cpu, base, 2)
         self._prep_indexed(cpu, base, for_insert=True, extra={"size": size})
         ctx = self._ctx[-1]
@@ -519,7 +525,7 @@ class SysCalls:
             return
         ctx["rec"] = rec
 
-    def d_DmNewRecord(self, cpu, base):
+    def d_DmNewRecord(self, cpu: "CPU", base: int) -> None:
         ctx = self._ctx.pop()
         slot = cpu.a[7]  # saved d0 (result slot)
         if "err" in ctx:
@@ -541,7 +547,7 @@ class SysCalls:
         self._set_last_err(0)
         a.write32(slot, rec + L.REC_DATA)
 
-    def n_DmNewRecord(self, cpu, base):
+    def n_DmNewRecord(self, cpu: "CPU", base: int) -> None:
         db = self._arg(cpu, base, 0)
         index = self._arg(cpu, base, 1)
         size = self._arg(cpu, base, 2)
@@ -553,10 +559,10 @@ class SysCalls:
             cpu.d[0] = 0
 
     # -- DmGetRecord / DmQueryRecord(db, index) ---------------------------
-    def p_DmGetRecord(self, cpu, base):
+    def p_DmGetRecord(self, cpu: "CPU", base: int) -> None:
         self._prep_indexed(cpu, base, for_insert=False, extra={})
 
-    def d_DmGetRecord(self, cpu, base):
+    def d_DmGetRecord(self, cpu: "CPU", base: int) -> None:
         ctx = self._ctx.pop()
         slot = cpu.a[7]
         if "err" in ctx:
@@ -567,7 +573,7 @@ class SysCalls:
         self._set_last_err(0)
         self.acc.write32(slot, rec + L.REC_DATA)
 
-    def n_DmGetRecord(self, cpu, base):
+    def n_DmGetRecord(self, cpu: "CPU", base: int) -> None:
         db = self._arg(cpu, base, 0)
         index = self._arg(cpu, base, 1)
         try:
@@ -579,10 +585,10 @@ class SysCalls:
             cpu.d[0] = 0
 
     # -- DmRemoveRecord(db, index) ----------------------------------------
-    def p_DmRemoveRecord(self, cpu, base):
+    def p_DmRemoveRecord(self, cpu: "CPU", base: int) -> None:
         self._prep_indexed(cpu, base, for_insert=False, extra={})
 
-    def d_DmRemoveRecord(self, cpu, base):
+    def d_DmRemoveRecord(self, cpu: "CPU", base: int) -> None:
         ctx = self._ctx.pop()
         slot = cpu.a[7]
         if "err" in ctx:
@@ -601,7 +607,7 @@ class SysCalls:
         self._set_last_err(0)
         a.write32(slot, 0)
 
-    def n_DmRemoveRecord(self, cpu, base):
+    def n_DmRemoveRecord(self, cpu: "CPU", base: int) -> None:
         db = self._arg(cpu, base, 0)
         index = self._arg(cpu, base, 1)
         try:
@@ -612,7 +618,7 @@ class SysCalls:
             cpu.d[0] = err.code
 
     # -- DmWriteRecord(db, index, offset, srcPtr, len) ----------------------
-    def p_DmWriteRecord(self, cpu, base):
+    def p_DmWriteRecord(self, cpu: "CPU", base: int) -> None:
         offset = self._arg(cpu, base, 2)
         src = self._arg(cpu, base, 3)
         length = self._arg(cpu, base, 4)
@@ -620,7 +626,7 @@ class SysCalls:
                            extra={"offset": offset, "src": src,
                                   "len": length})
 
-    def d_DmWriteRecord(self, cpu, base):
+    def d_DmWriteRecord(self, cpu: "CPU", base: int) -> None:
         ctx = self._ctx.pop()
         slot = cpu.a[7]  # saved d0
         if "err" in ctx:
@@ -644,7 +650,7 @@ class SysCalls:
         self._set_last_err(0)
         a.write32(slot, 0)
 
-    def n_DmWriteRecord(self, cpu, base):
+    def n_DmWriteRecord(self, cpu: "CPU", base: int) -> None:
         db = self._arg(cpu, base, 0)
         index = self._arg(cpu, base, 1)
         offset = self._arg(cpu, base, 2)
@@ -661,10 +667,10 @@ class SysCalls:
     # ==================================================================
     # Expansion manager (memory cards)
     # ==================================================================
-    def t_ExpCardPresent(self, cpu, base):
+    def t_ExpCardPresent(self, cpu: "CPU", base: int) -> None:
         cpu.d[0] = self.acc.read32(C.REG_CARD_STATUS)
 
-    def t_ExpCardInfo(self, cpu, base):
+    def t_ExpCardInfo(self, cpu: "CPU", base: int) -> None:
         """Write the inserted card's name (NUL-terminated) to the
         caller's buffer; returns 0, or an error when no card is in."""
         buf = self._arg(cpu, base, 0)
@@ -679,12 +685,13 @@ class SysCalls:
     # ==================================================================
     # Window manager
     # ==================================================================
-    def _clip_rect(self, x, y, w, h):
+    def _clip_rect(self, x: int, y: int, w: int,
+                   h: int) -> tuple[int, int, int, int]:
         x0, y0 = max(0, x), max(0, y)
         x1, y1 = min(_SCREEN_W, x + w), min(_SCREEN_H, y + h)
         return x0, y0, max(0, x1 - x0), max(0, y1 - y0)
 
-    def p_WinDrawRectangle(self, cpu, base):
+    def p_WinDrawRectangle(self, cpu: "CPU", base: int) -> None:
         x = self._arg(cpu, base, 0)
         y = self._arg(cpu, base, 1)
         w = self._arg(cpu, base, 2)
@@ -700,7 +707,7 @@ class SysCalls:
         cpu.d[2] = color
         cpu.d[3] = (_SCREEN_W - w) * 2
 
-    def n_WinDrawRectangle(self, cpu, base):
+    def n_WinDrawRectangle(self, cpu: "CPU", base: int) -> None:
         x = self._arg(cpu, base, 0)
         y = self._arg(cpu, base, 1)
         w = self._arg(cpu, base, 2)
@@ -713,7 +720,7 @@ class SysCalls:
             a.write_bytes(L.FRAMEBUFFER + ((y + j) * _SCREEN_W + x) * 2, row)
         cpu.d[0] = 0
 
-    def p_WinDrawChars(self, cpu, base):
+    def p_WinDrawChars(self, cpu: "CPU", base: int) -> None:
         text = self._arg(cpu, base, 0)
         length = self._arg(cpu, base, 1)
         x = self._arg(cpu, base, 2)
@@ -728,7 +735,7 @@ class SysCalls:
         cpu.a[1] = L.FRAMEBUFFER + (y * _SCREEN_W + x) * 2
         cpu.d[0] = length
 
-    def n_WinDrawChars(self, cpu, base):
+    def n_WinDrawChars(self, cpu: "CPU", base: int) -> None:
         text = self._arg(cpu, base, 0)
         length = self._arg(cpu, base, 1)
         x = self._arg(cpu, base, 2)
@@ -745,11 +752,11 @@ class SysCalls:
                 a.write16(cell + row * _ROW_BYTES, word)
         cpu.d[0] = 0
 
-    def n_WinEraseWindow(self, cpu, base):
+    def n_WinEraseWindow(self, cpu: "CPU", base: int) -> None:
         self.acc.write_bytes(L.FRAMEBUFFER, b"\xff" * C.FRAMEBUFFER_SIZE)
         cpu.d[0] = 0
 
-    def t_WinDrawLine(self, cpu, base):
+    def t_WinDrawLine(self, cpu: "CPU", base: int) -> None:
         x0 = self._arg(cpu, base, 0)
         y0 = self._arg(cpu, base, 1)
         x1 = self._arg(cpu, base, 2)
@@ -774,7 +781,7 @@ class SysCalls:
                 y0 += sy
         cpu.d[0] = 0
 
-    def t_WinDrawPixel(self, cpu, base):
+    def t_WinDrawPixel(self, cpu: "CPU", base: int) -> None:
         x = self._arg(cpu, base, 0)
         y = self._arg(cpu, base, 1)
         color = self._arg(cpu, base, 2) & 0xFFFF
@@ -782,7 +789,7 @@ class SysCalls:
             self.acc.write16(L.FRAMEBUFFER + (y * _SCREEN_W + x) * 2, color)
         cpu.d[0] = 0
 
-    def t_WinGetPixel(self, cpu, base):
+    def t_WinGetPixel(self, cpu: "CPU", base: int) -> None:
         x = self._arg(cpu, base, 0)
         y = self._arg(cpu, base, 1)
         if 0 <= x < _SCREEN_W and 0 <= y < _SCREEN_H:

@@ -139,6 +139,40 @@ class TestNextFit:
         assert again == first
 
 
+class TestHeaderValidation:
+    """Typed errors for corrupt or fabricated chunk pointers."""
+
+    def test_odd_payload_pointer_rejected(self):
+        heap = make_heap()
+        with pytest.raises(HeapError, match="invalid chunk"):
+            heap.header_of(BASE + L.CHUNK_HEADER_SIZE + 1)
+
+    def test_payload_outside_heap_rejected(self):
+        heap = make_heap()
+        for bogus in (0, BASE - 0x100, LIMIT + 0x100):
+            with pytest.raises(HeapError, match="invalid chunk"):
+                heap.header_of(bogus)
+
+    def test_corrupt_flag_bits_rejected(self):
+        heap = make_heap()
+        ptr = heap.alloc(64)
+        flags_addr = ptr - L.CHUNK_HEADER_SIZE + 4
+        heap.access.write16(flags_addr, 0xBEEF)
+        with pytest.raises(HeapError, match="unknown flag bits"):
+            heap.header_of(ptr)
+
+    def test_free_rejects_fabricated_pointer(self):
+        heap = make_heap()
+        heap.alloc(64)
+        with pytest.raises(HeapError, match="invalid chunk"):
+            heap.free(LIMIT + 0x10)
+
+    def test_payload_size_rejects_fabricated_pointer(self):
+        heap = make_heap()
+        with pytest.raises(HeapError, match="invalid chunk"):
+            heap.payload_size(BASE - 2)
+
+
 @settings(max_examples=40, deadline=None)
 @given(st.lists(st.integers(8, 2000), min_size=1, max_size=60),
        st.data())
@@ -162,3 +196,47 @@ def test_random_alloc_free_invariants(sizes, data):
     for ptr, size in live:
         assert any(lo + L.CHUNK_HEADER_SIZE == ptr and ptr + size <= hi
                    for lo, hi in used)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(8, 2000), min_size=1, max_size=60),
+       st.data())
+def test_random_alloc_free_coalesce_walk_consistent(sizes, data):
+    """Interleaved alloc/free/coalesce keeps the heap walk consistent:
+    the chunks always tile [base, limit) exactly, and after a
+    ``coalesce_all`` no two free chunks sit adjacent."""
+    heap = make_heap()
+    live = []
+
+    def check_walk(coalesced):
+        chunks = list(heap.chunks())
+        # Chunks tile the heap: contiguous, in order, summing to limit.
+        addr = heap.first_chunk
+        for c in chunks:
+            assert c.addr == addr
+            addr += c.size
+        assert addr == LIMIT
+        assert sum(c.size for c in chunks) == LIMIT - BASE
+        if coalesced:
+            for a, b in zip(chunks, chunks[1:]):
+                assert not (a.free and b.free)
+
+    for size in sizes:
+        ptr = heap.alloc(size)
+        if ptr:
+            live.append(ptr)
+        action = data.draw(st.integers(0, 2))
+        if action == 0 and live:
+            heap.free(live.pop(data.draw(st.integers(0, len(live) - 1))))
+        elif action == 1:
+            heap.coalesce_all()
+            check_walk(coalesced=True)
+        check_walk(coalesced=False)
+
+    for ptr in live:
+        heap.free(ptr)
+    heap.coalesce_all()
+    check_walk(coalesced=True)
+    # All memory returned: one free chunk spanning the heap.
+    chunks = list(heap.chunks())
+    assert len(chunks) == 1 and chunks[0].free
