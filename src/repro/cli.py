@@ -43,6 +43,11 @@ def _add_replay(sub) -> None:
                    help="replay core: predecoded basic-block interpreter "
                         "(fast, default) or per-instruction stepping "
                         "(simple); both are bit-exact")
+    p.add_argument("--hot", type=int, default=None, metavar="N",
+                   help="after the replay, report the N hottest "
+                        "superblocks (entry pc, fetch-reference share, "
+                        "invalidations; fast core only) and the N "
+                        "hottest trap numbers from the profiler")
     res = p.add_argument_group("resilience (repro.resilience)")
     res.add_argument("--checkpoint-every", type=int, default=None,
                      metavar="N", help="snapshot the machine every N "
@@ -316,6 +321,8 @@ def cmd_replay(args) -> int:
         if args.trace:
             profiler.reference_trace().save(args.trace)
             print(f"trace written: {args.trace}")
+    if args.hot:
+        _print_hot(emulator, profiler, args.hot)
     if args.sanitize:
         san = emulator.sanitizer
         stats = san.stats()
@@ -329,6 +336,35 @@ def cmd_replay(args) -> int:
             return 1
         print("sanitizer    : no findings")
     return 0
+
+
+def _print_hot(emulator, profiler, n: int) -> None:
+    """The ``--hot`` report: where replay time goes, from data the
+    cores and the profiler already keep."""
+    hot = getattr(emulator.device.core, "hot_blocks", None)
+    if hot is None:
+        print("hot blocks   : (requires --core fast)")
+    else:
+        total = max(1, profiler.total_refs) if profiler is not None else 0
+        print(f"hot blocks   : {'entry':>10} {'runs':>9} {'insns':>11} "
+              f"{'ref share':>9} {'invalid':>7}")
+        for row in hot(n):
+            share = (f"{100 * row['fetch_refs'] / total:>8.2f}%"
+                     if total else f"{row['fetch_refs']:>9,}")
+            print(f"               {row['pc']:#010x} {row['runs']:>9,} "
+                  f"{row['insns']:>11,} {share} "
+                  f"{row['invalidations']:>7}")
+    if profiler is not None:
+        from .palmos.traps import Trap
+
+        def name(idx: int) -> str:
+            try:
+                return Trap(idx).name
+            except ValueError:
+                return f"trap {idx:#x}"
+        traps = profiler.top_traps(n)
+        print("hot traps    : " + (", ".join(
+            f"{name(t)} ({c:,})" for t, c in traps) or "(none)"))
 
 
 def _replay_resilient(args, jitter) -> int:

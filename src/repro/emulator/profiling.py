@@ -175,6 +175,19 @@ class Profiler:
 
         return reference, reference_pair
 
+    def bulk_references(self, chunk: np.ndarray) -> None:
+        """Append a pre-packed uint64 token block wholesale (the fused
+        replay core's vectorized fill path).  Equivalent to one
+        :meth:`reference` call per element: chunk boundaries are
+        unobservable in the recorded stream and the derived counts.
+        Callers guarantee the no-online-cache tracing configuration
+        (the fused dispatch gate enforces it)."""
+        self._flush_trace()
+        self._chunks.append(chunk)
+        kinds = (chunk >> np.uint64(32)).astype(np.uint8)
+        self._chunk_counts += np.bincount(
+            kinds, minlength=256).astype(np.uint64)
+
     def _flush_trace(self) -> None:
         pending = self._pending
         if not pending:
@@ -347,6 +360,21 @@ class Profiler:
         top = np.argpartition(counts, counts.size - n)[counts.size - n:]
         order = top[np.argsort(counts[top])][::-1]
         return [(int(op), int(counts[op])) for op in order if counts[op]]
+
+    def top_traps(self, n: int = 10) -> list[tuple[int, int]]:
+        """The ``n`` most-executed A-line trap numbers as
+        (trap, count).  The opcode histogram's 0xA000-0xAFFF rows are
+        folded by ``op & 0x1FF`` — the trap-number decode both
+        dispatch paths share."""
+        counts = np.frombuffer(self.opcode_counts,
+                               dtype=np.uint64)[0xA000:0xB000]
+        by_trap = counts.reshape(8, 512).sum(axis=0)
+        n = min(n, by_trap.size)
+        if n <= 0:
+            return []
+        top = np.argpartition(by_trap, by_trap.size - n)[by_trap.size - n:]
+        order = top[np.argsort(by_trap[top])][::-1]
+        return [(int(t), int(by_trap[t])) for t in order if by_trap[t]]
 
     def opcode_histogram(self) -> np.ndarray:
         return np.frombuffer(self.opcode_counts, dtype=np.uint64).copy()

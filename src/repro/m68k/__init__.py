@@ -31,7 +31,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> object:
     # Lazy imports keep `import repro.m68k` light; the assembler pulls in
     # a sizeable parser table.
     if name in ("Assembler", "assemble"):

@@ -10,7 +10,7 @@ All values are big-endian, as on the 68000.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol
+from typing import Optional, Protocol, Set
 
 from .errors import AddressError
 
@@ -51,7 +51,7 @@ class WriteWatch(Protocol):
     enumerate individual addresses).
     """
 
-    pages: set
+    pages: Set[int]
 
     def hit(self, addr: int) -> None: ...
 

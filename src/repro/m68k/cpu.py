@@ -22,10 +22,11 @@ Palm OS Emulator described in the paper:
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from .bus import Bus
 from .errors import CpuHalted, IllegalInstructionError
+from .instructions import Handler
 
 # Exception vector numbers (68000).
 VEC_RESET_SSP = 0
@@ -52,7 +53,7 @@ _MASK32 = 0xFFFFFFFF
 class CPU:
     """A 68000-family CPU attached to a :class:`~repro.m68k.bus.Bus`."""
 
-    _dispatch: Optional[list] = None  # shared, built lazily
+    _dispatch: Optional[List[Optional[Handler]]] = None  # shared, built lazily
 
     def __init__(
         self,
@@ -92,14 +93,15 @@ class CPU:
         #: attributing them to the previously executed opcode.
         self.interrupt_hook: Optional[Callable[[], None]] = None
 
-        if CPU._dispatch is None:
+        table = CPU._dispatch
+        if table is None:
             from .decoder import dispatch_table
 
-            CPU._dispatch = dispatch_table()
-        self._table = CPU._dispatch
+            table = CPU._dispatch = dispatch_table()
+        self._table = table
 
     @property
-    def dispatch_table(self) -> list:
+    def dispatch_table(self) -> List[Optional[Handler]]:
         """The 65536-entry opcode handler table (shared, read-only by
         convention).  Replay cores predecode handlers out of it."""
         return self._table

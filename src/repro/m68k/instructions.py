@@ -15,7 +15,10 @@ N and V), the common "follows the binary result" convention is used.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:
+    from .cpu import CPU
 
 M32 = 0xFFFFFFFF
 
@@ -24,7 +27,9 @@ MASKS = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFFFFFF}
 MSBS = {1: 0x80, 2: 0x8000, 4: 0x80000000}
 NBITS = {1: 8, 2: 16, 4: 32}
 
-Handler = Callable[["CPU"], None]  # noqa: F821 - runtime duck typing
+Handler = Callable[["CPU"], None]
+#: Read-modify-write kernels take ``(cpu, old)`` and return the new value.
+ModifyFn = Callable[["CPU", int], int]
 
 
 def sext32(value: int, size: int) -> int:
@@ -87,7 +92,7 @@ def ea_is(mode: int, reg: int, spec: str) -> bool:
 # ----------------------------------------------------------------------
 # Effective-address computation and operand access
 # ----------------------------------------------------------------------
-def _indexed(cpu, base: int) -> int:
+def _indexed(cpu: CPU, base: int) -> int:
     ext = cpu.fetch_ext16()
     xreg = (ext >> 12) & 7
     idx = cpu.a[xreg] if ext & 0x8000 else cpu.d[xreg]
@@ -97,7 +102,7 @@ def _indexed(cpu, base: int) -> int:
     return (base + disp + idx) & M32
 
 
-def ea_addr(cpu, mode: int, reg: int, size: int) -> int:
+def ea_addr(cpu: CPU, mode: int, reg: int, size: int) -> int:
     """Compute the address of a memory operand, fetching extension words."""
     a = cpu.a
     if mode == 2:
@@ -129,7 +134,7 @@ def ea_addr(cpu, mode: int, reg: int, size: int) -> int:
     raise AssertionError(f"no address for mode={mode} reg={reg}")
 
 
-def read_ea(cpu, mode: int, reg: int, size: int) -> int:
+def read_ea(cpu: CPU, mode: int, reg: int, size: int) -> int:
     if mode == 0:
         return cpu.d[reg] & MASKS[size]
     if mode == 1:
@@ -141,12 +146,13 @@ def read_ea(cpu, mode: int, reg: int, size: int) -> int:
     return cpu.read(ea_addr(cpu, mode, reg, size), size)
 
 
-def write_dreg(cpu, reg: int, size: int, value: int) -> None:
+def write_dreg(cpu: CPU, reg: int, size: int, value: int) -> None:
     mask = MASKS[size]
     cpu.d[reg] = (cpu.d[reg] & ~mask & M32) | (value & mask)
 
 
-def write_ea(cpu, mode: int, reg: int, size: int, value: int) -> None:
+def write_ea(cpu: CPU, mode: int, reg: int, size: int,
+             value: int) -> None:
     if mode == 0:
         write_dreg(cpu, reg, size, value)
     elif mode == 1:
@@ -155,7 +161,8 @@ def write_ea(cpu, mode: int, reg: int, size: int, value: int) -> None:
         cpu.write(ea_addr(cpu, mode, reg, size), size, value)
 
 
-def modify_ea(cpu, mode: int, reg: int, size: int, fn) -> int:
+def modify_ea(cpu: CPU, mode: int, reg: int, size: int,
+              fn: Callable[[int], int]) -> int:
     """Read-modify-write an operand; returns the new value."""
     if mode == 0:
         old = cpu.d[reg] & MASKS[size]
@@ -180,15 +187,15 @@ def modify_ea(cpu, mode: int, reg: int, size: int, fn) -> int:
 # identical to the generic helpers, which remain for the dynamic call
 # sites (e.g. MOVEM's once-per-execution register walk).
 
-def make_ea_addr(mode: int, reg: int, size: int):
+def make_ea_addr(mode: int, reg: int, size: int) -> Callable[[CPU], int]:
     """Closure computing a memory operand's address (modes 2-7)."""
     if mode == 2:
-        def addr_of(cpu):
+        def addr_of(cpu: CPU) -> int:
             return cpu.a[reg]
     elif mode == 3:
         inc = 2 if (size == 1 and reg == 7) else size
 
-        def addr_of(cpu):
+        def addr_of(cpu: CPU) -> int:
             a = cpu.a
             addr = a[reg]
             a[reg] = (addr + inc) & M32
@@ -196,29 +203,29 @@ def make_ea_addr(mode: int, reg: int, size: int):
     elif mode == 4:
         dec = 2 if (size == 1 and reg == 7) else size
 
-        def addr_of(cpu):
+        def addr_of(cpu: CPU) -> int:
             a = cpu.a
             addr = (a[reg] - dec) & M32
             a[reg] = addr
             return addr
     elif mode == 5:
-        def addr_of(cpu):
+        def addr_of(cpu: CPU) -> int:
             return (cpu.a[reg] + sext32(cpu.fetch_ext16(), 2)) & M32
     elif mode == 6:
-        def addr_of(cpu):
+        def addr_of(cpu: CPU) -> int:
             return _indexed(cpu, cpu.a[reg])
     elif mode == 7 and reg == 0:
-        def addr_of(cpu):
+        def addr_of(cpu: CPU) -> int:
             return sext32(cpu.fetch_ext16(), 2)
     elif mode == 7 and reg == 1:
-        def addr_of(cpu):
+        def addr_of(cpu: CPU) -> int:
             return cpu.fetch_ext32()
     elif mode == 7 and reg == 2:
-        def addr_of(cpu):
+        def addr_of(cpu: CPU) -> int:
             base = cpu.pc
             return (base + sext32(cpu.fetch_ext16(), 2)) & M32
     elif mode == 7 and reg == 3:
-        def addr_of(cpu):
+        def addr_of(cpu: CPU) -> int:
             return _indexed(cpu, cpu.pc)
     else:
         raise AssertionError(f"no address for mode={mode} reg={reg}")
@@ -229,7 +236,7 @@ _BUS_READ = {1: "read8", 2: "read16", 4: "read32"}
 _BUS_WRITE = {1: "write8", 2: "write16", 4: "write32"}
 
 
-def _mem_addr_code(mode: int, reg: int, size: int):
+def _mem_addr_code(mode: int, reg: int, size: int) -> Optional[str]:
     """Source lines leaving the operand address (unmasked) in ``addr``,
     for the register-relative modes 2-5 — the overwhelming majority of
     memory operands — or ``None`` for the extension-word modes that
@@ -254,14 +261,34 @@ def _mem_addr_code(mode: int, reg: int, size: int):
     return None
 
 
-def _specialize(src: str):
-    """Compile one specialised accessor from source (build-time only)."""
-    env = {"sext32": sext32}
-    exec(compile(src, "<ea-specialised>", "exec"), env)
+def _specialize(src: str, extra_env: dict | None = None,
+                name: str = "<ea-specialised>") -> Any:
+    """Compile one specialised accessor from source (build-time only).
+
+    ``extra_env`` extends the exec namespace: the whole-block fuser
+    (:mod:`repro.m68k.fuse`) reuses this entry point to compile fused
+    superblock bodies, injecting bound bus methods, the profiler's
+    trace-append, handler closures and exception types per block.
+    """
+    env: dict = {"sext32": sext32}
+    if extra_env:
+        env.update(extra_env)
+    code = _CODE_CACHE.get(src)
+    if code is None:
+        code = _CODE_CACHE[src] = compile(src, name, "exec")
+    exec(code, env)
     return env["f"]
 
 
-def _move_read_code(mode: int, reg: int, size: int):
+#: Source -> code-object cache: fused superblock bodies recompile the
+#: same text on every emulator instance (same ROM, same hot blocks) —
+#: the code object is environment-free, only ``exec`` binds per-block
+#: state, so it is shared process-wide.  Bounded in practice by the
+#: distinct hot blocks of the ROMs a process touches.
+_CODE_CACHE: dict = {}
+
+
+def _move_read_code(mode: int, reg: int, size: int) -> Optional[str]:
     """Source lines leaving the (masked) source operand in ``val``, or
     ``None`` when the mode needs the shared closures."""
     mask = MASKS[size]
@@ -282,7 +309,7 @@ def _move_read_code(mode: int, reg: int, size: int):
             f"    val = cpu.bus.{_BUS_READ[size]}(addr & {M32})\n")
 
 
-def _move_write_code(mode: int, reg: int, size: int):
+def _move_write_code(mode: int, reg: int, size: int) -> Optional[str]:
     """Source lines storing ``val`` (already masked) to the
     destination operand, or ``None``."""
     if mode == 0:
@@ -298,23 +325,23 @@ def _move_write_code(mode: int, reg: int, size: int):
             f"    cpu.bus.{_BUS_WRITE[size]}(addr & {M32}, val)\n")
 
 
-def make_reader(mode: int, reg: int, size: int):
+def make_reader(mode: int, reg: int, size: int) -> Callable[[CPU], int]:
     """Closure with the semantics of ``read_ea(cpu, mode, reg, size)``."""
     mask = MASKS[size]
     if mode == 0:
-        def read(cpu):
+        def read(cpu: CPU) -> int:
             return cpu.d[reg] & mask
         return read
     if mode == 1:
-        def read(cpu):
+        def read(cpu: CPU) -> int:
             return cpu.a[reg] & mask
         return read
     if mode == 7 and reg == 4:
         if size == 4:
-            def read(cpu):
+            def read(cpu: CPU) -> int:
                 return cpu.fetch_ext32()
         else:
-            def read(cpu):
+            def read(cpu: CPU) -> int:
                 return cpu.fetch_ext16() & mask
         return read
     cost = 8 if size == 4 else 4
@@ -326,35 +353,36 @@ def make_reader(mode: int, reg: int, size: int):
             f"    return cpu.bus.{_BUS_READ[size]}(addr & {M32})\n")
     addr_of = make_ea_addr(mode, reg, size)
     if size == 1:
-        def read(cpu):
+        def read(cpu: CPU) -> int:
             addr = addr_of(cpu) & M32
             cpu.cycles += 4
             return cpu.bus.read8(addr)
     elif size == 2:
-        def read(cpu):
+        def read(cpu: CPU) -> int:
             addr = addr_of(cpu) & M32
             cpu.cycles += 4
             return cpu.bus.read16(addr)
     else:
-        def read(cpu):
+        def read(cpu: CPU) -> int:
             addr = addr_of(cpu) & M32
             cpu.cycles += 8
             return cpu.bus.read32(addr)
     return read
 
 
-def make_writer(mode: int, reg: int, size: int):
+def make_writer(mode: int, reg: int,
+                size: int) -> Callable[[CPU, int], None]:
     """Closure with the semantics of ``write_ea(cpu, ..., value)``."""
     mask = MASKS[size]
     if mode == 0:
         inv = ~mask & M32
 
-        def write(cpu, value):
+        def write(cpu: CPU, value: int) -> None:
             d = cpu.d
             d[reg] = (d[reg] & inv) | (value & mask)
         return write
     if mode == 1:
-        def write(cpu, value):
+        def write(cpu: CPU, value: int) -> None:
             cpu.a[reg] = sext32(value, size)
         return write
     cost = 8 if size == 4 else 4
@@ -366,24 +394,25 @@ def make_writer(mode: int, reg: int, size: int):
             f"    cpu.bus.{_BUS_WRITE[size]}(addr & {M32}, value & {mask})\n")
     addr_of = make_ea_addr(mode, reg, size)
     if size == 1:
-        def write(cpu, value):
+        def write(cpu: CPU, value: int) -> None:
             addr = addr_of(cpu) & M32
             cpu.cycles += 4
             cpu.bus.write8(addr, value & 0xFF)
     elif size == 2:
-        def write(cpu, value):
+        def write(cpu: CPU, value: int) -> None:
             addr = addr_of(cpu) & M32
             cpu.cycles += 4
             cpu.bus.write16(addr, value & 0xFFFF)
     else:
-        def write(cpu, value):
+        def write(cpu: CPU, value: int) -> None:
             addr = addr_of(cpu) & M32
             cpu.cycles += 8
             cpu.bus.write32(addr, value & M32)
     return write
 
 
-def make_modifier(mode: int, reg: int, size: int):
+def make_modifier(mode: int, reg: int,
+                  size: int) -> Callable[[CPU, ModifyFn], int]:
     """Closure ``modify(cpu, fn)`` with the semantics of ``modify_ea``,
     except ``fn`` takes ``(cpu, old)`` so callers can build it once at
     table-build time instead of allocating a lambda per execution."""
@@ -391,7 +420,7 @@ def make_modifier(mode: int, reg: int, size: int):
     if mode == 0:
         inv = ~mask & M32
 
-        def modify(cpu, fn):
+        def modify(cpu: CPU, fn: ModifyFn) -> int:
             d = cpu.d
             old = d[reg] & mask
             new = fn(cpu, old) & mask
@@ -412,7 +441,7 @@ def make_modifier(mode: int, reg: int, size: int):
             f"    return new\n")
     addr_of = make_ea_addr(mode, reg, size)
     if size == 1:
-        def modify(cpu, fn):
+        def modify(cpu: CPU, fn: ModifyFn) -> int:
             addr = addr_of(cpu) & M32
             cpu.cycles += 4
             old = cpu.bus.read8(addr)
@@ -421,7 +450,7 @@ def make_modifier(mode: int, reg: int, size: int):
             cpu.bus.write8(addr, new)
             return new
     elif size == 2:
-        def modify(cpu, fn):
+        def modify(cpu: CPU, fn: ModifyFn) -> int:
             addr = addr_of(cpu) & M32
             cpu.cycles += 4
             old = cpu.bus.read16(addr)
@@ -430,7 +459,7 @@ def make_modifier(mode: int, reg: int, size: int):
             cpu.bus.write16(addr, new)
             return new
     else:
-        def modify(cpu, fn):
+        def modify(cpu: CPU, fn: ModifyFn) -> int:
             addr = addr_of(cpu) & M32
             cpu.cycles += 8
             old = cpu.bus.read32(addr)
@@ -441,29 +470,30 @@ def make_modifier(mode: int, reg: int, size: int):
     return modify
 
 
-def _clr_fn(cpu, v):
+def _clr_fn(cpu: CPU, v: int) -> int:
     return 0
 
 
-def _not_fn(cpu, v):
+def _not_fn(cpu: CPU, v: int) -> int:
     return ~v
 
 
 # ----------------------------------------------------------------------
 # Flag computation
 # ----------------------------------------------------------------------
-def set_nz(cpu, r: int, size: int) -> None:
+def set_nz(cpu: CPU, r: int, size: int) -> None:
     cpu.n = 1 if r & MSBS[size] else 0
     cpu.z = 1 if (r & MASKS[size]) == 0 else 0
 
 
-def flags_logic(cpu, r: int, size: int) -> None:
+def flags_logic(cpu: CPU, r: int, size: int) -> None:
     set_nz(cpu, r, size)
     cpu.v = 0
     cpu.c = 0
 
 
-def flags_add(cpu, a: int, b: int, size: int, *, with_x: bool = True) -> int:
+def flags_add(cpu: CPU, a: int, b: int, size: int, *,
+              with_x: bool = True) -> int:
     mask, msb = MASKS[size], MSBS[size]
     total = a + b
     r = total & mask
@@ -476,7 +506,8 @@ def flags_add(cpu, a: int, b: int, size: int, *, with_x: bool = True) -> int:
     return r
 
 
-def flags_sub(cpu, a: int, b: int, size: int, *, with_x: bool = True) -> int:
+def flags_sub(cpu: CPU, a: int, b: int, size: int, *,
+              with_x: bool = True) -> int:
     """Compute ``a - b`` and set NZVC (and X when requested)."""
     mask, msb = MASKS[size], MSBS[size]
     r = (a - b) & mask
@@ -489,7 +520,7 @@ def flags_sub(cpu, a: int, b: int, size: int, *, with_x: bool = True) -> int:
     return r
 
 
-def flags_cmp(cpu, a: int, b: int, size: int) -> int:
+def flags_cmp(cpu: CPU, a: int, b: int, size: int) -> int:
     """``flags_sub(..., with_x=False)`` without the keyword overhead —
     the compare instructions are hot enough for it to show."""
     mask, msb = MASKS[size], MSBS[size]
@@ -501,7 +532,7 @@ def flags_cmp(cpu, a: int, b: int, size: int) -> int:
     return r
 
 
-def cond_true(cpu, cc: int) -> bool:
+def cond_true(cpu: CPU, cc: int) -> bool:
     if cc == 0:  # T
         return True
     if cc == 1:  # F
@@ -573,7 +604,7 @@ COND_EXPRS = [
 # ----------------------------------------------------------------------
 # Binary-coded decimal arithmetic
 # ----------------------------------------------------------------------
-def _bcd_add(cpu, a: int, b: int) -> int:
+def _bcd_add(cpu: CPU, a: int, b: int) -> int:
     """ABCD core: a + b + X in packed BCD, one byte."""
     lo = (a & 0x0F) + (b & 0x0F) + cpu.x
     total = (a & 0xF0) + (b & 0xF0) + lo
@@ -591,7 +622,7 @@ def _bcd_add(cpu, a: int, b: int) -> int:
     return r
 
 
-def _bcd_sub(cpu, a: int, b: int) -> int:
+def _bcd_sub(cpu: CPU, a: int, b: int) -> int:
     """SBCD core: a - b - X in packed BCD, one byte."""
     lo = (a & 0x0F) - (b & 0x0F) - cpu.x
     total = (a & 0xF0) - (b & 0xF0) + lo
@@ -616,7 +647,7 @@ def _build_bcd_pair(op: int, add: bool) -> Handler:
     mem_form = bool(op & 0x0008)
     core = _bcd_add if add else _bcd_sub
 
-    def handler(cpu):
+    def handler(cpu: CPU) -> None:
         if mem_form:
             decy = 2 if ry == 7 else 1
             cpu.a[ry] = (cpu.a[ry] - decy) & M32
@@ -647,7 +678,7 @@ def _build_bitop(op: int) -> Optional[Handler]:
         return None
 
     if mode == 0:
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             num = cpu.d[bitreg] if dynamic else cpu.fetch_ext16()
             bit = 1 << (num & 31)
             val = cpu.d[reg]
@@ -662,7 +693,7 @@ def _build_bitop(op: int) -> Optional[Handler]:
 
     if mode == 7 and reg == 4:  # BTST Dn,#imm: no address to specialise;
         # keep the generic path (which rejects it exactly as before).
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             num = cpu.d[bitreg] if dynamic else cpu.fetch_ext16()
             bit = 1 << (num & 7)
             addr = ea_addr(cpu, mode, reg, 1)
@@ -672,7 +703,7 @@ def _build_bitop(op: int) -> Optional[Handler]:
 
     addr_of = make_ea_addr(mode, reg, 1)
 
-    def handler(cpu):
+    def handler(cpu: CPU) -> None:
         # The bit number (an ext word for the static form) comes from
         # the instruction stream *before* the EA's extension words.
         num = cpu.d[bitreg] if dynamic else cpu.fetch_ext16()
@@ -702,7 +733,7 @@ def _build_movep(op: int) -> Handler:
     size = 4 if opmode & 1 else 2
     to_reg = opmode < 6
 
-    def handler(cpu):
+    def handler(cpu: CPU) -> None:
         addr = (cpu.a[areg] + sext32(cpu.fetch_ext16(), 2)) & M32
         if to_reg:
             value = 0
@@ -737,12 +768,12 @@ def _build_group0(op: int) -> Optional[Handler]:
     if mode == 7 and reg == 4 and kind in (0, 1, 5):
         bit_op = {0: lambda a, b: a | b, 1: lambda a, b: a & b, 5: lambda a, b: a ^ b}[kind]
         if size == 1:
-            def handler(cpu):
+            def handler(cpu: CPU) -> None:
                 imm = cpu.fetch_ext16() & 0xFF
                 cpu.ccr = bit_op(cpu.ccr, imm)
             return handler
         if size == 2:
-            def handler(cpu):
+            def handler(cpu: CPU) -> None:
                 imm = cpu.fetch_ext16()
                 cpu.sr = bit_op(cpu.sr, imm)
             return handler
@@ -757,11 +788,11 @@ def _build_group0(op: int) -> Optional[Handler]:
     if kind == 6:  # CMPI
         read = make_reader(mode, reg, size)
         if size == 4:
-            def handler(cpu):
+            def handler(cpu: CPU) -> None:
                 imm = cpu.fetch_ext32()
                 flags_cmp(cpu, read(cpu), imm, size)
         else:
-            def handler(cpu):
+            def handler(cpu: CPU) -> None:
                 imm = cpu.fetch_ext16() & mask
                 flags_cmp(cpu, read(cpu), imm, size)
         return handler
@@ -771,11 +802,11 @@ def _build_group0(op: int) -> Optional[Handler]:
     if kind in (2, 3):  # SUBI / ADDI
         arith = flags_sub if kind == 2 else flags_add
         if size == 4:
-            def handler(cpu):
+            def handler(cpu: CPU) -> None:
                 imm = cpu.fetch_ext32()
                 modify(cpu, lambda c, v: arith(c, v, imm, size))
         else:
-            def handler(cpu):
+            def handler(cpu: CPU) -> None:
                 imm = cpu.fetch_ext16() & mask
                 modify(cpu, lambda c, v: arith(c, v, imm, size))
         return handler
@@ -783,12 +814,12 @@ def _build_group0(op: int) -> Optional[Handler]:
     bit_op = {0: lambda a, b: a | b, 1: lambda a, b: a & b, 5: lambda a, b: a ^ b}[kind]
 
     if size == 4:
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             imm = cpu.fetch_ext32()
             r = modify(cpu, lambda c, v: bit_op(v, imm))
             flags_logic(cpu, r, size)
     else:
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             imm = cpu.fetch_ext16() & mask
             r = modify(cpu, lambda c, v: bit_op(v, imm))
             flags_logic(cpu, r, size)
@@ -813,10 +844,10 @@ def _build_move(op: int) -> Optional[Handler]:
             return None
         read = make_reader(src_mode, src_reg, size)
         if size == 4:
-            def handler(cpu):
+            def handler(cpu: CPU) -> None:
                 cpu.a[dst_reg] = read(cpu)
         else:
-            def handler(cpu):
+            def handler(cpu: CPU) -> None:
                 cpu.a[dst_reg] = sext32(read(cpu), 2)
         return handler
 
@@ -841,7 +872,7 @@ def _build_move(op: int) -> Optional[Handler]:
     read = make_reader(src_mode, src_reg, size)
     write = make_writer(dst_mode, dst_reg, size)
 
-    def handler(cpu):
+    def handler(cpu: CPU) -> None:
         val = read(cpu)
         write(cpu, val)
         cpu.n = 1 if val & msb else 0
@@ -866,7 +897,7 @@ def _build_movem(op: int) -> Optional[Handler]:
         if not ea_is(mode, reg, "control_pre"):
             return None
 
-    def handler(cpu):
+    def handler(cpu: CPU) -> None:
         mask = cpu.fetch_ext16()
         if to_regs:
             addr = cpu.a[reg] if mode == 3 else ea_addr(cpu, mode, reg, size)
@@ -907,7 +938,7 @@ def _build_group4(op: int) -> Optional[Handler]:
 
     # Fixed encodings first.
     if op == 0x4E70:  # RESET
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             hook = getattr(cpu.bus, "on_cpu_reset_instruction", None)
             if hook is not None:
                 hook()
@@ -915,56 +946,56 @@ def _build_group4(op: int) -> Optional[Handler]:
     if op == 0x4E71:  # NOP
         return lambda cpu: None
     if op == 0x4E72:  # STOP #imm
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             cpu.sr = cpu.fetch_ext16()
             cpu.stopped = True
         return handler
     if op == 0x4E76:  # TRAPV
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             if cpu.v:
                 from .cpu import VEC_TRAPV
                 cpu.exception(VEC_TRAPV)
         return handler
     if op == 0x4E73:  # RTE
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             sr = cpu.pop16()
             pc = cpu.pop32()
             cpu.sr = sr
             cpu.pc = pc
         return handler
     if op == 0x4E75:  # RTS
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             cpu.pc = cpu.pop32()
         return handler
     if op == 0x4E77:  # RTR
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             cpu.ccr = cpu.pop16() & 0xFF
             cpu.pc = cpu.pop32()
         return handler
     if op & 0xFFF0 == 0x4E40:  # TRAP #n
         vector = 32 + (op & 15)
 
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             cpu.exception(vector)
         return handler
     if op & 0xFFF8 == 0x4E50:  # LINK An,#disp
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             disp = sext32(cpu.fetch_ext16(), 2)
             cpu.push32(cpu.a[reg])
             cpu.a[reg] = cpu.a[7]
             cpu.a[7] = (cpu.a[7] + disp) & M32
         return handler
     if op & 0xFFF8 == 0x4E58:  # UNLK An
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             cpu.a[7] = cpu.a[reg]
             cpu.a[reg] = cpu.pop32()
         return handler
     if op & 0xFFF8 == 0x4E60:  # MOVE An,USP
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             cpu.usp = cpu.a[reg]
         return handler
     if op & 0xFFF8 == 0x4E68:  # MOVE USP,An
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             cpu.a[reg] = cpu.usp
         return handler
     if op & 0xFFC0 == 0x4E80:  # JSR
@@ -972,7 +1003,7 @@ def _build_group4(op: int) -> Optional[Handler]:
             return None
         addr_of = make_ea_addr(mode, reg, 4)
 
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             target = addr_of(cpu)
             cpu.push32(cpu.pc)
             cpu.pc = target
@@ -982,7 +1013,7 @@ def _build_group4(op: int) -> Optional[Handler]:
             return None
         addr_of = make_ea_addr(mode, reg, 4)
 
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             cpu.pc = addr_of(cpu)
         return handler
 
@@ -992,7 +1023,7 @@ def _build_group4(op: int) -> Optional[Handler]:
         areg = (op >> 9) & 7
         addr_of = make_ea_addr(mode, reg, 4)
 
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             cpu.a[areg] = addr_of(cpu)
         return handler
 
@@ -1001,7 +1032,7 @@ def _build_group4(op: int) -> Optional[Handler]:
             return None
         dreg = (op >> 9) & 7
 
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             bound = to_signed(read_ea(cpu, mode, reg, 2), 2)
             value = to_signed(cpu.d[dreg] & 0xFFFF, 2)
             if value < 0 or value > bound:
@@ -1014,8 +1045,8 @@ def _build_group4(op: int) -> Optional[Handler]:
         if not ea_is(mode, reg, "data_alterable"):
             return None
 
-        def handler(cpu):
-            def fn(v):
+        def handler(cpu: CPU) -> None:
+            def fn(v: int) -> int:
                 cpu.n = 1 if v & 0x80 else 0
                 cpu.z = 1 if v == 0 else 0
                 cpu.v = cpu.c = 0
@@ -1027,7 +1058,7 @@ def _build_group4(op: int) -> Optional[Handler]:
         if not ea_is(mode, reg, "data_alterable"):
             return None
 
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             modify_ea(cpu, mode, reg, 1, lambda v: _bcd_sub(cpu, 0, v))
         return handler
 
@@ -1036,7 +1067,7 @@ def _build_group4(op: int) -> Optional[Handler]:
             return None
         write = make_writer(mode, reg, 2)
 
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             write(cpu, cpu.sr)
         return handler
     if op & 0xFFC0 == 0x44C0:  # MOVE ea,CCR
@@ -1044,7 +1075,7 @@ def _build_group4(op: int) -> Optional[Handler]:
             return None
         read = make_reader(mode, reg, 2)
 
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             cpu.ccr = read(cpu) & 0xFF
         return handler
     if op & 0xFFC0 == 0x46C0:  # MOVE ea,SR
@@ -1052,12 +1083,12 @@ def _build_group4(op: int) -> Optional[Handler]:
             return None
         read = make_reader(mode, reg, 2)
 
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             cpu.sr = read(cpu)
         return handler
 
     if op & 0xFFF8 == 0x4840:  # SWAP Dn
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             val = cpu.d[reg]
             val = ((val >> 16) | (val << 16)) & M32
             cpu.d[reg] = val
@@ -1068,14 +1099,14 @@ def _build_group4(op: int) -> Optional[Handler]:
             return None
         addr_of = make_ea_addr(mode, reg, 4)
 
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             cpu.push32(addr_of(cpu))
         return handler
 
     if op & 0xFFB8 == 0x4880 and mode == 0:  # EXT.W / EXT.L
         to_long = bool(op & 0x0040)
 
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             if to_long:
                 val = sext32(cpu.d[reg] & 0xFFFF, 2)
                 cpu.d[reg] = val
@@ -1099,24 +1130,24 @@ def _build_group4(op: int) -> Optional[Handler]:
         modify = make_modifier(mode, reg, size)
 
         if variant == 0x4200:  # CLR
-            def handler(cpu):
+            def handler(cpu: CPU) -> None:
                 modify(cpu, _clr_fn)
                 cpu.n = cpu.v = cpu.c = 0
                 cpu.z = 1
             return handler
 
         if variant == 0x4400:  # NEG
-            def neg_fn(cpu, v):
+            def neg_fn(cpu: CPU, v: int) -> int:
                 return flags_sub(cpu, 0, v, size)
 
-            def handler(cpu):
+            def handler(cpu: CPU) -> None:
                 modify(cpu, neg_fn)
             return handler
 
         if variant == 0x4000:  # NEGX
             mask, msb = MASKS[size], MSBS[size]
 
-            def negx_fn(cpu, v):
+            def negx_fn(cpu: CPU, v: int) -> int:
                 r = (0 - v - cpu.x) & mask
                 cpu.c = 1 if (v + cpu.x) > 0 else 0
                 cpu.x = cpu.c
@@ -1126,11 +1157,11 @@ def _build_group4(op: int) -> Optional[Handler]:
                     cpu.z = 0
                 return r
 
-            def handler(cpu):
+            def handler(cpu: CPU) -> None:
                 modify(cpu, negx_fn)
             return handler
 
-        def handler(cpu):  # NOT
+        def handler(cpu: CPU) -> None:  # NOT
             r = modify(cpu, _not_fn)
             flags_logic(cpu, r, size)
         return handler
@@ -1142,7 +1173,7 @@ def _build_group4(op: int) -> Optional[Handler]:
         read = make_reader(mode, reg, size)
         msb = MSBS[size]
 
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             val = read(cpu)
             cpu.n = 1 if val & msb else 0
             cpu.z = 1 if val == 0 else 0
@@ -1163,7 +1194,7 @@ def _build_group5(op: int) -> Optional[Handler]:
         cc = (op >> 8) & 15
         check = COND_CHECKS[cc]
         if mode == 1:  # DBcc
-            def handler(cpu):
+            def handler(cpu: CPU) -> None:
                 base = cpu.pc
                 disp = sext32(cpu.fetch_ext16(), 2)
                 if not check(cpu):
@@ -1176,10 +1207,10 @@ def _build_group5(op: int) -> Optional[Handler]:
             return None
         modify = make_modifier(mode, reg, 1)
 
-        def scc_fn(cpu, v):
+        def scc_fn(cpu: CPU, v: int) -> int:
             return 0xFF if check(cpu) else 0
 
-        def handler(cpu):  # Scc
+        def handler(cpu: CPU) -> None:  # Scc
             modify(cpu, scc_fn)
         return handler
 
@@ -1191,10 +1222,10 @@ def _build_group5(op: int) -> Optional[Handler]:
             return None
 
         if sub:
-            def handler(cpu):  # ADDQ/SUBQ to An: whole register, no flags
+            def handler(cpu: CPU) -> None:  # ADDQ/SUBQ to An: whole register, no flags
                 cpu.a[reg] = (cpu.a[reg] - data) & M32
         else:
-            def handler(cpu):
+            def handler(cpu: CPU) -> None:
                 cpu.a[reg] = (cpu.a[reg] + data) & M32
         return handler
 
@@ -1208,7 +1239,7 @@ def _build_group5(op: int) -> Optional[Handler]:
         mask = MASKS[size]
         inv = ~mask & M32
 
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             d = cpu.d
             r = arith(cpu, d[reg] & mask, data, size)
             d[reg] = (d[reg] & inv) | r
@@ -1216,10 +1247,10 @@ def _build_group5(op: int) -> Optional[Handler]:
 
     modify = make_modifier(mode, reg, size)
 
-    def quick_fn(cpu, v):
+    def quick_fn(cpu: CPU, v: int) -> int:
         return arith(cpu, v, data, size)
 
-    def handler(cpu):
+    def handler(cpu: CPU) -> None:
         modify(cpu, quick_fn)
     return handler
 
@@ -1233,12 +1264,12 @@ def _build_group6(op: int) -> Handler:
 
     if disp8 == 0:  # word displacement (fetched whether taken or not)
         if cc == 0:  # BRA.w
-            def handler(cpu):
+            def handler(cpu: CPU) -> None:
                 base = cpu.pc
                 disp = sext32(cpu.fetch_ext16(), 2)
                 cpu.pc = (base + disp) & M32
         elif cc == 1:  # BSR.w: the return address follows the ext word
-            def handler(cpu):
+            def handler(cpu: CPU) -> None:
                 base = cpu.pc
                 disp = sext32(cpu.fetch_ext16(), 2)
                 target = (base + disp) & M32
@@ -1255,10 +1286,10 @@ def _build_group6(op: int) -> Handler:
 
     disp = sext32(disp8, 1)
     if cc == 0:  # BRA.s
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             cpu.pc = (cpu.pc + disp) & M32
     elif cc == 1:  # BSR.s
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             target = (cpu.pc + disp) & M32
             cpu.push32(cpu.pc)
             cpu.pc = target
@@ -1283,7 +1314,7 @@ def _build_divmul(op: int, signed: bool, is_mul: bool) -> Optional[Handler]:
         return None
 
     if is_mul:
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             src = read_ea(cpu, mode, reg, 2)
             dst = cpu.d[dreg] & 0xFFFF
             if signed:
@@ -1294,7 +1325,7 @@ def _build_divmul(op: int, signed: bool, is_mul: bool) -> Optional[Handler]:
             flags_logic(cpu, product, 4)
         return handler
 
-    def handler(cpu):
+    def handler(cpu: CPU) -> None:
         divisor = read_ea(cpu, mode, reg, 2)
         if divisor == 0:
             from .cpu import VEC_ZERO_DIVIDE
@@ -1339,17 +1370,17 @@ def _build_addsub(op: int, sub: bool) -> Optional[Handler]:
         read = make_reader(mode, reg, size)
         if size == 4:
             if sub:
-                def handler(cpu):
+                def handler(cpu: CPU) -> None:
                     cpu.a[dreg] = (cpu.a[dreg] - read(cpu)) & M32
             else:
-                def handler(cpu):
+                def handler(cpu: CPU) -> None:
                     cpu.a[dreg] = (cpu.a[dreg] + read(cpu)) & M32
         else:
             if sub:
-                def handler(cpu):
+                def handler(cpu: CPU) -> None:
                     cpu.a[dreg] = (cpu.a[dreg] - sext32(read(cpu), 2)) & M32
             else:
-                def handler(cpu):
+                def handler(cpu: CPU) -> None:
                     cpu.a[dreg] = (cpu.a[dreg] + sext32(read(cpu), 2)) & M32
         return handler
 
@@ -1362,7 +1393,7 @@ def _build_addsub(op: int, sub: bool) -> Optional[Handler]:
         mask = MASKS[size]
         inv = ~mask & M32
 
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             src = read(cpu)
             d = cpu.d
             r = arith(cpu, d[dreg] & mask, src, size)
@@ -1373,7 +1404,7 @@ def _build_addsub(op: int, sub: bool) -> Optional[Handler]:
     if mode in (0, 1):  # ADDX / SUBX
         mem_form = mode == 1
 
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             if mem_form:
                 dec = 2 if (size == 1 and reg == 7) else size
                 cpu.a[reg] = (cpu.a[reg] - dec) & M32
@@ -1412,16 +1443,17 @@ def _build_addsub(op: int, sub: bool) -> Optional[Handler]:
     mask = MASKS[size]
     arith = flags_sub if sub else flags_add
 
-    def arith_fn(cpu, v):
+    def arith_fn(cpu: CPU, v: int) -> int:
         return arith(cpu, v, cpu.d[dreg] & mask, size)
 
-    def handler(cpu):  # Dn op <ea> -> <ea>
+    def handler(cpu: CPU) -> None:  # Dn op <ea> -> <ea>
         modify(cpu, arith_fn)
 
     return handler
 
 
-def _build_logic(op: int, bit_op) -> Optional[Handler]:
+def _build_logic(op: int,
+                 bit_op: Callable[[int, int], int]) -> Optional[Handler]:
     """OR (group 8) and AND (group C) share this shape."""
     mode, reg = (op >> 3) & 7, op & 7
     dreg = (op >> 9) & 7
@@ -1436,7 +1468,7 @@ def _build_logic(op: int, bit_op) -> Optional[Handler]:
         msb = MSBS[size]
         inv = ~mask & M32
 
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             src = read(cpu)
             d = cpu.d
             r = bit_op(d[dreg] & mask, src)
@@ -1452,10 +1484,10 @@ def _build_logic(op: int, bit_op) -> Optional[Handler]:
 
     modify = make_modifier(mode, reg, size)
 
-    def logic_fn(cpu, v):
+    def logic_fn(cpu: CPU, v: int) -> int:
         return bit_op(v, cpu.d[dreg] & mask)
 
-    def handler(cpu):  # Dn op <ea> -> <ea>
+    def handler(cpu: CPU) -> None:  # Dn op <ea> -> <ea>
         r = modify(cpu, logic_fn)
         flags_logic(cpu, r, size)
 
@@ -1483,7 +1515,7 @@ def _build_groupC(op: int) -> Optional[Handler]:
         rx, ry = (op >> 9) & 7, op & 7
         variant = op & 0x01F8
 
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             if variant == 0x0140:
                 cpu.d[rx], cpu.d[ry] = cpu.d[ry], cpu.d[rx]
             elif variant == 0x0148:
@@ -1507,11 +1539,11 @@ def _build_groupB(op: int) -> Optional[Handler]:
             return None
         read = make_reader(mode, reg, size)
         if size == 4:
-            def handler(cpu):
+            def handler(cpu: CPU) -> None:
                 val = read(cpu)
                 flags_cmp(cpu, cpu.a[dreg], val, 4)
         else:
-            def handler(cpu):
+            def handler(cpu: CPU) -> None:
                 val = sext32(read(cpu), 2)
                 flags_cmp(cpu, cpu.a[dreg], val, 4)
         return handler
@@ -1523,13 +1555,13 @@ def _build_groupB(op: int) -> Optional[Handler]:
         read = make_reader(mode, reg, size)
         mask = MASKS[size]
 
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             src = read(cpu)
             flags_cmp(cpu, cpu.d[dreg] & mask, src, size)
         return handler
 
     if mode == 1:  # CMPM (Ay)+,(Ax)+
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             inc_y = 2 if (size == 1 and reg == 7) else size
             src = cpu.read(cpu.a[reg], size)
             cpu.a[reg] = (cpu.a[reg] + inc_y) & M32
@@ -1545,10 +1577,10 @@ def _build_groupB(op: int) -> Optional[Handler]:
     modify = make_modifier(mode, reg, size)
     mask = MASKS[size]
 
-    def eor_fn(cpu, v):
+    def eor_fn(cpu: CPU, v: int) -> int:
         return v ^ (cpu.d[dreg] & mask)
 
-    def handler(cpu):
+    def handler(cpu: CPU) -> None:
         r = modify(cpu, eor_fn)
         flags_logic(cpu, r, size)
 
@@ -1558,7 +1590,8 @@ def _build_groupB(op: int) -> Optional[Handler]:
 # ----------------------------------------------------------------------
 # Group E: shifts and rotates
 # ----------------------------------------------------------------------
-def _shift(cpu, kind: int, left: bool, val: int, cnt: int, size: int) -> int:
+def _shift(cpu: CPU, kind: int, left: bool, val: int, cnt: int,
+           size: int) -> int:
     """Perform one shift/rotate, setting flags; returns the result."""
     mask, msb, bits = MASKS[size], MSBS[size], NBITS[size]
     val &= mask
@@ -1643,10 +1676,10 @@ def _build_groupE(op: int) -> Optional[Handler]:
 
         modify = make_modifier(mode, reg, 2)
 
-        def shift_fn(cpu, v):
+        def shift_fn(cpu: CPU, v: int) -> int:
             return _shift(cpu, kind, left, v, 1, 2)
 
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             modify(cpu, shift_fn)
         return handler
 
@@ -1659,7 +1692,7 @@ def _build_groupE(op: int) -> Optional[Handler]:
     mask = MASKS[size]
     inv = ~mask & M32
     if by_register:
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             d = cpu.d
             cnt = d[count_field] & 63
             r = _shift(cpu, kind, left, d[reg] & mask, cnt, size)
@@ -1667,7 +1700,7 @@ def _build_groupE(op: int) -> Optional[Handler]:
     else:
         cnt = count_field or 8
 
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             d = cpu.d
             r = _shift(cpu, kind, left, d[reg] & mask, cnt, size)
             d[reg] = (d[reg] & inv) | (r & mask)
@@ -1699,7 +1732,7 @@ def build_handler(op: int) -> Optional[Handler]:
         n = 1 if data & 0x80000000 else 0
         z = 1 if data == 0 else 0
 
-        def handler(cpu):
+        def handler(cpu: CPU) -> None:
             cpu.d[dreg] = data
             cpu.n = n
             cpu.z = z

@@ -15,11 +15,22 @@ them through one of two accessors:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Protocol
+from typing import TYPE_CHECKING, Any, Optional, Protocol
 
 if TYPE_CHECKING:
     from ..m68k.bus import FlatMemory
     from ..m68k.cpu import CPU
+
+_PROFILER: Any = None
+
+
+def _profiler_type() -> Any:
+    """Lazy :class:`repro.emulator.profiling.Profiler` (import cycle)."""
+    global _PROFILER
+    if _PROFILER is None:
+        from ..emulator.profiling import Profiler
+        _PROFILER = Profiler
+    return _PROFILER
 
 
 class GuestAccess(Protocol):
@@ -81,8 +92,59 @@ class TracedAccess:
         self._note_fetch()
         self._cpu.write(addr, 4, value)
 
+    def _bulk_tokens(self, addr: int, length: int, data_kb: int) -> Any:
+        """The packed trace tokens of a byte run, exactly as the
+        per-byte loop records them: one microcode fetch token before
+        every even-indexed byte, one data token per byte."""
+        import numpy as np
+
+        cpu = self._cpu
+        bus = cpu.bus
+        pcf = cpu.pc & 0xFFFFFFFE
+        if bus._ram_base <= pcf and pcf < bus.ram_limit:
+            ftok = pcf                          # fetch, RAM
+        elif bus._flash_base <= pcf and pcf < bus.flash_limit:
+            ftok = pcf | (0x10 << 32)           # fetch, flash
+        else:
+            return None
+        pairs = length >> 1
+        toks = np.empty(length + pairs + (length & 1), dtype=np.uint64)
+        body = toks[:3 * pairs].reshape(pairs, 3)
+        body[:, 0] = ftok
+        body[:, 1] = np.arange(addr, addr + 2 * pairs, 2,
+                               dtype=np.uint64) + data_kb
+        body[:, 2] = np.arange(addr + 1, addr + 2 * pairs, 2,
+                               dtype=np.uint64) + data_kb
+        if length & 1:
+            toks[3 * pairs] = ftok
+            toks[3 * pairs + 1] = (addr + length - 1) + data_kb
+        return toks
+
+    def _bulk_ok(self, addr: int, length: int) -> bool:
+        """True when the whole run stays on the traced RAM fast arm:
+        profiler-tracing configuration, no sanitizer, all in RAM."""
+        cpu = self._cpu
+        bus = cpu.bus
+        tracer = getattr(bus, "tracer", None)
+        if (not self.microcode_fetch or tracer is None
+                or type(tracer) is not _profiler_type()
+                or not tracer.trace_references
+                or tracer.track_reference_pcs or tracer.online_caches
+                or getattr(bus, "san", None) is not None
+                or getattr(bus, "_ram_base", None) is None):
+            return False
+        return bus._ram_base <= addr and addr + length <= bus.ram_limit
+
     def read_bytes(self, addr: int, length: int) -> bytes:
         cpu = self._cpu
+        if length > 8 and self._bulk_ok(addr, length):
+            toks = self._bulk_tokens(addr, length, 0x1 << 32)
+            if toks is not None:
+                bus = cpu.bus
+                bus.tracer.bulk_references(toks)
+                cpu.cycles += 4 * length + 4 * ((length + 1) >> 1)
+                off = addr - bus._ram_base
+                return bytes(bus._ram_data[off:off + length])
         out = bytearray()
         for i in range(length):
             if i % 2 == 0:
@@ -92,6 +154,19 @@ class TracedAccess:
 
     def write_bytes(self, addr: int, data: bytes) -> None:
         cpu = self._cpu
+        length = len(data)
+        if length > 8 and self._bulk_ok(addr, length):
+            bus = cpu.bus
+            w = bus.ram_watch
+            if w is None or not w.pages or w.pages.isdisjoint(
+                    range(addr >> 8, ((addr + length - 1) >> 8) + 1)):
+                toks = self._bulk_tokens(addr, length, 0x2 << 32)
+                if toks is not None:
+                    bus.tracer.bulk_references(toks)
+                    cpu.cycles += 4 * length + 4 * ((length + 1) >> 1)
+                    off = addr - bus._ram_base
+                    bus._ram_data[off:off + length] = data
+                    return
         for i, byte in enumerate(data):
             if i % 2 == 0:
                 self._note_fetch()

@@ -70,6 +70,7 @@ class SysCalls:
         self._prep: Dict[int, Callable] = {}
         self._done: Dict[int, Callable] = {}
         self._native: Dict[int, Callable] = {}
+        self._fast_table: Optional[List[Optional[Callable]]] = None
         self._register_handlers()
 
     # ------------------------------------------------------------------
@@ -130,6 +131,63 @@ class SysCalls:
             return False
         handler(cpu, 0)
         return True
+
+    def aline_fast_table(self) -> List[Optional[Callable]]:
+        """A 512-entry per-trap-number dispatch table for the block
+        core's trap tail (see ``BlockCore._resolve_trap_table``).
+
+        Each entry is ``fn(cpu, op) -> bool`` with semantics identical
+        to :meth:`aline` for that trap number — the per-call dynamic
+        state (``allow_native``, the hack-patch check against the
+        guest dispatch table, the replay seed override) is read inside
+        the closure, so installing a hack or a replay hook mid-run
+        behaves exactly as on the generic path.  Numbers with no
+        native handler are ``None`` (straight to the guest exception
+        path), except ``SysRandom``, whose seed-override preamble must
+        run even when the dispatch itself declines.
+        """
+        table = self._fast_table
+        if table is not None:
+            return table
+        k = self.k
+        host_read = k.host.read32
+        stubs = k.default_stubs
+
+        def make(idx: int, handler: Callable) -> Callable:
+            entry_addr = L.TRAP_TABLE + idx * 4
+            expected = stubs.get(idx)
+
+            def fast(cpu: "CPU", op: int) -> bool:
+                if not k.allow_native:
+                    return False
+                if host_read(entry_addr) != expected:
+                    return False
+                handler(cpu, 0)
+                return True
+
+            return fast
+
+        table = [None] * 512
+        for idx, handler in self._native.items():
+            table[idx] = make(idx, handler)
+
+        rand_idx = int(Trap.SysRandom)
+        native_rand = table[rand_idx]
+
+        def fast_random(cpu: "CPU", op: int) -> bool:
+            if self.random_seed_override is not None:
+                seed = self.acc.read32(cpu.a[7])
+                if seed:
+                    self.acc.write32(
+                        cpu.a[7],
+                        self.random_seed_override(seed) & 0xFFFFFFFF)
+            if native_rand is None:
+                return False
+            return native_rand(cpu, op)
+
+        table[rand_idx] = fast_random
+        self._fast_table = table
+        return table
 
     # ------------------------------------------------------------------
     # Helpers
