@@ -311,6 +311,63 @@ def bench_sweep(addresses) -> dict:
     }
 
 
+def bench_fleet(quick: bool) -> dict:
+    """Fleet orchestration throughput: the same gremlins campaign run
+    through the supervisor at ``--jobs 1`` and ``--jobs N``, with a
+    byte-for-byte identity gate on the merged ``aggregates.json`` —
+    scheduling order and worker parallelism must never leak into the
+    population aggregates.  Sessions/min is tracked, never gated."""
+    import tempfile
+
+    from repro.fleet import CampaignSpec, run_campaign
+
+    sessions = 6 if quick else 16
+    requested = 4
+    jobs = min(requested, os.cpu_count() or 1)
+    spec = CampaignSpec(
+        name="bench-fleet", sessions=sessions, seed=4242,
+        app_mixes=(("launcher", "memopad"), ("launcher", "puzzle")),
+        behaviors=("gremlins",), durations=(0.01,),
+        caches=((8192, 32, 4),))
+    rows = {}
+    blobs = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for label, n in (("jobs1", 1), ("jobsN", jobs)):
+            out = Path(tmp) / label
+            t0 = time.perf_counter()
+            result = run_campaign(spec, out, jobs=n, hang_timeout=300.0)
+            seconds = time.perf_counter() - t0
+            blobs[label] = (out / "aggregates.json").read_bytes()
+            rows[label] = {
+                "jobs": n,
+                "seconds": round(seconds, 3),
+                "sessions_per_min": round(result.sessions_per_minute(), 1),
+                "complete": result.complete,
+            }
+    identical = blobs["jobs1"] == blobs["jobsN"]
+    return {
+        "sessions": sessions,
+        "jobs1": rows["jobs1"],
+        "jobsN": rows["jobsN"],
+        "jobsN_capped_to_cpu_count": jobs < requested,
+        "speedup": round(rows["jobs1"]["seconds"]
+                         / rows["jobsN"]["seconds"], 2),
+        "aggregates_identical_across_jobs": identical,
+        "stats_match": bool(identical and rows["jobs1"]["complete"]
+                            and rows["jobsN"]["complete"]),
+    }
+
+
+def _print_fleet(fl: dict) -> None:
+    print(f"fleet ({fl['sessions']} sessions): jobs=1 "
+          f"{fl['jobs1']['seconds']}s "
+          f"({fl['jobs1']['sessions_per_min']} sessions/min), "
+          f"jobs={fl['jobsN']['jobs']} {fl['jobsN']['seconds']}s "
+          f"({fl['jobsN']['sessions_per_min']} sessions/min, "
+          f"{fl['speedup']}x), aggregates identical "
+          f"{fl['aggregates_identical_across_jobs']}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_cache.json"))
@@ -322,7 +379,24 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke scale: small trace, correctness "
                              "flags still exact")
+    parser.add_argument("--fleet-only", action="store_true",
+                        help="run only the fleet section and merge it "
+                             "into an existing --out report")
     args = parser.parse_args(argv)
+    if args.fleet_only:
+        fleet = bench_fleet(args.quick)
+        _print_fleet(fleet)
+        out = Path(args.out)
+        report = json.loads(out.read_text()) if out.exists() else {"meta": {}}
+        report["fleet"] = fleet
+        divergences = [d for d in report.get("meta", {}).get("divergences", [])
+                       if d != "fleet"]
+        if not fleet["stats_match"]:
+            divergences.append("fleet")
+        report.setdefault("meta", {})["divergences"] = divergences
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nmerged fleet section into {out}")
+        return 0 if fleet["stats_match"] else 1
     if args.refs is None:
         args.refs = 150_000 if args.quick else 2_000_000
     scalar_refs = 30_000 if args.quick else 300_000
@@ -345,6 +419,7 @@ def main(argv=None) -> int:
         "kernels": bench_kernels(addresses, writes, scalar_refs),
         "family_pass": bench_family_pass(addresses, scalar_refs),
         "sweep_grid": bench_sweep(addresses),
+        "fleet": bench_fleet(args.quick),
     }
     if session is not None:
         rp = report["replay"] = bench_replay(session, args.quick)
@@ -385,6 +460,10 @@ def main(argv=None) -> int:
         failures.append("sweep_grid")
     if rp is not None and not rp["stats_match"]:
         failures.append("replay")
+    fl = report["fleet"]
+    _print_fleet(fl)
+    if not fl["stats_match"]:
+        failures.append("fleet")
     sz = report.get("sanitize")
     if sz is not None:
         print(f"sanitize ({sz['session_refs']:,} refs): plain "

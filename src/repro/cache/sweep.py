@@ -10,6 +10,7 @@ sweep exploits the LRU stack property to simulate each
 
 from __future__ import annotations
 
+import traceback
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -123,6 +124,48 @@ def sweep_paper_grid(addresses: np.ndarray,
 #: Worker-side views of the shared trace, set by :func:`_pool_init`.
 _SHARED: dict = {}
 
+#: First element of a worker's in-band error report (see :func:`_guard`).
+_ERROR_SENTINEL = "__sweep-worker-error__"
+
+
+class SweepWorkerError(RuntimeError):
+    """A sweep worker failed: it raised, was killed, or exceeded the
+    per-chunk timeout.
+
+    Deliberately a ``RuntimeError``: the serial fallback in
+    :func:`_run_units` swallows ``ValueError`` (shared-memory setup
+    failures), and a worker's *computation* failing must never be
+    mistaken for the *fan-out machinery* being unavailable.
+    """
+
+
+def _guard(fn, unit):
+    """Run one work unit, converting any failure into an in-band error
+    report instead of letting it propagate through the pool.
+
+    A raw exception crossing the pool boundary aborts ``Pool.map``
+    wholesale and (for exotic exception types) can fail to unpickle;
+    the sentinel tuple always travels, and the parent re-raises it as
+    a typed :class:`SweepWorkerError` naming the unit.
+    """
+    try:
+        return fn(unit)
+    except KeyboardInterrupt:
+        raise
+    except BaseException as exc:  # noqa: BLE001 - report crosses a process
+        return (_ERROR_SENTINEL, type(exc).__name__, str(exc),
+                traceback.format_exc(limit=6))
+
+
+def _check_result(result, unit) -> object:
+    if (isinstance(result, tuple) and len(result) == 4
+            and result[0] == _ERROR_SENTINEL):
+        _, name, message, trace = result
+        raise SweepWorkerError(
+            f"sweep worker failed on unit {unit!r}: {name}: {message}\n"
+            f"{trace}")
+    return result
+
 
 def _pool_init(shm_name: str, n: int, dtype: str,
                writes_shm_name: Optional[str]) -> None:
@@ -144,7 +187,7 @@ def _pool_init(shm_name: str, n: int, dtype: str,
                    segments=(shm, wshm))
 
 
-def _family_unit(unit: Tuple[int, int, Tuple[int, ...]]) -> Dict[int, int]:
+def _family_unit_impl(unit: Tuple[int, int, Tuple[int, ...]]) -> Dict[int, int]:
     """Paper-grid unit: one (line size, set count) family, all
     associativities in a single vectorized stack pass."""
     from . import kernels
@@ -155,7 +198,7 @@ def _family_unit(unit: Tuple[int, int, Tuple[int, ...]]) -> Dict[int, int]:
                                                   list(assocs))
 
 
-def _config_unit(config: CacheConfig) -> Tuple[int, int, int, int]:
+def _config_unit_impl(config: CacheConfig) -> Tuple[int, int, int, int]:
     """Ablation unit: one full configuration (any policy) through the
     kernels, with the scalar simulator as automatic fallback."""
     from . import kernels
@@ -164,6 +207,14 @@ def _config_unit(config: CacheConfig) -> Tuple[int, int, int, int]:
                                   writes=_SHARED["writes"])
     return (stats.accesses, stats.misses, stats.writebacks,
             stats.write_throughs)
+
+
+def _family_unit(unit):
+    return _guard(_family_unit_impl, unit)
+
+
+def _config_unit(config):
+    return _guard(_config_unit_impl, config)
 
 
 def _grid_units(sizes, line_sizes, associativities):
@@ -187,14 +238,23 @@ def _grid_units(sizes, line_sizes, associativities):
 
 
 def _run_units(worker, units, jobs: int, addresses: np.ndarray,
-               writes: Optional[np.ndarray]) -> List:
+               writes: Optional[np.ndarray],
+               chunk_timeout: Optional[float] = None) -> List:
     """Map ``worker`` over ``units`` with ``jobs`` forked processes
     sharing the trace, or serially in-process.
 
     Serial fallback triggers on ``jobs <= 1`` and whenever fork or
-    shared memory is unavailable.  The shared segments are unlinked
-    even when a worker raises.
+    shared memory is unavailable.  A worker that raises surfaces as a
+    typed :class:`SweepWorkerError`; with ``chunk_timeout`` set, so
+    does a worker that takes longer than that many seconds on one unit
+    (the way a SIGKILLed worker shows up: its unit simply never
+    finishes, because ``Pool`` respawns the process but the task is
+    lost).  The shared segments are closed and unlinked on *every*
+    exit path — normal, worker failure, timeout, KeyboardInterrupt —
+    via the ``finally`` below, so no ``/dev/shm`` segment outlives the
+    call.
     """
+    units = list(units)
     if jobs > 1:
         try:
             import multiprocessing
@@ -218,7 +278,25 @@ def _run_units(worker, units, jobs: int, addresses: np.ndarray,
                         jobs, initializer=_pool_init,
                         initargs=(shm.name, len(addresses),
                                   addresses.dtype.str, writes_name)) as pool:
-                    return pool.map(worker, units, chunksize=1)
+                    # imap (not map): per-unit collection makes a
+                    # per-chunk timeout possible at all — map would
+                    # block forever on a unit whose worker was killed.
+                    it = pool.imap(worker, units, chunksize=1)
+                    results = []
+                    for index, unit in enumerate(units):
+                        try:
+                            if chunk_timeout is not None:
+                                result = it.next(chunk_timeout)
+                            else:
+                                result = next(it)
+                        except multiprocessing.TimeoutError:
+                            raise SweepWorkerError(
+                                f"sweep worker exceeded the {chunk_timeout:g}s "
+                                f"chunk timeout on unit {index} "
+                                f"({unit!r}) — worker killed or wedged"
+                            ) from None
+                        results.append(_check_result(result, unit))
+                    return results
             finally:
                 shm.close()
                 shm.unlink()
@@ -229,7 +307,7 @@ def _run_units(worker, units, jobs: int, addresses: np.ndarray,
             pass  # no fork / no shared memory: fall through to serial
     _SHARED.update(addresses=addresses, writes=writes, segments=())
     try:
-        return [worker(u) for u in units]
+        return [_check_result(worker(u), u) for u in units]
     finally:
         _SHARED.clear()
 
@@ -241,6 +319,7 @@ def sweep_parallel(addresses: np.ndarray,
                    sizes: Sequence[int] = PAPER_SIZES,
                    line_sizes: Sequence[int] = PAPER_LINE_SIZES,
                    associativities: Sequence[int] = PAPER_ASSOCIATIVITIES,
+                   chunk_timeout: Optional[float] = None,
                    ) -> List[SweepPoint]:
     """The configuration sweep, fanned out over worker processes.
 
@@ -254,7 +333,10 @@ def sweep_parallel(addresses: np.ndarray,
     The trace (and write mask) is shared with workers through
     ``multiprocessing.shared_memory``; result order is deterministic
     and independent of ``jobs``; ``jobs <= 1`` or an unavailable fork
-    start method degrades gracefully to an in-process loop.
+    start method degrades gracefully to an in-process loop.  A failed
+    worker raises :class:`SweepWorkerError`; ``chunk_timeout`` bounds
+    how long any single work unit may take before the sweep gives up
+    with the same error (catching killed/wedged workers).
     """
     addresses = np.ascontiguousarray(addresses, dtype=np.uint32)
     if writes is not None:
@@ -264,14 +346,14 @@ def sweep_parallel(addresses: np.ndarray,
 
     if configs is not None:
         results = _run_units(_config_unit, list(configs), jobs,
-                             addresses, writes)
+                             addresses, writes, chunk_timeout)
         return [SweepPoint(config=c, accesses=acc, misses=miss,
                            writebacks=wb, write_throughs=wt)
                 for c, (acc, miss, wb, wt) in zip(configs, results)]
 
     units = _grid_units(sizes, line_sizes, associativities)
     results = _run_units(_family_unit, [u for u, _ in units], jobs,
-                         addresses, writes)
+                         addresses, writes, chunk_timeout)
     total_refs = len(addresses)
     points: List[SweepPoint] = []
     for (_, family), misses in zip(units, results):

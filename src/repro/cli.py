@@ -98,6 +98,11 @@ def _add_sweep(sub) -> None:
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="fan the sweep out over N worker processes "
                         "sharing the trace (default: in-process)")
+    p.add_argument("--chunk-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="fail the sweep if any single work unit takes "
+                        "longer than this (catches killed or wedged "
+                        "workers; default: wait forever)")
 
 
 def _add_desktop(sub) -> None:
@@ -182,6 +187,64 @@ def _add_sanitize(sub) -> None:
                    help="also print per-program elision statistics")
 
 
+def _add_fleet(sub) -> None:
+    p = sub.add_parser(
+        "fleet",
+        help="run a population-scale replay campaign: a supervised "
+             "worker fleet with retries, quarantine, a crash-safe "
+             "journal, and mergeable aggregates")
+    p.add_argument("--out", required=True, metavar="DIR",
+                   help="campaign directory (journal, manifest, "
+                        "aggregates)")
+    p.add_argument("--sessions", type=int, default=16,
+                   help="campaign size (default 16)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="population base seed (session i uses seed+i)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="concurrent worker processes")
+    p.add_argument("--behaviors", default="scripted,gremlins",
+                   help="comma list of behavior models "
+                        "(scripted, gremlins)")
+    p.add_argument("--app-mixes", default=None, metavar="A+B,C+D",
+                   help="comma list of app mixes, apps joined with '+' "
+                        "(every mix needs 'launcher'); default: three "
+                        "mixes over the standard suite")
+    p.add_argument("--durations", default=None,
+                   help="comma list of session lengths in hours "
+                        "(default 0.02,0.05)")
+    p.add_argument("--caches", default=None, metavar="S:L:A,...",
+                   help="comma list of cache geometries as "
+                        "size:line:assoc triples (default "
+                        "8192:32:4,16384:16:2)")
+    p.add_argument("--policy", default="resync",
+                   choices=("strict", "resync", "degrade"),
+                   help="replay divergence policy for every session")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="PRCKPT01 checkpoint interval inside each "
+                        "replay (ticks; 0 = policy default)")
+    p.add_argument("--hang-timeout", type=float, default=120.0,
+                   metavar="SECONDS",
+                   help="kill a worker with no heartbeat for this long")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retry budget per session before quarantine")
+    p.add_argument("--backoff-base", type=float, default=0.25,
+                   metavar="SECONDS",
+                   help="exponential retry backoff base")
+    p.add_argument("--resume", action="store_true",
+                   help="continue the campaign in --out: re-run only "
+                        "sessions without a journaled verdict")
+    p.add_argument("--chaos", action="store_true",
+                   help="chaos self-test: inject a worker crash, a "
+                        "stall and a poisoned trace, then verify the "
+                        "recovery paths")
+    p.add_argument("--chaos-seed", type=int, default=0,
+                   help="victim-selection seed for --chaos")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="also write the run summary to FILE")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-session progress lines")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -199,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_lint(sub)
     _add_audit(sub)
     _add_sanitize(sub)
+    _add_fleet(sub)
     return parser
 
 
@@ -504,7 +568,8 @@ def cmd_sweep(args) -> int:
     jobs = max(1, args.jobs)
     how = f"{jobs} workers" if jobs > 1 else "in-process"
     print(f"sweeping {len(addresses):,} references ({how}) ...")
-    points = sweep_parallel(addresses, jobs=jobs)
+    points = sweep_parallel(addresses, jobs=jobs,
+                            chunk_timeout=args.chunk_timeout)
     print(format_miss_rates(points))
     print()
     mix = RegionMix(counts["ram"], counts["flash"])
@@ -729,6 +794,108 @@ def cmd_sanitize(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_fleet(args) -> int:
+    import json as _json
+
+    from .fleet import (
+        CampaignSpec,
+        ChaosPlan,
+        FleetSupervisor,
+        read_manifest,
+        verify_chaos,
+    )
+    from .fleet.campaign import DEFAULT_CACHES, DEFAULT_DURATIONS
+
+    progress = (lambda text: None) if args.quiet else (
+        lambda text: print(f"  {text}"))
+
+    if args.resume:
+        spec_json, _ = read_manifest(args.out)
+        spec = CampaignSpec.from_json(spec_json)
+        print(f"resuming campaign {spec.name!r} "
+              f"({spec.sessions} sessions) in {args.out}")
+    else:
+        durations = (tuple(float(d) for d in args.durations.split(","))
+                     if args.durations else DEFAULT_DURATIONS)
+        if args.caches:
+            caches = tuple(
+                tuple(int(part) for part in triple.split(":"))
+                for triple in args.caches.split(","))
+        else:
+            caches = DEFAULT_CACHES
+        mixes = {}
+        if args.app_mixes:
+            mixes["app_mixes"] = tuple(
+                tuple(mix.split("+")) for mix in args.app_mixes.split(","))
+        spec = CampaignSpec(
+            name=Path(args.out).name or "campaign",
+            sessions=args.sessions,
+            seed=args.seed,
+            behaviors=tuple(args.behaviors.split(",")),
+            **mixes,
+            durations=durations,
+            caches=caches,
+            policy=args.policy,
+            checkpoint_every=args.checkpoint_every,
+        )
+        cells = spec.cells()
+        print(f"campaign {spec.name!r}: {spec.sessions} sessions over "
+              f"{len(cells)} grid cell(s), {args.jobs} worker(s)")
+
+    chaos_plan = None
+    chaos = None
+    if args.chaos:
+        chaos_plan = ChaosPlan.plan(spec.sessions, seed=args.chaos_seed)
+        chaos = chaos_plan.directives()
+        print(f"  {chaos_plan.describe()}")
+
+    supervisor = FleetSupervisor(
+        spec, args.out, jobs=args.jobs, hang_timeout=args.hang_timeout,
+        retries=args.retries, backoff_base=args.backoff_base,
+        chaos=chaos, progress=progress)
+    try:
+        result = supervisor.run(resume=args.resume)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("interrupted — the journal is durable; continue with "
+              "--resume")
+        return 130
+
+    print(result.format(spec.name))
+    ok = result.complete
+    if chaos_plan is not None:
+        problems = verify_chaos(chaos_plan, result)
+        if problems:
+            ok = False
+            print("chaos self-test FAILED:")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print("chaos self-test: all recovery paths held")
+    if args.json:
+        payload = {
+            "spec": spec.to_json(),
+            "completed": result.completed,
+            "quarantined": result.quarantined,
+            "ran": result.ran,
+            "retried": result.retried,
+            "crashes": result.crashes,
+            "hangs": result.hangs,
+            "wall_seconds": result.wall_seconds,
+            "sessions_per_minute": result.sessions_per_minute(),
+            "summary": result.aggregate.summary(),
+        }
+        if chaos_plan is not None:
+            payload["chaos"] = {
+                "crash_victims": chaos_plan.crash_victims,
+                "stall_victims": chaos_plan.stall_victims,
+                "poison_victims": chaos_plan.poison_victims,
+                "violations": verify_chaos(chaos_plan, result),
+            }
+        Path(args.json).write_text(_json.dumps(payload, indent=2,
+                                               sort_keys=True) + "\n")
+    return 0 if ok else 1
+
+
 _COMMANDS = {
     "collect": cmd_collect,
     "replay": cmd_replay,
@@ -739,6 +906,7 @@ _COMMANDS = {
     "lint": cmd_lint,
     "audit": cmd_audit,
     "sanitize": cmd_sanitize,
+    "fleet": cmd_fleet,
 }
 
 

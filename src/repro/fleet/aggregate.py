@@ -1,0 +1,206 @@
+"""Mergeable population aggregates.
+
+The fleet never holds all traces (or even all sessions) in RAM: each
+worker reduces its session to a small deterministic stats record, the
+supervisor streams those records into a :class:`PopulationAggregate`,
+and campaigns merge by set-union.  Three properties carry the whole
+resume story:
+
+* **determinism** — a stats record is a pure function of the session
+  plan (no wall-clock times, no attempt counts, no pids), so re-running
+  a session after a crash reproduces the identical record;
+* **keyed merge** — records live in a dict keyed by session index, so
+  merging is commutative and idempotent; conflicting records for one
+  index mean two different campaigns were mixed, which is an error,
+  not a race;
+* **canonical serialization** — :meth:`to_json` orders everything by
+  index and computes the summary from the sorted population, so two
+  aggregates over the same session set serialize byte-identically no
+  matter what order (or how many times, across how many resumes) the
+  sessions arrived.
+
+Operational noise (retry counts, worker restarts, timings) belongs to
+the journal, never to the aggregate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+AGGREGATE_JSON_FORMAT = "repro-fleet-aggregate"
+AGGREGATE_JSON_VERSION = 1
+
+#: Stats-record keys every session must report (the deterministic
+#: reduction of one collect→replay→simulate pipeline).
+STATS_KEYS = (
+    "session_id", "cell_index", "cell", "behavior", "seed",
+    "events", "elapsed_ticks", "collect_instructions",
+    "replay_instructions", "events_injected",
+    "accesses", "hits", "misses", "writebacks",
+    "miss_rate", "energy_cached", "energy_no_cache", "energy_savings",
+    "replay_overhead",
+    "divergences", "tainted", "salvage_dropped", "salvage_repaired",
+)
+
+
+class AggregateError(ValueError):
+    """Aggregates disagree (mixed campaigns) or a container is
+    malformed."""
+
+
+def validate_stats(stats: dict) -> dict:
+    missing = [k for k in STATS_KEYS if k not in stats]
+    if missing:
+        raise AggregateError(
+            f"session stats record lacks key(s): {', '.join(missing)}")
+    return stats
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _distribution(values: List[float]) -> dict:
+    if not values:
+        return {"n": 0, "mean": 0.0, "min": 0.0, "p10": 0.0, "p50": 0.0,
+                "p90": 0.0, "p99": 0.0, "max": 0.0}
+    ordered = sorted(values)
+    return {
+        "n": len(ordered),
+        "mean": math.fsum(ordered) / len(ordered),
+        "min": ordered[0],
+        "p10": percentile(ordered, 10),
+        "p50": percentile(ordered, 50),
+        "p90": percentile(ordered, 90),
+        "p99": percentile(ordered, 99),
+        "max": ordered[-1],
+    }
+
+
+@dataclass
+class PopulationAggregate:
+    """The campaign-wide reduction, mergeable and streamable."""
+
+    sessions: Dict[int, dict] = field(default_factory=dict)
+    quarantined: Dict[int, str] = field(default_factory=dict)
+
+    # -- streaming --------------------------------------------------------
+    def add(self, index: int, stats: dict) -> None:
+        validate_stats(stats)
+        known = self.sessions.get(index)
+        if known is not None and known != stats:
+            raise AggregateError(
+                f"conflicting stats for session {index}: the journal "
+                "mixes two different campaigns")
+        self.sessions[index] = stats
+        self.quarantined.pop(index, None)
+
+    def quarantine(self, index: int, reason: str) -> None:
+        if index not in self.sessions:
+            self.quarantined[index] = reason
+
+    # -- merging ----------------------------------------------------------
+    def merge(self, other: "PopulationAggregate") -> "PopulationAggregate":
+        """Commutative, idempotent union of two partial aggregates."""
+        merged = PopulationAggregate(
+            sessions=dict(self.sessions),
+            quarantined=dict(self.quarantined))
+        for index, stats in other.sessions.items():
+            merged.add(index, stats)
+        for index, reason in other.quarantined.items():
+            merged.quarantine(index, reason)
+        return merged
+
+    # -- reduction --------------------------------------------------------
+    def summary(self) -> dict:
+        """Population-level distributions, computed in canonical
+        (index-sorted) order so the result is reproducible."""
+        ordered = [self.sessions[i] for i in sorted(self.sessions)]
+        by_cell: Dict[int, List[dict]] = {}
+        for stats in ordered:
+            by_cell.setdefault(stats["cell_index"], []).append(stats)
+        return {
+            "sessions": len(ordered),
+            "quarantined": len(self.quarantined),
+            "tainted": sum(1 for s in ordered if s["tainted"]),
+            "divergences": sum(s["divergences"] for s in ordered),
+            "salvage_dropped": sum(s["salvage_dropped"] for s in ordered),
+            "salvage_repaired": sum(s["salvage_repaired"] for s in ordered),
+            "events": sum(s["events"] for s in ordered),
+            "instructions": sum(s["replay_instructions"] for s in ordered),
+            "miss_rate": _distribution([s["miss_rate"] for s in ordered]),
+            "energy_savings": _distribution(
+                [s["energy_savings"] for s in ordered]),
+            "replay_overhead": _distribution(
+                [s["replay_overhead"] for s in ordered]),
+            "by_cell": {
+                str(cell): {
+                    "sessions": len(group),
+                    "cell": group[0]["cell"],
+                    "miss_rate": _distribution(
+                        [s["miss_rate"] for s in group]),
+                    "energy_savings": _distribution(
+                        [s["energy_savings"] for s in group]),
+                }
+                for cell, group in sorted(by_cell.items())
+            },
+        }
+
+    # -- serialization ----------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "_format": AGGREGATE_JSON_FORMAT,
+            "_version": AGGREGATE_JSON_VERSION,
+            "sessions": {str(i): self.sessions[i]
+                         for i in sorted(self.sessions)},
+            "quarantined": {str(i): self.quarantined[i]
+                            for i in sorted(self.quarantined)},
+            "summary": self.summary(),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PopulationAggregate":
+        if not isinstance(data, dict) or data.get("_format") != AGGREGATE_JSON_FORMAT:
+            raise AggregateError("not a serialized PopulationAggregate")
+        if data.get("_version") != AGGREGATE_JSON_VERSION:
+            raise AggregateError(
+                f"unsupported PopulationAggregate version "
+                f"{data.get('_version')!r}")
+        agg = cls()
+        for key, stats in data["sessions"].items():
+            agg.add(int(key), stats)
+        for key, reason in data["quarantined"].items():
+            agg.quarantine(int(key), reason)
+        return agg
+
+    def format(self, name: Optional[str] = None) -> str:
+        s = self.summary()
+        lines = []
+        title = f"campaign {name}" if name else "campaign"
+        lines.append(f"{title}: {s['sessions']} session(s) aggregated, "
+                     f"{s['quarantined']} quarantined, "
+                     f"{s['tainted']} tainted")
+        lines.append(f"  events  : {s['events']:,} across the population")
+        mr = s["miss_rate"]
+        lines.append(f"  miss    : mean {100 * mr['mean']:.3f}%  "
+                     f"p50 {100 * mr['p50']:.3f}%  "
+                     f"p99 {100 * mr['p99']:.3f}%")
+        es = s["energy_savings"]
+        lines.append(f"  energy  : mean savings {100 * es['mean']:.1f}%  "
+                     f"p10 {100 * es['p10']:.1f}%  "
+                     f"p90 {100 * es['p90']:.1f}%")
+        ov = s["replay_overhead"]
+        lines.append(f"  overhead: replay/collect instruction ratio "
+                     f"mean {ov['mean']:.3f}  p99 {ov['p99']:.3f}")
+        if s["divergences"] or s["salvage_dropped"] or s["salvage_repaired"]:
+            lines.append(f"  faults  : {s['divergences']} divergence(s), "
+                         f"salvage dropped {s['salvage_dropped']} / "
+                         f"repaired {s['salvage_repaired']} record(s)")
+        return "\n".join(lines)

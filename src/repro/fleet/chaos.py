@@ -1,0 +1,127 @@
+"""Chaos self-test: prove the supervisor's recovery paths actually work.
+
+``fleet --chaos`` runs a normal campaign with three seeded injections
+layered on top:
+
+* **crash** — a victim worker ``os._exit``\\ s at a pipeline stage on
+  its first attempt.  The supervisor must detect the silent death,
+  retry, and complete the session (attempt 1 runs chaos-free).
+* **stall** — a victim worker stops beating and sleeps at a stage
+  boundary on its first attempt.  The hang timeout must kill it and
+  the retry must complete it.
+* **poison** — a victim session's replay is fed a deterministic trace
+  fault (from the :mod:`repro.resilience.faults` grammar) under the
+  ``strict`` policy.  Every attempt fails identically; the session
+  *must* end up quarantined — that is the graceful-degradation path.
+
+Victims are chosen by a seeded draw over the session list, disjoint
+across the three families, so a chaos campaign is exactly as
+reproducible as a clean one.  :func:`verify_chaos` is the self-test
+oracle: given the chaos plan and the fleet result, it checks that
+every recoverable victim completed and every poisoned victim — and
+nothing else — was quarantined.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .supervisor import FleetResult
+from .worker import STAGES
+
+#: Deterministic trace fault for poisoned sessions: drop the back half
+#: of the activity log.  Under ``strict`` replay this is an
+#: unrecoverable MISSING_EVENT divergence on every attempt.
+POISON_FAULTS = "truncate:frac=0.5"
+
+
+@dataclass
+class ChaosPlan:
+    """Who gets hurt, and how."""
+
+    seed: int = 0
+    crash_victims: List[int] = field(default_factory=list)
+    stall_victims: List[int] = field(default_factory=list)
+    poison_victims: List[int] = field(default_factory=list)
+    stall_seconds: float = 3600.0
+
+    @classmethod
+    def plan(cls, sessions: int, *, seed: int = 0, crashes: int = 1,
+             stalls: int = 1, poisons: int = 1,
+             stall_seconds: float = 3600.0) -> "ChaosPlan":
+        """Draw disjoint victim sets from ``range(sessions)``."""
+        want = crashes + stalls + poisons
+        if want > sessions:
+            raise ValueError(
+                f"chaos plan wants {want} victim(s) from only "
+                f"{sessions} session(s)")
+        rng = random.Random(f"fleet-chaos|{seed}")
+        victims = rng.sample(range(sessions), want)
+        return cls(
+            seed=seed,
+            crash_victims=sorted(victims[:crashes]),
+            stall_victims=sorted(victims[crashes:crashes + stalls]),
+            poison_victims=sorted(victims[crashes + stalls:]),
+            stall_seconds=stall_seconds,
+        )
+
+    def directives(self) -> Dict[int, dict]:
+        """The supervisor's ``chaos`` map: index → worker directive.
+
+        Crash and stall hit only attempt 0, so the retry path can
+        prove itself by succeeding; poison applies to every attempt,
+        so the quarantine path must engage.
+        """
+        rng = random.Random(f"fleet-chaos-stage|{self.seed}")
+        out: Dict[int, dict] = {}
+        for index in self.crash_victims:
+            out[index] = {"mode": "crash", "stage": rng.choice(STAGES),
+                          "attempts": [0]}
+        for index in self.stall_victims:
+            out[index] = {"mode": "stall", "stage": rng.choice(STAGES),
+                          "attempts": [0], "seconds": self.stall_seconds}
+        for index in self.poison_victims:
+            out[index] = {"mode": "poison", "faults": POISON_FAULTS}
+        return out
+
+    def describe(self) -> str:
+        return (f"chaos: crash {self.crash_victims}, "
+                f"stall {self.stall_victims}, "
+                f"poison {self.poison_victims}")
+
+
+def verify_chaos(plan: ChaosPlan, result: FleetResult) -> List[str]:
+    """The self-test oracle.  Returns a list of violations (empty =
+    the supervisor's recovery paths all held)."""
+    problems: List[str] = []
+    done = set(result.aggregate.sessions)
+    quarantined = set(result.aggregate.quarantined)
+    for index in plan.crash_victims:
+        if index not in done:
+            problems.append(
+                f"crash victim {index} did not complete after retry")
+    for index in plan.stall_victims:
+        if index not in done:
+            problems.append(
+                f"stall victim {index} did not complete after hang-kill "
+                "and retry")
+    for index in plan.poison_victims:
+        if index not in quarantined:
+            problems.append(
+                f"poison victim {index} was not quarantined")
+    expected = set(plan.poison_victims)
+    stray = quarantined - expected
+    if stray:
+        problems.append(
+            f"non-poisoned session(s) {sorted(stray)} were quarantined")
+    if result.crashes < len(plan.crash_victims):
+        problems.append(
+            f"supervisor observed {result.crashes} crash(es), expected "
+            f"at least {len(plan.crash_victims)}")
+    if result.hangs < len(plan.stall_victims):
+        problems.append(
+            f"supervisor observed {result.hangs} hang kill(s), expected "
+            f"at least {len(plan.stall_victims)}")
+    return problems

@@ -22,7 +22,14 @@ from .errors import (
     TraceFormatError,
 )
 from .faults import RUNTIME_FAULTS, TRACE_FAULTS, FaultPlan, FaultSpec
-from .replay import POLICIES, ResilientReplayResult, resilient_replay
+from .replay import (
+    POLICIES,
+    REPLAY_JSON_FORMAT,
+    REPLAY_JSON_VERSION,
+    ReplayFormatError,
+    ResilientReplayResult,
+    resilient_replay,
+)
 from .salvage import (
     SalvageResult,
     salvage_database_image,
@@ -53,6 +60,9 @@ __all__ = [
     "TRACE_FAULTS",
     "RUNTIME_FAULTS",
     "POLICIES",
+    "REPLAY_JSON_FORMAT",
+    "REPLAY_JSON_VERSION",
+    "ReplayFormatError",
     "ResilientReplayResult",
     "resilient_replay",
     "SalvageResult",

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, List, Optional, Union
 
-from ..analysis.static.findings import Report, Severity
+from ..analysis.static.findings import Finding, Report, Severity
 from ..tracelog import ActivityLog
 from ..tracelog.records import (
     LogEventType,
@@ -58,6 +58,34 @@ class SalvageResult:
                 f"{self.dropped} dropped, {self.repaired} repaired; "
                 f"{len(self.report.errors)} error(s), "
                 f"{len(self.report.warnings)} warning(s)")
+
+    def to_json(self) -> dict:
+        """JSON-safe snapshot of counts and findings.
+
+        The salvaged log itself is *not* serialized (it can be as large
+        as the session trace); :meth:`from_json` rebuilds the result
+        with an empty log, which is what journal/aggregate consumers
+        need — they care about the paper trail, not the replayable
+        bytes.
+        """
+        return {
+            "total": self.total,
+            "kept": self.kept,
+            "dropped": self.dropped,
+            "repaired": self.repaired,
+            "findings": [[int(f.severity), f.code, f.message,
+                          f.address, f.block]
+                         for f in self.report.findings],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SalvageResult":
+        report = Report([Finding(Severity(sev), code, message, address, block)
+                         for sev, code, message, address, block
+                         in data["findings"]])
+        return cls(log=ActivityLog(), report=report,
+                   total=data["total"], kept=data["kept"],
+                   dropped=data["dropped"], repaired=data["repaired"])
 
 
 def salvage_log(log: ActivityLog, strict: bool = False,

@@ -1,8 +1,13 @@
 """Workloads: user scripts, session collection, synthetic volunteers."""
 
-from .gremlins import GremlinConfig, Gremlins, gremlin_session
+from .gremlins import (
+    GremlinConfig,
+    Gremlins,
+    derive_entropy_seed,
+    gremlin_session,
+)
 from .scripts import UserScript
-from .sessions import CollectedSession, collect_session
+from .sessions import CollectedSession, SessionFormatError, collect_session
 from .volunteer import (
     SessionSpec,
     SyntheticUser,
@@ -17,7 +22,9 @@ __all__ = [
     "Gremlins",
     "GremlinConfig",
     "gremlin_session",
+    "derive_entropy_seed",
     "CollectedSession",
+    "SessionFormatError",
     "collect_session",
     "SessionSpec",
     "SyntheticUser",

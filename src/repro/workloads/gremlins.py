@@ -10,12 +10,31 @@ instruction-for-instruction.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..device import constants as C
 from ..device.constants import Button
 from .scripts import UserScript
+
+
+def derive_entropy_seed(seed: int, apps: Iterable, events: int) -> int:
+    """Device entropy seed for a gremlin session, derived from the full
+    (seed, app mix, event count) configuration.
+
+    The old ``0x6E6E + seed`` formula ignored everything but the base
+    seed, so two campaign cells sharing a base seed but differing in app
+    mix or event budget silently shared one entropy stream — their
+    "independent" sessions were correlated.  Hashing the whole tuple
+    gives every distinct configuration its own stream while staying
+    fully deterministic.
+    """
+    names = ",".join(sorted(getattr(a, "name", str(a)) for a in apps))
+    digest = hashlib.sha256(
+        f"gremlins-entropy|{seed}|{names}|{events}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") or 0x6E6E
 
 #: Buttons a gremlin may mash (POWER and HOTSYNC excluded: power
 #: handling and sync are out of the model's scope).
@@ -76,7 +95,9 @@ def gremlin_session(seed: int, apps=None, events: int = 300,
     from .sessions import collect_session
 
     script = Gremlins(seed, GremlinConfig(events=events)).build_script()
-    return collect_session(apps if apps is not None else standard_apps(),
-                           script, name=script.name,
-                           entropy_seed=0x6E6E + seed, ram_size=ram_size,
+    app_list = list(apps) if apps is not None else standard_apps()
+    return collect_session(app_list, script, name=script.name,
+                           entropy_seed=derive_entropy_seed(seed, app_list,
+                                                            events),
+                           ram_size=ram_size,
                            default_app="launcher")

@@ -1,0 +1,100 @@
+"""Hardened sweep fan-out: typed worker errors, per-chunk timeouts,
+and shared-memory cleanup on every exit path."""
+
+import glob
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.cache import SweepWorkerError, sweep_paper_grid, sweep_parallel
+from repro.cache import sweep as sweep_mod
+
+
+def _shm_segments() -> set:
+    return set(glob.glob("/dev/shm/psm_*") + glob.glob("/dev/shm/wnsm_*"))
+
+
+def _addresses(n: int = 5000) -> np.ndarray:
+    rng = np.random.default_rng(7)
+    return rng.integers(0, 1 << 18, n, dtype=np.uint32)
+
+
+# Module-level so the fork-based pool can resolve them by name.
+def _raising_unit(unit):
+    raise RuntimeError(f"injected failure on {unit}")
+
+
+def _guarded_raising_unit(unit):
+    return sweep_mod._guard(_raising_unit, unit)
+
+
+def _suicide_unit(unit):
+    # Simulates a worker killed out from under the pool (OOM killer,
+    # operator): SIGKILL leaves the pool to respawn the process, but
+    # the task itself is lost forever — only the chunk timeout notices.
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _guarded_suicide_unit(unit):
+    return sweep_mod._guard(_suicide_unit, unit)
+
+
+def _slow_unit(unit):
+    time.sleep(30.0)
+    return unit
+
+
+def _guarded_slow_unit(unit):
+    return sweep_mod._guard(_slow_unit, unit)
+
+
+class TestSweepWorkerError:
+    def test_is_not_a_value_error(self):
+        """The serial fallback swallows ValueError (shared-memory setup
+        failures); a worker *computation* failure must never qualify."""
+        assert issubclass(SweepWorkerError, RuntimeError)
+        assert not issubclass(SweepWorkerError, ValueError)
+
+    def test_serial_worker_failure_is_typed(self):
+        with pytest.raises(SweepWorkerError, match="injected failure"):
+            sweep_mod._run_units(_guarded_raising_unit, ["u0"], 1,
+                                 _addresses(), None)
+
+    def test_parallel_worker_failure_is_typed_and_cleans_shm(self):
+        before = _shm_segments()
+        with pytest.raises(SweepWorkerError, match="injected failure"):
+            sweep_mod._run_units(_guarded_raising_unit, ["u0", "u1"], 2,
+                                 _addresses(), None, 60.0)
+        assert _shm_segments() - before == set()
+
+    def test_sigkilled_worker_hits_chunk_timeout_and_cleans_shm(self):
+        before = _shm_segments()
+        start = time.monotonic()
+        with pytest.raises(SweepWorkerError, match="chunk timeout"):
+            sweep_mod._run_units(_guarded_suicide_unit, ["u0"], 2,
+                                 _addresses(), None, 2.0)
+        assert time.monotonic() - start < 25.0
+        assert _shm_segments() - before == set()
+
+    def test_wedged_worker_hits_chunk_timeout(self):
+        with pytest.raises(SweepWorkerError, match="chunk timeout"):
+            sweep_mod._run_units(_guarded_slow_unit, ["u0"], 2,
+                                 _addresses(), None, 1.0)
+
+
+class TestSweepStillCorrect:
+    def test_parallel_with_timeout_matches_grid(self):
+        addresses = _addresses()
+        fast = sweep_parallel(addresses, jobs=2, chunk_timeout=120.0,
+                              sizes=[1024, 4096], line_sizes=[16],
+                              associativities=[1, 2])
+        reference = sweep_paper_grid(addresses, sizes=[1024, 4096],
+                                     line_sizes=[16],
+                                     associativities=[1, 2])
+        assert [(p.config.size, p.config.associativity, p.misses)
+                for p in fast] == \
+               [(p.config.size, p.config.associativity, p.misses)
+                for p in reference]
