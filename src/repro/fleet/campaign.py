@@ -112,7 +112,8 @@ class CampaignSpec:
     #: :data:`repro.resilience.replay.POLICIES`).
     policy: str = "resync"
     #: PRCKPT01 checkpoint interval (wall ticks) inside each replay;
-    #: 0 disables mid-session checkpointing.
+    #: 0 means "use the policy default" (the resilient runner's 2000
+    #: ticks — see :func:`repro.fleet.worker.run_session`).
     checkpoint_every: int = 0
     extra: Dict[str, str] = field(default_factory=dict)
 

@@ -64,11 +64,12 @@ def read_journal(path: Union[str, Path]) -> List[dict]:
 
     Every entry is flushed and fsynced before the supervisor acts on
     it, so a line that doesn't decode can only be the remains of a
-    write torn by a crash (at most one per crash, and a resumed run
-    seals it with a newline before appending — see
-    :meth:`CampaignJournal._file`).  Torn lines are dropped; a line
-    that decodes to something that is *not* a journal entry means the
-    file was edited, and raises.
+    write torn by a crash — and only as the *final* line, because a
+    resumed run truncates a torn tail before appending (see
+    :meth:`CampaignJournal._file`).  The torn final line is dropped;
+    an undecodable line anywhere earlier, or a line that decodes to
+    something that is not a journal entry, means the file was edited
+    or corrupted, and raises.
     """
     path = Path(path)
     if not path.exists():
@@ -76,13 +77,21 @@ def read_journal(path: Union[str, Path]) -> List[dict]:
     entries: List[dict] = []
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
-    for lineno, line in enumerate(text.split("\n"), start=1):
+    lines = text.split("\n")
+    last_nonempty = max(
+        (number for number, line in enumerate(lines, start=1) if line),
+        default=0)
+    for lineno, line in enumerate(lines, start=1):
         if not line:
             continue
         try:
             entry = json.loads(line)
         except json.JSONDecodeError:
-            continue  # torn write: the entry was never durable
+            if lineno == last_nonempty:
+                continue  # torn final write: the entry was never durable
+            raise JournalError(
+                f"{path}:{lineno}: undecodable journal entry before the "
+                f"final line — the file is corrupt: {line[:80]!r}")
         if not isinstance(entry, dict) or entry.get("kind") not in ENTRY_KINDS:
             raise JournalError(
                 f"{path}:{lineno}: not a journal entry: {line[:80]!r}")
@@ -100,19 +109,19 @@ class CampaignJournal:
     def _file(self) -> IO[str]:
         if self._handle is None or self._handle.closed:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            # Seal a torn tail left by a crashed predecessor: without
-            # the newline, our first append would concatenate onto the
-            # partial line and corrupt it beyond the tolerant reader.
+            # Drop a torn tail left by a crashed predecessor: the
+            # partial line was never durable (the writer fsyncs whole
+            # lines), and truncating it preserves the reader's
+            # invariant that only the *final* line of a journal can
+            # ever be undecodable — anything else is corruption.
             if self.path.exists() and self.path.stat().st_size:
-                with open(self.path, "rb") as probe:
-                    probe.seek(-1, os.SEEK_END)
-                    sealed = probe.read(1) == b"\n"
-            else:
-                sealed = True
+                with open(self.path, "rb+") as probe:
+                    data = probe.read()
+                    if not data.endswith(b"\n"):
+                        probe.truncate(data.rfind(b"\n") + 1)
+                        probe.flush()
+                        os.fsync(probe.fileno())
             self._handle = open(self.path, "a", encoding="utf-8")
-            if not sealed:
-                self._handle.write("\n")
-                self._handle.flush()
         return self._handle
 
     def append(self, entry: dict) -> None:

@@ -263,11 +263,15 @@ class FleetSupervisor:
                                    f"{100 * payload['miss_rate']:.2f}%)")
             elif kind == "fail":
                 worker = running.pop(index, None)
-                attempt = worker.attempt if worker else 0
-                if worker is not None:
-                    worker.process.join(timeout=5)
+                if worker is None or index in finished:
+                    # The crash/hang reaper (or an earlier verdict)
+                    # already settled this index; a late fail message
+                    # must not re-enter retry accounting with a bogus
+                    # attempt number.
+                    return
+                worker.process.join(timeout=5)
                 reason = f"{payload['error']}: {payload['message']}"
-                handle_failure(index, attempt, reason)
+                handle_failure(index, worker.attempt, reason)
 
         def drain() -> None:
             while True:
@@ -303,13 +307,18 @@ class FleetSupervisor:
                 # silent workers past the hang timeout get killed.
                 now = time.monotonic()
                 for index, worker in list(running.items()):
+                    if index not in running:
+                        # A drain() while reaping an earlier worker
+                        # consumed this one's verdict and already
+                        # handled it (retry scheduled or quarantined).
+                        continue
                     if index in finished:
                         worker.process.join(timeout=5)
-                        running.pop(index)
+                        running.pop(index, None)
                         continue
                     if not worker.process.is_alive():
                         drain()  # a verdict may still be in flight
-                        if index in finished:
+                        if index in finished or index not in running:
                             continue
                         counters["crashes"] += 1
                         running.pop(index)

@@ -45,6 +45,11 @@ WORKER_FLASH = 1 << 20
 #: Pipeline stages, in order.  Chaos directives address these names.
 STAGES = ("collect", "replay", "simulate")
 
+#: PRCKPT01 interval used when the campaign spec leaves
+#: ``checkpoint_every`` at 0 ("policy default") — matches the
+#: resilient runner's own default.
+DEFAULT_CHECKPOINT_EVERY = 2000
+
 
 def _apply_chaos(chaos, stage: str, attempt: int) -> None:
     """Honor a crash/stall directive for this stage and attempt."""
@@ -70,7 +75,10 @@ def run_session(plan: SessionPlan, *, policy: str = "resync",
 
     ``beat(stage)`` is called at every stage boundary; ``faults`` is an
     optional fault-plan spec injected into the replay (the chaos
-    mode's poison path).
+    mode's poison path).  ``checkpoint_every=0`` means "use the policy
+    default" of :data:`DEFAULT_CHECKPOINT_EVERY` ticks — checkpointing
+    is never disabled, because crash-resume of an interrupted session
+    depends on it.
     """
     from ..analysis.energy import EnergyModel
     from ..cache import CacheConfig, RegionMix
@@ -114,7 +122,7 @@ def run_session(plan: SessionPlan, *, policy: str = "resync",
         profile=True,
         emulator_kwargs={"ram_size": WORKER_RAM,
                          "flash_size": WORKER_FLASH},
-        checkpoint_every=checkpoint_every or 2000,
+        checkpoint_every=checkpoint_every or DEFAULT_CHECKPOINT_EVERY,
         on_divergence=policy,
         faults=faults,
         salvage=faults is not None,

@@ -213,7 +213,7 @@ class TestJournal:
         with open(path, "a") as handle:
             handle.write('{"kind": "done", "index": 0, "sta')  # torn write
         assert [e["kind"] for e in read_journal(path)] == ["start"]
-        # A resumed journal seals the tear before appending.
+        # A resumed journal truncates the tear before appending.
         with CampaignJournal(path) as journal:
             journal.append({"kind": "quarantine", "index": 1,
                             "reason": "x"})
@@ -223,6 +223,16 @@ class TestJournal:
     def test_edited_journal_rejected(self, tmp_path):
         path = tmp_path / JOURNAL_NAME
         path.write_text('{"kind": "surprise"}\n')
+        with pytest.raises(JournalError):
+            read_journal(path)
+
+    def test_midfile_corruption_rejected(self, tmp_path):
+        # A torn *final* line is a crash artifact; an undecodable line
+        # anywhere earlier is corruption and must not be skipped.
+        path = tmp_path / JOURNAL_NAME
+        path.write_text('{"kind": "start", "index": 0, "attempt": 0}\n'
+                        '{"kind": "done", "index": 0, "sta\n'
+                        '{"kind": "quarantine", "index": 1, "reason": "x"}\n')
         with pytest.raises(JournalError):
             read_journal(path)
 
