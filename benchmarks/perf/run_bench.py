@@ -358,6 +358,34 @@ def bench_fleet(quick: bool) -> dict:
     }
 
 
+def bench_transval(quick: bool) -> dict:
+    """Translation-validator throughput over the standard corpus:
+    every distinct fused block from the quickstart replay is validated
+    against the per-insn reference semantics.  Blocks/sec and wall
+    time are tracked, never gated; zero error-severity findings is the
+    gate (uncovered-arm warnings are baselined in CI, not here).
+    ``--quick`` skips the elision audits and miscompile self-test —
+    the dedicated verify-codegen CI job runs those against the
+    committed baseline."""
+    from repro.analysis.transval import verify_codegen
+
+    report, stats = verify_codegen(run_selftest=not quick,
+                                   audit_elisions=not quick)
+    errors = len(report.errors)
+    return {
+        "blocks": stats.blocks,
+        "vectors": stats.vectors,
+        "arms": stats.arms,
+        "arm_coverage": round(stats.coverage, 4),
+        "validation_seconds": round(stats.wall, 3),
+        "corpus_replay_seconds": round(stats.replay_wall, 3),
+        "blocks_per_sec": round(stats.blocks_per_sec, 1),
+        "errors": errors,
+        "warnings": len(report.warnings),
+        "stats_match": errors == 0,
+    }
+
+
 def _print_fleet(fl: dict) -> None:
     print(f"fleet ({fl['sessions']} sessions): jobs=1 "
           f"{fl['jobs1']['seconds']}s "
@@ -420,6 +448,7 @@ def main(argv=None) -> int:
         "family_pass": bench_family_pass(addresses, scalar_refs),
         "sweep_grid": bench_sweep(addresses),
         "fleet": bench_fleet(args.quick),
+        "transval": bench_transval(args.quick),
     }
     if session is not None:
         rp = report["replay"] = bench_replay(session, args.quick)
@@ -464,6 +493,14 @@ def main(argv=None) -> int:
     _print_fleet(fl)
     if not fl["stats_match"]:
         failures.append("fleet")
+    tv = report["transval"]
+    print(f"transval ({tv['blocks']} blocks, {tv['vectors']:,} "
+          f"vectors): {tv['blocks_per_sec']} blocks/s, "
+          f"{tv['validation_seconds']}s validation, arm coverage "
+          f"{tv['arm_coverage']}, errors {tv['errors']}, warnings "
+          f"{tv['warnings']}")
+    if not tv["stats_match"]:
+        failures.append("transval")
     sz = report.get("sanitize")
     if sz is not None:
         print(f"sanitize ({sz['session_refs']:,} refs): plain "

@@ -1,0 +1,220 @@
+"""Seeded miscompile corpus: mutated generated source.
+
+A validator that has never caught a bug is indistinguishable from one
+that cannot.  Each mutator here plants one representative defect class
+into the *generated Python* of a real fused block — exactly the kind
+of wrong-output bug a codegen regression would produce — and
+:func:`selftest` asserts the validator reports the expected finding
+code for every class.  The classes:
+
+* ``dropped-flag-write`` — the first ``cpu.n = ...`` materialization
+  is deleted (a lost deferred-flag commit) → ``tv-mismatch-flags``;
+* ``swapped-region-arm`` — a RAM read token's region bits become the
+  flash encoding (wrong dispatch arm wired to the trace stream) →
+  ``tv-mismatch-token``;
+* ``off-by-one-cycle-batch`` — one batched ``cpu.cycles = cyc + K``
+  sync loses an instruction's worth of cycles → ``tv-mismatch-cycles``;
+* ``stale-token`` — the first trace-token emission drops a token (a
+  missed flush) → ``tv-mismatch-token``.
+
+Mutations are AST transforms over ``prov.source`` re-serialized with
+``ast.unparse``; the mutated provenance is validated through the
+ordinary :func:`repro.analysis.transval.validator.validate_block`
+path, so the self-test exercises the full machinery.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import hashlib
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..static.findings import Report, Severity
+from .validator import validate_block
+
+_KB_RAM_READ = 0x1 << 32
+_KB_FLASH_READ = 0x11 << 32
+
+
+def _unparse(tree: ast.Module) -> str:
+    return ast.unparse(tree) + "\n"
+
+
+def _is_flag_write(node: ast.stmt) -> bool:
+    return (isinstance(node, ast.Assign) and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Attribute)
+            and node.targets[0].attr == "n"
+            and isinstance(node.targets[0].value, ast.Name)
+            and node.targets[0].value.id == "cpu")
+
+
+def drop_flag_write(source: str) -> Optional[str]:
+    """Delete every ``cpu.n = ...`` assignment.  (Dropping a single
+    early write can be folded away by a later overwrite — a semantic
+    no-op that tests nothing — so the mutant loses the whole
+    materialization chain; the battery's flag-variant vectors start
+    with both n=0 and n=1, making the loss observable either way.)
+    """
+    tree = ast.parse(source)
+
+    class T(ast.NodeTransformer):
+        count = 0
+
+        def visit_Assign(self, node: ast.Assign) -> Any:
+            if _is_flag_write(node):
+                self.count += 1
+                return None
+            return node
+
+    t = T()
+    tree = t.visit(tree)
+    ast.fix_missing_locations(tree)
+    return _unparse(tree) if t.count else None
+
+
+def swap_region_token(source: str) -> Optional[str]:
+    """Rewrite the first RAM-read token constant into the flash-read
+    encoding (covers both folded static tokens and the ``q | kb``
+    dynamic form, whose kind constant is a plain literal)."""
+    tree = ast.parse(source)
+
+    class T(ast.NodeTransformer):
+        done = False
+
+        def visit_Constant(self, node: ast.Constant) -> Any:
+            if (not self.done and isinstance(node.value, int)
+                    and not isinstance(node.value, bool)
+                    and (node.value >> 32) == 0x1):
+                self.done = True
+                return ast.copy_location(
+                    ast.Constant(node.value | _KB_FLASH_READ), node)
+            return node
+
+    t = T()
+    tree = t.visit(tree)
+    ast.fix_missing_locations(tree)
+    return _unparse(tree) if t.done else None
+
+
+def cycle_batch_off(source: str) -> Optional[str]:
+    """Shrink the first non-trivial ``cpu.cycles = cyc + K`` batch by
+    one instruction's fetch cost."""
+    tree = ast.parse(source)
+
+    class T(ast.NodeTransformer):
+        done = False
+
+        def visit_Assign(self, node: ast.Assign) -> Any:
+            if (not self.done and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Attribute)
+                    and node.targets[0].attr == "cycles"
+                    and isinstance(node.value, ast.BinOp)
+                    and isinstance(node.value.op, ast.Add)
+                    and isinstance(node.value.right, ast.Constant)
+                    and isinstance(node.value.right.value, int)
+                    and node.value.right.value >= 4):
+                self.done = True
+                node.value.right = ast.copy_location(
+                    ast.Constant(node.value.right.value - 4),
+                    node.value.right)
+            return node
+
+    t = T()
+    tree = t.visit(tree)
+    ast.fix_missing_locations(tree)
+    return _unparse(tree) if t.done else None
+
+
+def drop_token(source: str) -> Optional[str]:
+    """Remove the first emitted trace token: delete the first
+    ``append(...)`` statement, or drop the first element of the first
+    ``extend((...))`` tuple."""
+    tree = ast.parse(source)
+
+    class T(ast.NodeTransformer):
+        done = False
+
+        def visit_Expr(self, node: ast.Expr) -> Any:
+            if self.done or not isinstance(node.value, ast.Call):
+                return node
+            call = node.value
+            if not isinstance(call.func, ast.Name):
+                return node
+            if call.func.id == "append":
+                self.done = True
+                return None
+            if (call.func.id == "extend" and call.args
+                    and isinstance(call.args[0], ast.Tuple)
+                    and len(call.args[0].elts) > 1):
+                self.done = True
+                call.args[0].elts = call.args[0].elts[1:]
+            return node
+
+    t = T()
+    tree = t.visit(tree)
+    ast.fix_missing_locations(tree)
+    return _unparse(tree) if t.done else None
+
+
+#: class name -> (mutator, expected finding code)
+MISCOMPILE_CLASSES: Dict[str, Tuple[Callable[[str], Optional[str]],
+                                    str]] = {
+    "dropped-flag-write": (drop_flag_write, "tv-mismatch-flags"),
+    "swapped-region-arm": (swap_region_token, "tv-mismatch-token"),
+    "off-by-one-cycle-batch": (cycle_batch_off, "tv-mismatch-cycles"),
+    "stale-token": (drop_token, "tv-mismatch-token"),
+}
+
+
+def mutate_prov(prov: Any, mutator: Callable[[str], Optional[str]]
+                ) -> Optional[Any]:
+    """A provenance clone carrying the mutated source (or None when
+    the block lacks the construct the mutator targets)."""
+    mutated = mutator(prov.source)
+    if mutated is None or mutated == prov.source:
+        return None
+    clone = copy.copy(prov)
+    clone.source = mutated
+    clone.source_hash = hashlib.sha256(mutated.encode()).hexdigest()
+    return clone
+
+
+def selftest(provs: List[Any]) -> Report:
+    """Prove every miscompile class is caught on at least one block.
+
+    For each class, the first block the mutator applies to is mutated
+    and re-validated; the expected finding code must appear.  A class
+    no block supports, or a mutant that validates clean, is an
+    error-severity ``tv-selftest`` finding — the gate must fail when
+    the validator loses its teeth.
+    """
+    report = Report()
+    for name, (mutator, expected) in MISCOMPILE_CLASSES.items():
+        hit = False
+        for prov in provs:
+            clone = mutate_prov(prov, mutator)
+            if clone is None:
+                continue
+            mutant_report, _stats = validate_block(clone)
+            if mutant_report.has(expected):
+                hit = True
+                report.add(Severity.INFO, "tv-selftest",
+                           f"miscompile class '{name}' detected on "
+                           f"block {prov.pc:#x} as {expected}",
+                           address=prov.pc, block=prov.pc)
+            else:
+                codes = sorted(set(mutant_report.codes()))
+                report.add(Severity.ERROR, "tv-selftest",
+                           f"miscompile class '{name}' NOT detected "
+                           f"on block {prov.pc:#x}: expected "
+                           f"{expected}, got {codes or 'a clean pass'}",
+                           address=prov.pc, block=prov.pc)
+                hit = True
+            break
+        if not hit:
+            report.add(Severity.ERROR, "tv-selftest",
+                       f"miscompile class '{name}': no block in the "
+                       f"corpus supports the mutation; the class is "
+                       f"untested")
+    return report

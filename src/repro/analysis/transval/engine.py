@@ -1,0 +1,630 @@
+"""Exit-path instrumentation and driving-vector synthesis.
+
+The generated source of a fused block branches only over a closed
+vocabulary of conditions — budget gates, region-dispatch arms,
+alignment checks, watch-page checks, handler-bridge re-checks, irq
+checks, condition codes, dbcc counters, the ``sl`` escape and the bulk
+guard.  :func:`instrument` rewrites the AST so every branch arm
+(including each implicit ``else``) reports itself through an
+``__arm__(i)`` marker, and classifies each arm from its unparsed
+condition text.  :func:`build_vectors` then synthesizes a driving
+battery aimed at that classification: a benign functional core, a
+budget battery seeded from the reference probe's per-step cycle
+schedule, and targeted vectors per arm class (odd addresses, flash and
+external bus addresses, straddles, watch hits, scripted irq and
+invalidation, bulk-guard accept/reject shapes).
+
+Arms a battery fails to reach are reported by the validator as
+``tv-uncovered`` warnings — a *certified* pass covers every arm, and
+nothing is ever silently skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+import random
+import re
+from dataclasses import dataclass
+from types import CodeType
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from .machine import (KIND_READ, KIND_WRITE, M32, REGION_RAM, RunResult,
+                      Vector)
+
+_INT_RE = re.compile(r"\b\d+\b")
+_ALIGN_RE = re.compile(r"[A-Za-z_]\w* & 1")
+
+
+@dataclass
+class Arm:
+    """One branch arm of the generated source (``taken`` is the
+    condition-true side; the partner id is always ``arm_id ^ 1``).
+    ``dead`` arms were *proven* unreachable by in-block constant
+    propagation (e.g. the flash arm of an access whose address a
+    ``lea`` pinned to a RAM literal) — no coverage obligation."""
+
+    arm_id: int
+    kind: str
+    cond: str
+    taken: bool
+    dead: bool = False
+
+
+class _ArmMarker(ast.NodeTransformer):
+    """Insert ``__arm__(i)`` as the first statement of every ``if``
+    body and ``orelse`` (materializing the implicit else, which is
+    semantically neutral)."""
+
+    def __init__(self) -> None:
+        self.arms: List[Arm] = []
+        self._n = 0
+
+    @staticmethod
+    def _marker(i: int) -> ast.Expr:
+        return ast.Expr(value=ast.Call(
+            func=ast.Name(id="__arm__", ctx=ast.Load()),
+            args=[ast.Constant(i)], keywords=[]))
+
+    def visit_If(self, node: ast.If) -> ast.If:
+        self.generic_visit(node)
+        cond = ast.unparse(node.test)
+        i = self._n
+        self._n += 2
+        self.arms.append(Arm(i, "", cond, True))
+        self.arms.append(Arm(i + 1, "", cond, False))
+        node.body.insert(0, self._marker(i))
+        node.orelse.insert(0, self._marker(i + 1))
+        setattr(node, "_tv_arms", (i, i + 1))
+        return node
+
+
+def _classify(cond: str, prov: Any) -> str:
+    """Map a condition's unparsed text onto the codegen vocabulary."""
+    if "limit" in cond:
+        return "gate"
+    if "wdis" in cond:
+        return "bulk"
+    if "wpages" in cond:
+        return "watch"
+    if "block.valid" in cond or "cpu.pc" in cond:
+        return "bridge"
+    if cond.startswith("irq"):
+        return "irq"
+    if cond == "sl":
+        return "sl"
+    if _ALIGN_RE.fullmatch(cond):
+        return "align"
+    if "!= 65535" in cond:
+        return "dbcc"
+    for text in _INT_RE.findall(cond):
+        v = int(text)
+        if prov.ram_limit - 8 <= v <= prov.ram_limit:
+            return "region"
+        if prov.flash_base - 8 <= v <= prov.flash_limit:
+            return "region"
+    if "cpu." in cond:
+        return "cc"
+    return "generic"
+
+
+# -- in-block constant propagation (dead-arm proof) ----------------------
+
+class _Unknown(Exception):
+    """Expression depends on vector-controlled state."""
+
+
+_BINOPS = {
+    ast.Add: lambda x, y: x + y, ast.Sub: lambda x, y: x - y,
+    ast.Mult: lambda x, y: x * y, ast.BitAnd: lambda x, y: x & y,
+    ast.BitOr: lambda x, y: x | y, ast.BitXor: lambda x, y: x ^ y,
+    ast.LShift: lambda x, y: x << y, ast.RShift: lambda x, y: x >> y,
+    ast.FloorDiv: lambda x, y: x // y if y else 0,
+    ast.Mod: lambda x, y: x % y if y else 0,
+}
+
+_CMPOPS = {
+    ast.Eq: lambda x, y: x == y, ast.NotEq: lambda x, y: x != y,
+    ast.Lt: lambda x, y: x < y, ast.LtE: lambda x, y: x <= y,
+    ast.Gt: lambda x, y: x > y, ast.GtE: lambda x, y: x >= y,
+}
+
+
+def _ckey(node: ast.expr) -> Optional[str]:
+    """Constant-map key for an assignable target, or None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "cpu"):
+        return f"cpu.{node.attr}"
+    if (isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("a", "d")
+            and isinstance(node.slice, ast.Constant)):
+        return f"{node.value.id}[{node.slice.value}]"
+    return None
+
+
+def _ev(node: ast.expr, env: Dict[str, int]) -> int:
+    if isinstance(node, ast.Constant) and isinstance(node.value,
+                                                    (int, bool)):
+        return int(node.value)
+    key = _ckey(node)
+    if key is not None:
+        if key in env:
+            return env[key]
+        raise _Unknown
+    if isinstance(node, ast.BinOp):
+        op = _BINOPS.get(type(node.op))
+        if op is None:
+            raise _Unknown
+        return op(_ev(node.left, env), _ev(node.right, env))
+    if isinstance(node, ast.UnaryOp):
+        if isinstance(node.op, ast.Not):
+            return int(not _ev(node.operand, env))
+        if isinstance(node.op, ast.USub):
+            return -_ev(node.operand, env)
+        if isinstance(node.op, ast.Invert):
+            return ~_ev(node.operand, env)
+        raise _Unknown
+    if isinstance(node, ast.BoolOp):
+        is_and = isinstance(node.op, ast.And)
+        result = 1 if is_and else 0
+        for value in node.values:
+            result = _ev(value, env)
+            if is_and and not result:
+                return result
+            if not is_and and result:
+                return result
+        return result
+    if isinstance(node, ast.Compare):
+        left = _ev(node.left, env)
+        for op, rhs in zip(node.ops, node.comparators):
+            fn = _CMPOPS.get(type(op))
+            if fn is None:
+                raise _Unknown
+            right = _ev(rhs, env)
+            if not fn(left, right):
+                return 0
+            left = right
+        return 1
+    if isinstance(node, ast.IfExp):
+        return (_ev(node.body, env) if _ev(node.test, env)
+                else _ev(node.orelse, env))
+    raise _Unknown
+
+
+def _subtree_arms(stmts: List[ast.stmt]) -> Set[int]:
+    out: Set[int] = set()
+    for st in stmts:
+        for sub in ast.walk(st):
+            pair = getattr(sub, "_tv_arms", None)
+            if pair:
+                out.update(pair)
+    return out
+
+
+def _clobber(target: ast.expr, env: Dict[str, int]) -> None:
+    """Drop whatever ``target`` may alias.  Unkeyable targets
+    (``ex[0]``, ``ram[...]`` slices, token lists) cannot alias the
+    tracked registers; an ``a``/``d`` subscript with a non-constant
+    index clobbers that whole file."""
+    key = _ckey(target)
+    if key is not None:
+        env.pop(key, None)
+        return
+    if (isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Name)
+            and target.value.id in ("a", "d")):
+        prefix = target.value.id + "["
+        for k in [k for k in env if k.startswith(prefix)]:
+            del env[k]
+
+
+def _invalidate(stmts: List[ast.stmt], env: Dict[str, int]) -> None:
+    """Drop constants a possibly-executed subtree may clobber."""
+    for st in stmts:
+        for sub in ast.walk(st):
+            if isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    _clobber(target, env)
+            elif (isinstance(sub, ast.Call)
+                  and isinstance(sub.func, ast.Name)
+                  and sub.func.id.startswith("h")
+                  and sub.func.id[1:].isdigit()):
+                env.clear()
+                return
+
+
+def _flow(stmts: List[ast.stmt], env: Dict[str, int],
+          dead: Set[int]) -> bool:
+    """Interpret the straight-line constants; returns False when the
+    statement list always terminates (return/raise/continue)."""
+    for idx, st in enumerate(stmts):
+        if isinstance(st, ast.Assign) and len(st.targets) == 1:
+            key = _ckey(st.targets[0])
+            if key is None:
+                _clobber(st.targets[0], env)
+            else:
+                try:
+                    env[key] = _ev(st.value, env)
+                except _Unknown:
+                    env.pop(key, None)
+        elif isinstance(st, ast.Expr):
+            call = st.value
+            if (isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Name)
+                    and call.func.id.startswith("h")
+                    and call.func.id[1:].isdigit()):
+                env.clear()    # handler bridge: clobbers everything
+        elif isinstance(st, (ast.Return, ast.Raise, ast.Continue,
+                             ast.Break)):
+            return False
+        elif isinstance(st, ast.While):
+            return True        # loop body: registers are loop-variant
+        elif isinstance(st, ast.If):
+            pair = getattr(st, "_tv_arms", None)
+            try:
+                taken: Optional[bool] = bool(_ev(st.test, env))
+            except _Unknown:
+                taken = None
+            if taken is None:
+                _invalidate([st], env)
+                continue
+            live, off = ((st.body, st.orelse) if taken
+                         else (st.orelse, st.body))
+            if pair:
+                dead.add(pair[1] if taken else pair[0])
+            dead.update(_subtree_arms(off))
+            if not _flow(live, env, dead):
+                dead.update(_subtree_arms(stmts[idx + 1:]))
+                return False
+    return True
+
+
+def instrument(prov: Any) -> Tuple[CodeType, List[Arm]]:
+    """Parse, mark and classify ``prov.source``; returns the compiled
+    instrumented module code plus the arm table (with proven-dead
+    arms flagged)."""
+    tree = ast.parse(prov.source)
+    marker = _ArmMarker()
+    tree = marker.visit(tree)
+    ast.fix_missing_locations(tree)
+    code = compile(tree, f"<transval:{prov.pc:#x}>", "exec")
+    for arm in marker.arms:
+        arm.kind = _classify(arm.cond, prov)
+    dead: Set[int] = set()
+    fn = tree.body[0]
+    if isinstance(fn, ast.FunctionDef):
+        try:
+            _flow(fn.body, {}, dead)
+        except RecursionError:
+            dead = set()
+    for arm in marker.arms:
+        arm.dead = arm.arm_id in dead
+    return code, marker.arms
+
+
+# -- vector synthesis ----------------------------------------------------
+
+def _code_pages(prov: Any) -> Set[int]:
+    pages: Set[int] = set()
+    for start, data in prov.code:
+        for a in range(start & ~0xFF, start + len(data), 0x100):
+            pages.add(a >> 8)
+    return pages
+
+
+def benign_aregs(prov: Any, salt: int = 0) -> Tuple[int, ...]:
+    """Eight distinct even RAM-interior addresses, clear of the
+    block's own code pages (stores there would trip the production
+    self-watch and turn every vector into an sl-exit)."""
+    avoid = _code_pages(prov)
+    span = prov.ram_limit - prov.ram_base
+    base = prov.ram_base + min(0x40000, span // 4) + (salt & 0xFFE)
+    out: List[int] = []
+    cand = base
+    while len(out) < 8:
+        if cand + 8 >= prov.ram_limit:
+            cand = prov.ram_base + 0x2000 + (salt & 0xFE)
+        if all((cand + off) >> 8 not in avoid for off in (0, 4, 8)):
+            out.append(cand & ~1 & M32)
+        cand += 0x828
+    return tuple(out)
+
+
+def _probe_read_addrs(prov: Any, probe: RunResult) -> List[int]:
+    """Data addresses the benign run loaded from, excluding the
+    block's own instruction bytes (seeding those would desynchronize
+    the baked extension words from the live fetches)."""
+    spans = [(start, start + len(data)) for start, data in prov.code]
+    out: List[int] = []
+    for tok in probe.tokens:
+        if (tok >> 32) & 0xF != KIND_READ:
+            continue
+        addr = tok & M32
+        if any(s - 4 <= addr < e for s, e in spans):
+            continue
+        if addr not in out:
+            out.append(addr)
+    return out[:8]
+
+
+def _probe_write_pages(prov: Any, probe: RunResult) -> List[int]:
+    pages: List[int] = []
+    own = set(prov.pages)
+    for tok in probe.tokens:
+        if (tok >> 32) & 0xF == KIND_WRITE:
+            page = (tok & M32) >> 8
+            if page not in pages and page not in own:
+                pages.append(page)
+    return pages
+
+
+_STATIC_TOKEN_CACHE: Dict[str, List[int]] = {}
+
+
+def _static_tokens(prov: Any) -> List[int]:
+    """Trace-token constants baked into the generated source (the
+    static-addressed accesses' reads/writes).  These name data the
+    block touches on paths the benign probe may never have reached.
+    Memoized by source hash — the search loop asks per vector."""
+    cached = _STATIC_TOKEN_CACHE.get(prov.source_hash)
+    if cached is not None:
+        return cached
+    out: List[int] = []
+    for node in ast.walk(ast.parse(prov.source)):
+        if (isinstance(node, ast.Constant)
+                and isinstance(node.value, int)
+                and not isinstance(node.value, bool)
+                and (node.value >> 32) & 0xF in (KIND_READ, KIND_WRITE)
+                and node.value >> 40 == 0):
+            out.append(node.value)
+    if len(_STATIC_TOKEN_CACHE) > 512:
+        _STATIC_TOKEN_CACHE.clear()
+    _STATIC_TOKEN_CACHE[prov.source_hash] = out
+    return out
+
+
+def _static_write_pages(prov: Any) -> List[int]:
+    """RAM pages of statically-addressed writes, own pages excluded."""
+    own = set(prov.pages)
+    pages: List[int] = []
+    for tok in _static_tokens(prov):
+        kb = tok >> 32
+        if kb & 0xF == KIND_WRITE and (kb >> 4) == REGION_RAM:
+            page = (tok & M32) >> 8
+            if page not in pages and page not in own:
+                pages.append(page)
+    return pages
+
+
+def _static_read_addrs(prov: Any) -> List[int]:
+    spans = [(start, start + len(data)) for start, data in prov.code]
+    out: List[int] = []
+    for tok in _static_tokens(prov):
+        kb = tok >> 32
+        if kb & 0xF == KIND_READ and (kb >> 4) == REGION_RAM:
+            addr = tok & M32
+            if (addr not in out
+                    and not any(s - 4 <= addr < e for s, e in spans)):
+                out.append(addr)
+    return out
+
+
+def _subsample(values: List[int], cap: int) -> List[int]:
+    if len(values) <= cap:
+        return values
+    step = len(values) / cap
+    return [values[int(i * step)] for i in range(cap)]
+
+
+def build_vectors(prov: Any, probe: RunResult,
+                  rng: random.Random) -> List[Vector]:
+    """The driving battery for one block (see module docstring)."""
+    aregs = benign_aregs(prov)
+    base_d = (3, 1, 4, 1, 5, 9, 2, 6)
+    big_budget = 40000 if not prov.loop else 3000
+    vecs: List[Vector] = []
+
+    def add(label: str, **kw: Any) -> None:
+        kw.setdefault("d", base_d)
+        kw.setdefault("a", aregs)
+        kw.setdefault("budget", big_budget)
+        vecs.append(Vector(label=label, **kw))
+
+    add("benign")
+    for i, fl in enumerate(((1, 1, 1, 1, 1), (0, 1, 0, 1, 0),
+                            (1, 0, 1, 0, 1))):
+        add(f"flags{i}", x=fl[0], n=fl[1], z=fl[2], v=fl[3], c=fl[4])
+    for i in range(4):
+        add(f"rand{i}",
+            d=tuple(rng.getrandbits(32) for _ in range(8)),
+            a=benign_aregs(prov, salt=rng.getrandbits(10) | 2),
+            x=rng.getrandbits(1), n=rng.getrandbits(1),
+            z=rng.getrandbits(1), v=rng.getrandbits(1),
+            c=rng.getrandbits(1))
+    # Degenerate data shapes: equal / zero / negative / all-ones
+    # registers drive the eq/lt/mi/cs condition-code arms that random
+    # values almost never hit (compare results collapse to 0).
+    for name, val in (("eq-d", 7), ("zero-d", 0), ("one-d", 1),
+                      ("neg-d", 0x80000000), ("ones-d", 0xFFFFFFFF)):
+        add(name, d=(val,) * 8)
+    add("odd-a", a=tuple(v | 1 for v in aregs))
+    # Single-register bus shapes: point one address register at a
+    # time into flash / external space / an odd address so accesses
+    # deep in the block (after an early fault would have ended the
+    # all-registers variants) still reach their region arms.
+    for r in range(8):
+        add(f"flash-a{r}", a=tuple(
+            (prov.flash_base + 0x900 + 0x20 * r) & ~1 if i == r else v
+            for i, v in enumerate(aregs)))
+        add(f"ext-a{r}", a=tuple(
+            0xFE000000 + 0x100 * r if i == r else v
+            for i, v in enumerate(aregs)))
+        add(f"odd-a{r}", a=tuple(
+            v | 1 if i == r else v for i, v in enumerate(aregs)))
+    flash_span = prov.flash_limit - prov.flash_base
+    add("flash-a", a=tuple((prov.flash_base
+                            + min(0x800 * (i + 1), flash_span - 16)) & ~1
+                           for i in range(8)))
+    add("ext-a", a=tuple((0xFF000000 + 0x1000 * i) for i in range(8)))
+    add("straddle-a", a=tuple((prov.ram_limit - 2) & M32
+                              for _ in range(8)))
+    pages = _probe_write_pages(prov, probe)
+    if pages:
+        add("watch", watch_pages=frozenset(pages[:4]))
+    # Statically-addressed writes on paths the probe never took still
+    # have watch arms; their pages are readable straight off the token
+    # constants in the generated source.
+    static_pages = [p for p in _static_write_pages(prov)
+                    if p not in pages]
+    for i in range(0, min(len(static_pages), 12), 4):
+        add(f"watch-static{i // 4}",
+            watch_pages=frozenset(static_pages[i:i + 4]))
+    # Memory seeding: load the benign run's data reads with the
+    # degenerate words (0, 1, -1) that drive compare-driven branches
+    # whose operands live in memory.
+    reads = _probe_read_addrs(prov, probe)
+    for addr in _static_read_addrs(prov):
+        if addr not in reads and len(reads) < 12:
+            reads.append(addr)
+    if reads:
+        for word in (0x0000, 0x0001, 0xFFFF):
+            seed = bytes((word >> 8, word & 0xFF)) * 2
+            add(f"memseed-{word:04x}",
+                mem_seed=tuple((addr & ~1, seed) for addr in reads))
+        # Loaded-pointer variants: values that, read back as 32-bit
+        # addresses, are an odd RAM pointer / a flash-window pointer /
+        # an external address — these reach the align and region arms
+        # of accesses whose address register is itself loaded from
+        # memory (movea chains), which register-only vectors cannot.
+        for tag, val in (("oddptr", ((prov.ram_limit >> 1) + 0x101) | 1),
+                         ("flashptr", (prov.flash_base + 0x906) & ~1),
+                         ("extptr", 0xFE00F000)):
+            seed = bytes(((val >> 24) & 0xFF, (val >> 16) & 0xFF,
+                          (val >> 8) & 0xFF, val & 0xFF))
+            add(f"memseed-{tag}",
+                mem_seed=tuple((addr & ~1, seed) for addr in reads))
+    # Scripted async events at each handler bridge.
+    bridge_ks = sorted(k for k in range(prov.insn_count)
+                       if f"h{k}" in prov.env)[:6]
+    for k in bridge_ks:
+        add(f"irq@{k}", irq_after=(((k, 0), 7),))
+        add(f"inval@{k}", invalidate_after=((k, 0),))
+    # Budget battery: place the limit around every per-step cycle
+    # boundary the reference probe observed, so each gate fires and
+    # each gate's off-by-a-batch neighborhood is exercised.
+    cycles0 = vecs[0].cycles0
+    limits: List[int] = []
+    seen: Set[int] = set()
+    for cb in probe.cycles_before[1:]:
+        for lim in (cb, cb + 2, cb + 4):
+            if lim > cycles0 and lim not in seen:
+                seen.add(lim)
+                limits.append(lim)
+    for i, lim in enumerate(_subsample(limits, 48)):
+        add(f"budget{i}@{lim}", budget=lim - cycles0)
+        add(f"budget1.{i}@{lim}", d=(1,) * 8, budget=lim - cycles0)
+        # All-ones incoming flags: a gate exit must materialize the
+        # deferred flags of the insns it did run — with zero incoming
+        # flags a dropped materialization whose reference value is
+        # also zero would slip through unobserved.
+        add(f"budgetf.{i}@{lim}", budget=lim - cycles0,
+            x=1, n=1, z=1, v=1, c=1)
+    if prov.bulk:
+        _bulk_vectors(prov, add)
+    return vecs
+
+
+def _bulk_vectors(prov: Any, add: Any) -> None:
+    """Accept and reject shapes for the counted-fill bulk guard."""
+    sq = prov.entries[-2][3]
+    z = sq & 7
+    w0 = prov.entries[0][3]
+    areg = (w0 >> 9) & 7
+    avoid = _code_pages(prov)
+    fill = prov.ram_base + (prov.ram_limit - prov.ram_base) // 2
+    while any((fill + off) >> 8 in avoid for off in range(0, 0x400, 0x100)):
+        fill += 0x400
+    fill &= ~1
+
+    def regs(count: int, addr: int) -> Dict[str, Tuple[int, ...]]:
+        d = tuple(count if i == z else v
+                  for i, v in enumerate((3, 1, 4, 1, 5, 9, 2, 6)))
+        a = tuple(addr if i == areg else v
+                  for i, v in enumerate(benign_aregs(prov, salt=0x30)))
+        return {"d": d, "a": a}
+
+    add("bulk-take", budget=200000, **regs(40, fill))
+    add("bulk-odd", budget=200000, **regs(40, fill + 1))
+    add("bulk-watched", budget=200000,
+        watch_pages=frozenset({(fill + 0x40) >> 8}), **regs(40, fill))
+    add("bulk-short", budget=200000, **regs(6, fill))
+    add("bulk-tight", budget=400, **regs(40, fill))
+    add("bulk-edge", budget=200000,
+        **regs(40, (prov.ram_limit - 16) & ~1))
+
+
+def random_vector(prov: Any, rng: random.Random, i: int,
+                  probe: Optional[RunResult] = None) -> Vector:
+    """Extra search vector for arms the standard battery missed.
+
+    The deterministic battery varies one dimension at a time; arms
+    nested under branch combinations (a watch hit on a path only odd
+    data reaches, a gate inside a taken-branch arm, ...) need joint
+    variation, so the search draws every dimension at once: per-
+    register address class, data words, flags, watch pages, memory
+    seeds and a budget placed inside the probe's cycle schedule.
+    """
+    base = benign_aregs(prov, salt=rng.getrandbits(10) | 4)
+    a: List[int] = []
+    for r in range(8):
+        roll = rng.random()
+        if roll < 0.55:
+            a.append(base[r])
+        elif roll < 0.70:
+            a.append(base[r] | 1)
+        elif roll < 0.85:
+            span = prov.flash_limit - prov.flash_base
+            a.append((prov.flash_base
+                      + min(0x880 * (r + 1), span - 16)) & ~1)
+        else:
+            a.append((0xFE000000 + 0x1000 * r + 0x40 * i) & M32)
+    kwargs: Dict[str, Any] = {}
+    own = set(prov.pages)
+    pool = _static_write_pages(prov)
+    reads = _static_read_addrs(prov)
+    if probe is not None:
+        for page in _probe_write_pages(prov, probe):
+            if page not in pool:
+                pool.append(page)
+        for addr in _probe_read_addrs(prov, probe):
+            if addr not in reads:
+                reads.append(addr)
+    pool = [p for p in pool if p not in own]
+    if pool and rng.random() < 0.5:
+        kwargs["watch_pages"] = frozenset(
+            rng.sample(pool, min(len(pool), 4)))
+    if reads and rng.random() < 0.6:
+        word = rng.choice((0x0000, 0x0001, 0xFFFF,
+                           rng.getrandbits(16),
+                           ((prov.ram_limit >> 1) + 0x101) | 1,
+                           (prov.flash_base + 0x906) & ~1))
+        seed = bytes(((word >> 24) & 0xFF, (word >> 16) & 0xFF,
+                      (word >> 8) & 0xFF, word & 0xFF))
+        kwargs["mem_seed"] = tuple((addr & ~1, seed)
+                                   for addr in reads[:8])
+    schedule = probe.cycles_before if probe is not None else []
+    if len(schedule) > 1 and rng.random() < 0.4:
+        cycles0 = 1000
+        lim = rng.choice(schedule[1:]) + rng.choice((0, 2, 4))
+        if lim > cycles0:
+            kwargs["budget"] = lim - cycles0
+    return Vector(
+        d=tuple(rng.getrandbits(32) for _ in range(8)),
+        a=tuple(a),
+        x=rng.getrandbits(1), n=rng.getrandbits(1),
+        z=rng.getrandbits(1), v=rng.getrandbits(1), c=rng.getrandbits(1),
+        budget=kwargs.pop("budget", 3000 if prov.loop else 40000),
+        label=f"search{i}", **kwargs)

@@ -1,0 +1,501 @@
+"""Harness machine for the translation validator.
+
+The validator proves a fused body equivalent to the per-insn reference
+semantics by running both against *the same* closed model machine: a
+real :class:`repro.m68k.cpu.CPU` attached to a :class:`ModelBus` that
+reproduces the ``MemoryMap`` inline arms — trace token before
+alignment check, write-watch before store, deterministic values for
+bus regions outside RAM/flash — while journaling every observable
+(packed trace tokens, watch hits, fallback bus calls, dirtied memory).
+
+Both sides of a comparison get their own :class:`HarnessState` built
+from one :class:`Vector` over one shared :class:`Workspace`, so every
+divergence between the journals is a divergence introduced by the
+generated code.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from ...m68k.cpu import CPU
+from ...m68k.errors import AddressError, BusError
+from ...m68k.instructions import _shift
+
+M32 = 0xFFFFFFFF
+
+#: Packed-token kind bits (profiler encoding: ``(kind | region<<4) << 32``).
+KIND_FETCH = 0
+KIND_READ = 1
+KIND_WRITE = 2
+REGION_RAM = 0
+REGION_FLASH = 1
+REGION_EXT = 2
+
+_ST2 = struct.Struct(">H")
+_ST4 = struct.Struct(">I")
+
+
+def pack_token(addr: int, kind: int, region: int) -> int:
+    return (addr & M32) | ((kind | (region << 4)) << 32)
+
+
+def _ext_value(addr: int, size: int, seed: int) -> int:
+    """Deterministic value for a read outside RAM/flash: both sides of
+    a comparison see the same bus, so any model works — it only has to
+    be a pure function of (address, size, seed)."""
+    h = ((addr * 0x9E3779B1) ^ (size * 0x85EBCA6B) ^ seed) & M32
+    return h & ((1 << (8 * size)) - 1)
+
+
+@dataclass(frozen=True)
+class Vector:
+    """One driving state: initial registers/flags, the cycle budget,
+    the watch configuration and the scripted asynchronous events."""
+
+    d: Tuple[int, ...]
+    a: Tuple[int, ...]
+    x: int = 0
+    n: int = 0
+    z: int = 0
+    v: int = 0
+    c: int = 0
+    cycles0: int = 1000
+    budget: int = 40000            # limit - cycles0
+    imask: int = 3
+    watch_pages: FrozenSet[int] = frozenset()
+    #: ``(insn index k, nth bridge call at k) -> pending irq level`` —
+    #: injected right after the bridged handler returns.
+    irq_after: Tuple[Tuple[Tuple[int, int], int], ...] = ()
+    #: ``(insn index k, nth bridge call at k)`` -> invalidate the block
+    #: right after the bridged handler returns.
+    invalidate_after: Tuple[Tuple[int, int], ...] = ()
+    #: ``(addr, bytes)`` patches applied to the workspace before the
+    #: run (both sides see them; they drive data-dependent branches
+    #: whose operands live in memory, e.g. ``cmpi`` + ``beq``).
+    mem_seed: Tuple[Tuple[int, bytes], ...] = ()
+    bus_seed: int = 0x5EED
+    label: str = "base"
+
+
+class TrackedBuf(bytearray):
+    """A bytearray journaling every mutation as ``(start, length)``."""
+
+    def __init__(self, *args: Any) -> None:
+        super().__init__(*args)
+        self.dirty: List[Tuple[int, int]] = []
+
+    def note(self, start: int, length: int) -> None:
+        self.dirty.append((start, length))
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        if isinstance(key, slice):
+            start, stop, _step = key.indices(len(self))
+            self.dirty.append((start, max(0, stop - start)))
+        else:
+            self.dirty.append((int(key), 1))
+        super().__setitem__(key, value)
+
+
+class Workspace:
+    """Shared RAM/flash images at the real device geometry, reset to a
+    deterministic pattern (plus the block's code bytes) between runs.
+
+    Allocated once and reused across blocks and vectors: restoring
+    only the journaled dirty spans keeps a validation run at a few
+    microseconds of memory traffic instead of two 8 MB copies."""
+
+    def __init__(self, ram_base: int, ram_limit: int,
+                 flash_base: int, flash_limit: int, seed: int = 7) -> None:
+        self.ram_base = ram_base
+        self.ram_limit = ram_limit
+        self.flash_base = flash_base
+        self.flash_limit = flash_limit
+        ram_size = ram_limit - ram_base
+        flash_size = flash_limit - flash_base
+        rng = np.arange(ram_size, dtype=np.uint32)
+        self._ram_pat = bytearray(
+            ((rng * 131 + seed) % 251).astype(np.uint8).tobytes())
+        rng = np.arange(flash_size, dtype=np.uint32)
+        self._flash_pat = bytearray(
+            ((rng * 137 + seed + 1) % 251).astype(np.uint8).tobytes())
+        self.ram = TrackedBuf(self._ram_pat)
+        self.flash = TrackedBuf(self._flash_pat)
+        self._code_spans: List[
+            Tuple[TrackedBuf, int, bytearray, bytes]] = []
+
+    def _pat_for(self, buf: TrackedBuf) -> bytearray:
+        return self._ram_pat if buf is self.ram else self._flash_pat
+
+    def load_code(self, code: List[Tuple[int, bytes]], region: int) -> None:
+        """Overlay the block's instruction bytes onto the pattern (and
+        the live buffers) so both the baked-in extension words and the
+        reference handlers' live fetches see the same image."""
+        for buf, base, pat, orig in self._code_spans:
+            pat[base:base + len(orig)] = orig
+            buf[base:base + len(orig)] = orig
+        self._code_spans = []
+        buf = self.ram if region == 0 else self.flash
+        pat = self._pat_for(buf)
+        base_addr = self.ram_base if region == 0 else self.flash_base
+        for start, data in code:
+            off = start - base_addr
+            self._code_spans.append((buf, off, pat, bytes(pat[off:off + len(data)])))
+        for start, data in code:
+            off = start - base_addr
+            pat[off:off + len(data)] = data
+            buf[off:off + len(data)] = data
+        self.ram.dirty.clear()
+        self.flash.dirty.clear()
+
+    @staticmethod
+    def _merge(dirty: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+        if not dirty:
+            return []
+        spans = sorted((s, s + n) for s, n in dirty if n)
+        out: List[Tuple[int, int]] = []
+        cs, ce = spans[0]
+        for s, e in spans[1:]:
+            if s <= ce:
+                ce = max(ce, e)
+            else:
+                out.append((cs, ce))
+                cs, ce = s, e
+        out.append((cs, ce))
+        return [(s, e - s) for s, e in out]
+
+    def effects(self) -> Dict[int, int]:
+        """RAM bytes changed since the last restore, as offset->value
+        (unchanged-but-touched bytes are dropped, so rewriting the
+        pattern value is not an 'effect')."""
+        out: Dict[int, int] = {}
+        pat = self._ram_pat
+        size = len(pat)
+        for start, n in self._merge(self.ram.dirty):
+            # A faulted partial write can journal a span beyond the
+            # buffer (note() precedes the store that raised); clamp so
+            # the snapshot never dies on a journal artifact.
+            for i in range(max(0, start), min(start + n, size)):
+                if self.ram[i] != pat[i]:
+                    out[i] = self.ram[i]
+        return out
+
+    def restore(self) -> None:
+        for buf in (self.ram, self.flash):
+            pat = self._pat_for(buf)
+            for start, n in self._merge(buf.dirty):
+                buf[start:start + n] = pat[start:start + n]
+            buf.dirty.clear()
+
+
+class _FakeBlock:
+    """Stands in for the ``_Block`` a fused body closes over: only its
+    ``valid`` flag is consulted (after handler bridges)."""
+
+    __slots__ = ("valid",)
+
+    def __init__(self) -> None:
+        self.valid = True
+
+
+class ModelBus:
+    """``MemoryMap``-equivalent bus over a :class:`Workspace`.
+
+    Order of operations mirrors the inline arms exactly: trace token
+    first, then (writes) the watch-page check, then the alignment
+    check, then the byte lanes.  Accesses outside RAM/flash are
+    journaled and answered from a pure deterministic model; flash
+    writes raise :class:`BusError` (replay write-protects flash)."""
+
+    def __init__(self, state: "HarnessState") -> None:
+        self.st = state
+
+    # -- helpers ---------------------------------------------------------
+    def _tok(self, addr: int, kind: int, region: int, size: int) -> None:
+        st = self.st
+        st.tokens.append(pack_token(addr, kind, region))
+        if size == 4:
+            st.tokens.append(pack_token(addr + 2, kind, region))
+
+    def _check_watch(self, addr: int, size: int) -> None:
+        st = self.st
+        p1 = addr >> 8
+        p2 = (addr + 2) >> 8 if size == 4 else p1
+        if p1 in st.watch_pages or p2 in st.watch_pages:
+            st.whit(addr)
+            if size == 4:
+                st.whit(addr + 2)
+
+    def _read(self, addr: int, size: int) -> int:
+        st = self.st
+        ws = st.ws
+        addr &= M32
+        if addr <= ws.ram_limit - size:
+            self._tok(addr, KIND_READ, REGION_RAM, size)
+            if size > 1 and addr & 1:
+                raise AddressError(addr, size)
+            off = addr - ws.ram_base
+            return self._load(ws.ram, off, size)
+        if ws.flash_base <= addr <= ws.flash_limit - size:
+            self._tok(addr, KIND_READ, REGION_FLASH, size)
+            if size > 1 and addr & 1:
+                raise AddressError(addr, size)
+            return self._load(ws.flash, addr - ws.flash_base, size)
+        self._tok(addr, KIND_READ, REGION_EXT, size)
+        if size > 1 and addr & 1:
+            raise AddressError(addr, size)
+        value = _ext_value(addr, size, st.bus_seed)
+        st.events.append(("busread", addr, size, value, len(st.tokens)))
+        st._note_sl()
+        return value
+
+    def _write(self, addr: int, size: int, value: int) -> None:
+        st = self.st
+        ws = st.ws
+        addr &= M32
+        if addr <= ws.ram_limit - size:
+            self._tok(addr, KIND_WRITE, REGION_RAM, size)
+            self._check_watch(addr, size)
+            if size > 1 and addr & 1:
+                raise AddressError(addr, size)
+            self._store(ws.ram, addr - ws.ram_base, size, value)
+            return
+        if ws.flash_base <= addr <= ws.flash_limit - size:
+            st.events.append(("buswrite", addr, size, value & M32,
+                              len(st.tokens)))
+            raise BusError(addr)
+        self._tok(addr, KIND_WRITE, REGION_EXT, size)
+        if size > 1 and addr & 1:
+            raise AddressError(addr, size)
+        st.events.append(("buswrite", addr, size, value & M32,
+                          len(st.tokens)))
+        st._note_sl()
+
+    @staticmethod
+    def _load(buf: TrackedBuf, off: int, size: int) -> int:
+        if size == 1:
+            return buf[off]
+        if size == 2:
+            return int(_ST2.unpack_from(buf, off)[0])
+        return int(_ST4.unpack_from(buf, off)[0])
+
+    @staticmethod
+    def _store(buf: TrackedBuf, off: int, size: int, value: int) -> None:
+        if size == 1:
+            buf[off] = value & 0xFF
+        elif size == 2:
+            buf.note(off, 2)
+            _ST2.pack_into(buf, off, value & 0xFFFF)
+        else:
+            buf.note(off, 4)
+            _ST4.pack_into(buf, off, value & M32)
+
+    # -- the Bus protocol -----------------------------------------------
+    def read8(self, addr: int) -> int:
+        return self._read(addr, 1)
+
+    def read16(self, addr: int) -> int:
+        return self._read(addr, 2)
+
+    def read32(self, addr: int) -> int:
+        return self._read(addr, 4)
+
+    def write8(self, addr: int, value: int) -> None:
+        self._write(addr, 1, value)
+
+    def write16(self, addr: int, value: int) -> None:
+        self._write(addr, 2, value)
+
+    def write32(self, addr: int, value: int) -> None:
+        self._write(addr, 4, value)
+
+    def fetch16(self, addr: int) -> int:
+        st = self.st
+        ws = st.ws
+        addr &= M32
+        if addr <= ws.ram_limit - 2:
+            region, buf, off = REGION_RAM, ws.ram, addr - ws.ram_base
+        elif ws.flash_base <= addr <= ws.flash_limit - 2:
+            region, buf, off = REGION_FLASH, ws.flash, addr - ws.flash_base
+        else:
+            st.tokens.append(pack_token(addr, KIND_FETCH, REGION_EXT))
+            if addr & 1:
+                raise AddressError(addr, 2)
+            return _ext_value(addr, 2, st.bus_seed ^ 0xFE7C)
+        st.tokens.append(pack_token(addr, KIND_FETCH, region))
+        if addr & 1:
+            raise AddressError(addr, 2)
+        return self._load(buf, off, 2)
+
+
+@dataclass
+class RunResult:
+    """Everything observable about one side's run."""
+
+    executed: int = 0
+    fault: Optional[Tuple[str, str]] = None
+    pc: int = 0
+    cycles: int = 0
+    d: Tuple[int, ...] = ()
+    a: Tuple[int, ...] = ()
+    flags: Tuple[int, int, int, int, int] = (0, 0, 0, 0, 0)
+    sr: int = 0
+    stopped: bool = False
+    pending_irq: int = 0
+    valid: bool = True
+    tokens: List[int] = field(default_factory=list)
+    events: List[tuple] = field(default_factory=list)
+    mem_effects: Dict[int, int] = field(default_factory=dict)
+    #: Per-step ``cpu.cycles`` before each executed instruction
+    #: (reference side only; drives gate obligations + budget battery).
+    cycles_before: List[int] = field(default_factory=list)
+    #: Step indices that performed a watch hit or fallback bus access
+    #: (sl-escape justifications).
+    sl_steps: List[int] = field(default_factory=list)
+
+
+class HarnessState:
+    """One side's machine: CPU + bus + journals, built from a vector."""
+
+    def __init__(self, ws: Workspace, vector: Vector, block_pages: Tuple[int, ...],
+                 region: int, entry_pc: int) -> None:
+        self.ws = ws
+        self.vector = vector
+        self.tokens: List[int] = []
+        self.events: List[tuple] = []
+        self.watch_pages: set = set(vector.watch_pages)
+        if region == 0:
+            # Production invariant: a RAM-resident block's own pages
+            # are always write-watched while the block is valid.
+            self.watch_pages.update(block_pages)
+        self.block_pages = frozenset(block_pages)
+        for addr, data in vector.mem_seed:
+            if addr + len(data) <= ws.ram_limit:
+                off = addr - ws.ram_base
+                ws.ram[off:off + len(data)] = data
+            elif (ws.flash_base <= addr
+                  and addr + len(data) <= ws.flash_limit):
+                off = addr - ws.flash_base
+                ws.flash[off:off + len(data)] = data
+        self.block = _FakeBlock()
+        self.bus_seed = vector.bus_seed
+        self.bus = ModelBus(self)
+        cpu = CPU(self.bus)
+        cpu.d[:] = [v & M32 for v in vector.d]
+        cpu.a[:] = [v & M32 for v in vector.a]
+        cpu.pc = entry_pc
+        cpu.cycles = vector.cycles0
+        cpu.x, cpu.n, cpu.z = vector.x, vector.n, vector.z
+        cpu.v, cpu.c = vector.v, vector.c
+        cpu.imask = vector.imask
+        cpu.pending_irq = 0
+        self.cpu = cpu
+        self.limit = vector.cycles0 + vector.budget
+        self._irq_after = dict(vector.irq_after)
+        self._inval_after = frozenset(vector.invalidate_after)
+        self._bridge_calls: Dict[int, int] = {}
+        #: Current step index (maintained by the reference executor;
+        #: the generated side marks steps only via whit/bus events).
+        self.step = -1
+        self.sl_steps: List[int] = []
+
+    def whit(self, addr: int) -> None:
+        """CodeWatch.hit equivalent: journal, un-watch the page, and
+        invalidate the block when one of its own pages is hit."""
+        self.events.append(("whit", addr & M32, len(self.tokens)))
+        page = (addr & M32) >> 8
+        self.watch_pages.discard(page)
+        if page in self.block_pages:
+            self.block.valid = False
+        self._note_sl()
+
+    def _note_sl(self) -> None:
+        if self.step >= 0 and (not self.sl_steps
+                               or self.sl_steps[-1] != self.step):
+            self.sl_steps.append(self.step)
+
+    def apply_bridge_script(self, k: int) -> None:
+        """Scripted asynchronous events, applied right after the
+        bridged handler for insn ``k`` returns (same point on both
+        sides)."""
+        occ = self._bridge_calls.get(k, 0)
+        self._bridge_calls[k] = occ + 1
+        if (k, occ) in self._inval_after:
+            self.block.valid = False
+        irq = self._irq_after.get((k, occ))
+        if irq is not None:
+            self.cpu.pending_irq = irq
+
+    def snapshot(self, executed: int,
+                 fault: Optional[Tuple[str, str]]) -> RunResult:
+        cpu = self.cpu
+        res = RunResult(
+            executed=executed, fault=fault,
+            pc=cpu.pc, cycles=cpu.cycles,
+            d=tuple(cpu.d), a=tuple(cpu.a),
+            flags=(cpu.x, cpu.n, cpu.z, cpu.v, cpu.c),
+            sr=cpu.sr, stopped=cpu.stopped,
+            pending_irq=cpu.pending_irq,
+            valid=self.block.valid,
+            tokens=list(self.tokens),
+            events=list(self.events),
+            mem_effects=self.ws.effects(),
+            sl_steps=list(self.sl_steps))
+        return res
+
+
+def make_gen_env(state: HarnessState, prov: Any,
+                 arm_recorder: Callable[[int], Any]) -> Dict[str, Any]:
+    """The environment a fused body is re-specialized against for
+    validation: same names as :class:`repro.m68k.fuse._Fuser`'s, bound
+    to the harness journals instead of the live device."""
+    ws = state.ws
+    bus = state.bus
+
+    def wrap_pk(st: struct.Struct) -> Callable[..., None]:
+        size = st.size
+
+        def pk(buf: TrackedBuf, off: int, val: int) -> None:
+            buf.note(off, size)
+            st.pack_into(buf, off, val)
+        return pk
+
+    env: Dict[str, Any] = {
+        "append": state.tokens.append,
+        "extend": state.tokens.extend,
+        "wpages": state.watch_pages,
+        "whit": state.whit,
+        "block": state.block,
+        "AddressError": AddressError,
+        "_shift": _shift,
+        "br1": bus.read8, "br2": bus.read16, "br4": bus.read32,
+        "bw1": bus.write8, "bw2": bus.write16, "bw4": bus.write32,
+        "ram": ws.ram, "flash": ws.flash,
+        "pk2": wrap_pk(_ST2), "pk4": wrap_pk(_ST4),
+        "up2": _ST2.unpack_from, "up4": _ST4.unpack_from,
+        "__arm__": arm_recorder,
+    }
+    entries = prov.entries
+    for k in range(len(entries)):
+        name = f"h{k}"
+        if name in prov.env:
+            handler = entries[k][4]
+
+            def bridge(cpu: CPU, _h: Any = handler, _k: int = k) -> None:
+                _h(cpu)
+                state.apply_bridge_script(_k)
+            env[name] = bridge
+    if "np" in prov.env:
+        env["np"] = np
+        env["tdyn"] = prov.env["tdyn"]
+        env["tval"] = prov.env["tval"]
+        env["wdis"] = state.watch_pages.isdisjoint
+
+        def bulk(chunk: Any) -> None:
+            state.tokens.extend(int(t) for t in chunk)
+        env["bulk"] = bulk
+    return env

@@ -1,0 +1,115 @@
+"""Reference semantics for one superblock: the interpreted per-entry
+loop of :meth:`repro.m68k.blockcore.BlockCore.run_until_cycles`,
+executed with the *real* specialized per-insn handlers over the
+harness machine.
+
+Two modes:
+
+* **natural** (``count=None``) — stop exactly where the interpreted
+  loop (plus its dispatcher) would: per-insn budget gate, pc
+  self-check, invalidation, serviceable interrupt, stop, or a guest
+  fault.  Used by the probe pass to learn the block's per-step cycle
+  schedule (which seeds the budget battery).
+* **claim** (``count=k``) — execute exactly ``k`` instructions in
+  entry order, journaling for each step whether any stop condition
+  held *before* it.  The validator replays the generated side's
+  executed-instruction claim this way and turns violated stop
+  conditions into gate/exit findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Set, Tuple
+
+from .machine import HarnessState, RunResult
+
+
+@dataclass
+class StepLog:
+    """Per-step stop-condition journal from a claim-mode run."""
+
+    #: ``cpu.cycles`` before each executed instruction.
+    cycles_before: List[int] = field(default_factory=list)
+    #: Steps where the budget gate should have fired first.
+    budget_stops: List[int] = field(default_factory=list)
+    #: Steps where a serviceable interrupt was pending first.
+    irq_stops: List[int] = field(default_factory=list)
+    #: Steps where the block was already invalidated.
+    invalid_stops: List[int] = field(default_factory=list)
+    #: Steps where ``cpu.pc`` no longer matched the entry address
+    #: (claim mode stops there; the remaining claim is unexecutable).
+    pc_stop: Optional[int] = None
+    #: Steps where the CPU was stopped.
+    stopped_stops: List[int] = field(default_factory=list)
+
+
+def _serviceable(cpu: Any) -> bool:
+    irq = cpu.pending_irq
+    return bool(irq and (irq > cpu.imask or irq == 7))
+
+
+def run_reference(prov: Any, state: HarnessState,
+                  count: Optional[int] = None,
+                  max_steps: int = 8192) -> Tuple[RunResult, StepLog]:
+    """Execute the reference semantics over ``state``; see module doc."""
+    entries: List[tuple] = prov.entries
+    n_entries = len(entries)
+    loop: bool = prov.loop
+    bridges: Set[int] = {k for k in range(n_entries)
+                         if f"h{k}" in prov.env}
+    cpu = state.cpu
+    limit = state.limit
+    block = state.block
+    log = StepLog()
+    executed = 0
+    fault: Optional[Tuple[str, str]] = None
+    idx = 0
+    done = False
+    while not done and executed < max_steps:
+        if idx >= n_entries:
+            if not loop:
+                break
+            idx = 0
+        if count is None:
+            # Natural mode: dispatcher + interpreted-loop stop order.
+            if cpu.cycles >= limit or cpu.pc != entries[idx][0] \
+                    or not block.valid:
+                break
+            if _serviceable(cpu) or cpu.stopped:
+                break
+        else:
+            if executed >= count:
+                break
+            # Claim mode: journal the conditions, execute regardless.
+            if cpu.cycles >= limit:
+                log.budget_stops.append(executed)
+            if _serviceable(cpu):
+                log.irq_stops.append(executed)
+            if not block.valid:
+                log.invalid_stops.append(executed)
+            if cpu.stopped:
+                log.stopped_stops.append(executed)
+            if cpu.pc != entries[idx][0]:
+                # The claimed instruction is unreachable: control left
+                # the chain.  Executing it anyway would diverge from
+                # any semantics; stop and let the validator flag it.
+                log.pc_stop = executed
+                break
+        pc, nxt, token, _op, handler = entries[idx]
+        log.cycles_before.append(cpu.cycles)
+        state.step = executed
+        state.tokens.append(token)
+        cpu.pc = nxt
+        cpu.cycles += 4
+        executed += 1
+        try:
+            handler(cpu)
+        except Exception as exc:  # guest fault: journal and stop
+            fault = (type(exc).__name__, repr(exc.args))
+            done = True
+        if not done and idx in bridges:
+            state.apply_bridge_script(idx)
+        idx += 1
+    state.step = -1
+    return state.snapshot(executed, fault), log

@@ -80,6 +80,11 @@ def _add_replay(sub) -> None:
     san.add_argument("--no-sanitize-elide", action="store_true",
                      help="disable the static check-elision set "
                           "(full shadow checking on every access)")
+    p.add_argument("--validate-codegen", action="store_true",
+                   help="run the translation validator inline on every "
+                        "superblock the replay fuses; exit 1 on any "
+                        "error-severity finding (fast core only, not "
+                        "combinable with --sanitize)")
 
 
 def _add_validate(sub) -> None:
@@ -187,6 +192,33 @@ def _add_sanitize(sub) -> None:
                    help="also print per-program elision statistics")
 
 
+def _add_verify_codegen(sub) -> None:
+    p = sub.add_parser(
+        "verify-codegen",
+        help="translation-validate the fused superblock codegen: "
+             "replay the standard session with eager fusion, prove "
+             "every fused block equivalent to its per-insn reference "
+             "semantics, audit every elided check against a fresh "
+             "derivation, and run the seeded miscompile self-test")
+    p.add_argument("--session", default=None, metavar="DIR",
+                   help="validate the blocks this archive fuses instead "
+                        "of collecting the standard quickstart session")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write findings + throughput stats as JSON")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="compare against this baseline and fail only on "
+                        "NEW warning/error findings")
+    p.add_argument("--write-baseline", default=None, metavar="FILE",
+                   help="write the current findings as a new baseline")
+    p.add_argument("--no-selftest", action="store_true",
+                   help="skip the seeded miscompile self-test")
+    p.add_argument("--no-elision-audit", action="store_true",
+                   help="skip the region/sanitizer elision audits")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print info findings (per-class self-test "
+                        "detections)")
+
+
 def _add_fleet(sub) -> None:
     p = sub.add_parser(
         "fleet",
@@ -261,6 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_rom(sub)
     _add_lint(sub)
     _add_audit(sub)
+    _add_verify_codegen(sub)
     _add_sanitize(sub)
     _add_fleet(sub)
     return parser
@@ -358,13 +391,19 @@ def cmd_replay(args) -> int:
                   file=sys.stderr)
             return 2
         return _replay_resilient(args, jitter)
+    if args.validate_codegen and (args.sanitize or args.core != "fast"):
+        print("--validate-codegen requires the fast core without "
+              "--sanitize (fused codegen is disabled under shadow "
+              "checking)", file=sys.stderr)
+        return 2
     state, log = _load_archive(args.session)
     start = time.time()
     emulator, profiler, result = replay_session(
         state, log, apps=standard_apps(), profile=not args.no_profile,
         jitter=jitter, emulator_kwargs={**_EMU_KW, "core": args.core},
         sanitize=args.sanitize,
-        sanitize_elide=not args.no_sanitize_elide)
+        sanitize_elide=not args.no_sanitize_elide,
+        validate_codegen=args.validate_codegen)
     elapsed = time.time() - start
     if args.screenshot:
         from .analysis import screenshot_ppm
@@ -399,6 +438,16 @@ def cmd_replay(args) -> int:
             print(report.format())
             return 1
         print("sanitizer    : no findings")
+    if args.validate_codegen:
+        report = emulator.codegen_report
+        if report is None:
+            print("validate-codegen: core fused nothing (no report)")
+        else:
+            print(f"validate-codegen: {len(report)} finding(s) across "
+                  f"the replay's fused blocks")
+            if not report.ok:
+                print(report.format())
+                return 1
     return 0
 
 
@@ -411,13 +460,20 @@ def _print_hot(emulator, profiler, n: int) -> None:
     else:
         total = max(1, profiler.total_refs) if profiler is not None else 0
         print(f"hot blocks   : {'entry':>10} {'runs':>9} {'insns':>11} "
-              f"{'ref share':>9} {'invalid':>7}")
+              f"{'ref share':>9} {'invalid':>7} {'fused':>5} "
+              f"{'elide':>5} {'source':>12} {'loop':>4}")
         for row in hot(n):
             share = (f"{100 * row['fetch_refs'] / total:>8.2f}%"
                      if total else f"{row['fetch_refs']:>9,}")
+            if "fused_insns" in row:
+                fused = (f"{row['fused_insns']:>5} {row['elisions']:>5} "
+                         f"{row['source_hash']:>12} "
+                         f"{'yes' if row.get('loop') else 'no':>4}")
+            else:
+                fused = f"{'-':>5} {'-':>5} {'-':>12} {'-':>4}"
             print(f"               {row['pc']:#010x} {row['runs']:>9,} "
                   f"{row['insns']:>11,} {share} "
-                  f"{row['invalidations']:>7}")
+                  f"{row['invalidations']:>7} {fused}")
     if profiler is not None:
         from .palmos.traps import Trap
 
@@ -709,6 +765,57 @@ def cmd_audit(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_verify_codegen(args) -> int:
+    import json as _json
+
+    from .analysis.static import Severity
+    from .analysis.transval import (load_baseline, new_findings_against,
+                                    save_baseline, verify_codegen)
+
+    report, stats = verify_codegen(
+        session_dir=args.session,
+        run_selftest=not args.no_selftest,
+        audit_elisions=not args.no_elision_audit,
+        progress=lambda msg: print(msg, file=sys.stderr))
+
+    print(f"verify-codegen: {stats.blocks} fused block(s), "
+          f"{stats.vectors:,} vector(s), "
+          f"{stats.arms_covered}/{stats.arms} live arm(s) covered "
+          f"({100 * stats.coverage:.1f}%), {stats.arms_dead} proven dead")
+    print(f"elided checks : {stats.elisions} region, "
+          f"{stats.sanitizer_elisions} sanitizer")
+    print(f"throughput    : {stats.blocks_per_sec:.1f} blocks/s "
+          f"({stats.wall:.2f}s validate, {stats.replay_wall:.2f}s replay)")
+    min_severity = Severity.INFO if args.verbose else Severity.WARNING
+    print(report.format(min_severity=min_severity))
+
+    if args.json:
+        payload = {
+            "stats": stats.to_json(),
+            "findings": [{"severity": f.severity.label(), "code": f.code,
+                          "message": f.message, "address": f.address}
+                         for f in report.sorted()],
+        }
+        Path(args.json).write_text(_json.dumps(payload, indent=2) + "\n")
+        print(f"json          : {args.json}")
+    if args.write_baseline:
+        save_baseline(report, args.write_baseline)
+        print(f"baseline      : {args.write_baseline}")
+
+    if args.baseline:
+        baseline = load_baseline(args.baseline)
+        fresh = new_findings_against(report, baseline)
+        if fresh:
+            print(f"{len(fresh)} NEW finding(s) not in the baseline:")
+            for finding in fresh:
+                print(f"  {finding.format()}")
+            return 1
+        print(f"no new findings against {args.baseline} "
+              f"({len(baseline)} baselined)")
+        return 0
+    return 0 if report.ok else 1
+
+
 def cmd_sanitize(args) -> int:
     import json as _json
 
@@ -905,6 +1012,7 @@ _COMMANDS = {
     "rom": cmd_rom,
     "lint": cmd_lint,
     "audit": cmd_audit,
+    "verify-codegen": cmd_verify_codegen,
     "sanitize": cmd_sanitize,
     "fleet": cmd_fleet,
 }

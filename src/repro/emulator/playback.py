@@ -602,7 +602,10 @@ def replay_session(state, log: ActivityLog, apps=(), profile: bool = True,
                    reset_timeout: int = DEFAULT_RESET_TIMEOUT,
                    core: Optional[str] = None,
                    sanitize: bool = False,
-                   sanitize_elide: bool = True):
+                   sanitize_elide: bool = True,
+                   fuse_threshold: Optional[int] = None,
+                   on_fuse=None,
+                   validate_codegen: bool = False):
     """One-call replay: build the emulator, load β, apply δ.
 
     Returns ``(emulator, profiler, result)``; ``profiler`` is None when
@@ -620,6 +623,17 @@ def replay_session(state, log: ActivityLog, apps=(), profile: bool = True,
     intact — as ``emulator.sanitizer``.  ``sanitize_elide=False``
     disables the static check-elision set (full shadow checking; used
     by the differential suite).
+
+    ``fuse_threshold`` overrides the superblock core's fusion trigger
+    (``1`` fuses every block on first sight — the translation
+    validator's corpus mode).  ``on_fuse`` is called with each fused
+    block right after codegen.  ``validate_codegen=True`` runs the
+    translation validator inline on every fused block and leaves the
+    combined findings as ``emulator.codegen_report`` (a
+    :class:`repro.analysis.static.findings.Report`).  All three are
+    no-ops on cores without fused codegen (``core="simple"``) and
+    inert when the sanitizer is attached, because the superblock core
+    never dispatches fused bodies under shadow checking.
     """
     kwargs = dict(emulator_kwargs or {})
     if core is not None:
@@ -642,6 +656,8 @@ def replay_session(state, log: ActivityLog, apps=(), profile: bool = True,
     load_facts = getattr(emulator.device.core, "load_facts", None)
     if load_facts is not None:
         load_facts(_region_facts(apps, kwargs))
+    emulator.codegen_report = _install_fuse_hooks(
+        emulator, fuse_threshold, on_fuse, validate_codegen)
     driver = PlaybackDriver(emulator, log, jitter=jitter,
                             reset_timeout=reset_timeout)
     try:
@@ -650,6 +666,53 @@ def replay_session(state, log: ActivityLog, apps=(), profile: bool = True,
         if san is not None and san.attached:
             san.detach()
     return emulator, profiler, result
+
+
+def _install_fuse_hooks(emulator: Emulator,
+                        fuse_threshold: Optional[int],
+                        on_fuse, validate_codegen: bool):
+    """Wire the codegen observation hooks into the superblock core.
+
+    Returns the live findings Report when inline validation is on
+    (it fills as blocks fuse during the replay), else None.
+    """
+    core = emulator.device.core
+    if not hasattr(core, "fuse_validator"):
+        return None
+    if fuse_threshold is not None and hasattr(core, "fuse_threshold"):
+        core.fuse_threshold = fuse_threshold
+    report = None
+    validate = None
+    if validate_codegen:
+        from ..analysis.static.findings import Report
+        from ..analysis.transval import validate_block, workspace_for
+
+        report = Report()
+        workspaces: dict = {}
+        seen: set = set()
+
+        def validate(block) -> None:
+            prov = block.prov
+            key = (prov.pc, prov.source_hash)
+            if key in seen:
+                return
+            seen.add(key)
+            geom = (prov.ram_base, prov.ram_limit,
+                    prov.flash_base, prov.flash_limit)
+            ws = workspaces.get(geom)
+            if ws is None:
+                ws = workspaces[geom] = workspace_for(prov)
+            block_report, _stats = validate_block(prov, ws=ws)
+            report.extend(block_report)
+
+    if on_fuse is not None or validate is not None:
+        def hook(block) -> None:
+            if on_fuse is not None:
+                on_fuse(block)
+            if validate is not None:
+                validate(block)
+        core.fuse_validator = hook
+    return report
 
 
 #: (app specs, geometry) -> dataflow region facts.  The audit is pure

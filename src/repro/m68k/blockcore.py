@@ -178,7 +178,8 @@ class _Block:
 
     __slots__ = ("pc", "entries", "valid", "pages", "region", "op_counts",
                  "tail", "tok_prefix", "tok_total", "runs",
-                 "insns_executed", "fetch_refs", "fused", "fuse_epoch")
+                 "insns_executed", "fetch_refs", "fused", "fuse_epoch",
+                 "prov")
 
     def __init__(self, pc: int, entries: List[tuple],
                  pages: Tuple[int, ...], region: int,
@@ -205,6 +206,9 @@ class _Block:
         #: cannot be fused (no entries), else ``f(cpu, limit, ex)``.
         self.fused: Any = None
         self.fuse_epoch = -1
+        #: :class:`repro.m68k.fuse.FuseProvenance` once fused (entry
+        #: pc, insn count, elision list, generated-source hash, ...).
+        self.prov: Any = None
         # The block's opcode histogram, pre-aggregated: a full block
         # run (the overwhelmingly common case) bumps one counter per
         # *distinct* opcode instead of one per instruction.  The
@@ -236,6 +240,10 @@ class BlockCore:
         self.fused_built = 0
         #: Dispatch count before a block is compiled to a fused body.
         self.fuse_threshold = FUSE_THRESHOLD
+        #: Debug hook: called with the block right after a fused body
+        #: is built (``replay --validate-codegen`` installs the
+        #: translation validator here; see repro.analysis.transval).
+        self.fuse_validator: Optional[Callable[[Any], None]] = None
         #: Dataflow region facts: pc -> (read_region, write_region),
         #: each ``None`` when unproven (see ``load_facts``).
         self.facts: Dict[int, Tuple[Optional[int], Optional[int]]] = {}
@@ -318,9 +326,12 @@ class BlockCore:
         block.runs = block.insns_executed = block.fetch_refs = 0
 
     # -- observability --------------------------------------------------
-    def hot_blocks(self, n: int = 10) -> List[Dict[str, int]]:
+    def hot_blocks(self, n: int = 10) -> List[Dict[str, Any]]:
         """The ``n`` hottest superblocks by fetch references, merging
-        live blocks with the folded counters of invalidated ones."""
+        live blocks with the folded counters of invalidated ones.
+        Fused blocks carry their provenance identity (insn count,
+        elision count, generated-source hash) so the ``--hot`` report
+        and the translation validator name blocks the same way."""
         agg: Dict[int, List[int]] = {
             pc: list(st) for pc, st in self.pc_stats.items()}
         for pc, block in self.blocks.items():
@@ -329,11 +340,21 @@ class BlockCore:
             st[1] += block.insns_executed
             st[2] += block.fetch_refs
         rows = sorted(agg.items(), key=lambda kv: (-kv[1][2], kv[0]))[:n]
-        return [
-            {"pc": pc, "runs": st[0], "insns": st[1], "fetch_refs": st[2],
-             "invalidations": st[3]}
-            for pc, st in rows
-        ]
+        out: List[Dict[str, Any]] = []
+        for pc, st in rows:
+            info: Dict[str, Any] = {
+                "pc": pc, "runs": st[0], "insns": st[1],
+                "fetch_refs": st[2], "invalidations": st[3]}
+            live = self.blocks.get(pc)
+            prov = live.prov if live is not None else None
+            if prov is not None:
+                info["fused_insns"] = prov.insn_count
+                info["elisions"] = len(prov.elisions)
+                info["source_hash"] = prov.source_hash[:12]
+                if prov.loop:
+                    info["loop"] = 1
+            out.append(info)
+        return out
 
     # -- block construction ---------------------------------------------
     def _build(self, pc: int) -> Optional[_Block]:
@@ -543,6 +564,8 @@ class BlockCore:
                     block.fuse_epoch = fuse_epoch
                     if fused is not False:
                         self.fused_built += 1
+                        if self.fuse_validator is not None:
+                            self.fuse_validator(block)
             if fused is not None and fused is not False:
                 ex[0] = 0
                 try:

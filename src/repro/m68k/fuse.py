@@ -36,6 +36,7 @@ histogram/reference totals from ``ex[0]``.
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
@@ -45,7 +46,7 @@ from ..analysis.static.decode import Insn, K_BRANCH, K_CONDBRANCH, decode_insn
 from .errors import AddressError
 from .instructions import COND_EXPRS, M32, MASKS, MSBS, _shift, _specialize
 
-__all__ = ["build_fused"]
+__all__ = ["FuseProvenance", "build_fused"]
 
 SIZE_BY_BITS = {0: 1, 1: 2, 2: 4}
 
@@ -82,6 +83,58 @@ _ST4 = struct.Struct(">I")
 class _Unfusable(Exception):
     """The block contains something the generator cannot prove it
     reproduces bit-exactly; it stays interpreted forever."""
+
+
+class FuseProvenance:
+    """Stable identity + audit record for one fused superblock.
+
+    Attached to the block as ``block.prov`` by :meth:`_Fuser.build`:
+    the translation validator (:mod:`repro.analysis.transval`)
+    re-specializes ``source`` into an instrumented harness and proves
+    it equivalent to the per-insn reference semantics, and the elision
+    auditor re-derives the proof obligation behind every entry in
+    ``elisions``.  ``source_hash`` gives validator findings and the
+    ``--hot`` report a shared block identity that survives re-fusing.
+    """
+
+    __slots__ = ("pc", "region", "loop", "bulk", "insn_count", "elisions",
+                 "source", "source_hash", "entries", "spans", "code",
+                 "ram_base", "ram_limit", "flash_base", "flash_limit",
+                 "pages", "env")
+
+    def __init__(self, pc: int, region: int, loop: bool, bulk: bool,
+                 elisions: List[Tuple[int, str, int]], source: str,
+                 entries: List[tuple], spans: List[Tuple[int, int]],
+                 code: List[Tuple[int, bytes]],
+                 ram_base: int, ram_limit: int,
+                 flash_base: int, flash_limit: int,
+                 pages: Tuple[int, ...], env: Dict[str, Any]) -> None:
+        self.pc = pc
+        self.region = region
+        self.loop = loop
+        self.bulk = bulk
+        self.insn_count = len(entries)
+        #: ``(insn addr, "read"|"write", proven region)`` for every
+        #: region-dispatch elision the generator performed on the
+        #: strength of a PR-4 dataflow fact.
+        self.elisions = elisions
+        self.source = source
+        self.source_hash = hashlib.sha256(source.encode()).hexdigest()
+        self.entries = entries
+        self.spans = spans
+        #: ``(start, bytes)`` image of every instruction span — the
+        #: validator loads these into its harness memory so the real
+        #: handlers fetch the same extension words the generator baked
+        #: into the source.
+        self.code = code
+        self.ram_base = ram_base
+        self.ram_limit = ram_limit
+        self.flash_base = flash_base
+        self.flash_limit = flash_limit
+        self.pages = pages
+        #: The generation environment (held for the validator, which
+        #: reuses the read-only bulk constants ``tdyn``/``tval``).
+        self.env = env
 
 
 def build_fused(core: Any, block: Any) -> Any:
@@ -150,6 +203,9 @@ class _Fuser:
         self.facts: Dict[int, Tuple[Optional[int], Optional[int]]] = (
             core.facts if block.region == 1 else {})
         self.lines: List[str] = []
+        #: Region-dispatch elisions performed on dataflow facts,
+        #: recorded for the provenance/audit trail.
+        self.elisions: List[Tuple[int, str, int]] = []
         self.level = 1
         #: Statically-known trace tokens awaiting one batched append.
         self.pend: List[int] = []
@@ -427,6 +483,8 @@ class _Fuser:
         self._ensure_sl()
         pref = self.pend[:]
         self.pend.clear()
+        if fact is not None:
+            self.elisions.append((self.addr, "read", fact))
         if fact == 0:
             self._ram_read_body(k, q, size, v, P, exe, static=False,
                                 pref=pref)
@@ -512,6 +570,8 @@ class _Fuser:
             return
         pref = self.pend[:]
         self.pend.clear()
+        if fact is not None:
+            self.elisions.append((self.addr, "write", fact))
         if fact == 0:
             self._ram_write_body(k, q, size, val, P, exe, static=False,
                                  pref=pref)
@@ -1233,4 +1293,14 @@ class _Fuser:
         if self.bulk_info is not None and self.bulk_S:
             self._splice_bulk()
         src = "def f(cpu, limit, ex):\n" + "\n".join(self.lines) + "\n"
+        spans = [(insn.addr, insn.end) for insn in insns]
+        code = [(start, bytes(data[start - base:stop - base]))
+                for start, stop in spans]
+        self.block.prov = FuseProvenance(
+            self.block.pc, self.region, self.loop,
+            self.bulk_info is not None and bool(self.bulk_S),
+            self.elisions, src, self.entries, spans, code,
+            self.ram_base, self.ram_limit,
+            self.flash_base, self.flash_limit,
+            tuple(self.block.pages), self.env)
         return _specialize(src, self.env, name=f"<fused:{self.block.pc:#x}>")
