@@ -311,6 +311,105 @@ def bench_sweep(addresses) -> dict:
     }
 
 
+def bench_trace_io(addresses, writes, quick: bool) -> dict:
+    """PTRC container I/O and the out-of-core simulation path.
+
+    Measures container write throughput and compression ratio on the
+    bench trace, then times one kernel configuration both ways — the
+    whole trace in RAM vs streamed back from the container chunk by
+    chunk — with a bit-identical stats gate (the chunked kernels carry
+    cache state across chunk boundaries; any drift is a correctness
+    bug, not noise).  A subprocess then streams a large synthetic
+    trace (100M refs at full scale) through a writer and back without
+    ever materializing it, reporting its own peak RSS — the documented
+    bounded-memory claim for out-of-core archives."""
+    import subprocess
+    import tempfile
+
+    from repro.device.memmap import KIND_READ, KIND_WRITE
+    from repro.traces.container import (
+        ContainerWriter,
+        TraceContainer,
+        pack_tokens,
+    )
+
+    kinds = np.where(writes, KIND_WRITE, KIND_READ).astype(np.uint8)
+    tokens = pack_tokens(addresses, kinds)
+    config = CacheConfig(8192, 16, 4)
+    row: dict = {"refs": int(len(tokens))}
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "bench.ptrc"
+
+        def write():
+            with ContainerWriter(path, codec="zlib") as writer:
+                writer.append_tokens(tokens)
+            return writer.manifest
+
+        write_s, manifest = _timed(write)
+        row["codec"] = manifest["codec"]
+        row["write_tokens_per_sec"] = int(len(tokens) / write_s)
+        row["compressed_ratio"] = round(
+            manifest["payload_bytes"] / max(1, len(tokens) * 8), 3)
+
+        in_ram_s, in_ram = _timed(
+            lambda: simulate(addresses, config, writes=writes))
+        with TraceContainer(path) as container:
+            ooc_s, ooc = _timed(
+                lambda: simulate(container.cache_chunks(), config))
+        row["in_ram_refs_per_sec"] = int(len(tokens) / in_ram_s)
+        row["out_of_core_refs_per_sec"] = int(len(tokens) / ooc_s)
+        row["out_of_core_fraction_of_in_ram"] = round(in_ram_s / ooc_s, 2)
+        row["out_of_core_stats_identical"] = ooc == in_ram
+
+    # Bounded-RSS archive: the child never holds more than one chunk
+    # plus its fixed tile, whatever the trace length.
+    large_refs = 2_000_000 if quick else 100_000_000
+    child = (
+        "import json,resource,sys\n"
+        "import numpy as np\n"
+        f"sys.path.insert(0, {str(REPO_ROOT / 'src')!r})\n"
+        "from repro.traces.container import ContainerWriter, TraceContainer\n"
+        "refs, path = int(sys.argv[1]), sys.argv[2]\n"
+        "rng = np.random.default_rng(7)\n"
+        "tile = (rng.integers(0, 1 << 23, size=1 << 22, dtype=np.uint64)\n"
+        "        | (np.uint64(1) << np.uint64(32)))\n"
+        "with ContainerWriter(path, codec='zlib', level=1) as writer:\n"
+        "    done = 0\n"
+        "    while done < refs:\n"
+        "        n = min(refs - done, len(tile))\n"
+        "        writer.append_tokens(tile[:n])\n"
+        "        done += n\n"
+        "total = 0\n"
+        "with TraceContainer(path) as container:\n"
+        "    for chunk in container.chunks():\n"
+        "        total += len(chunk)\n"
+        "rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024\n"
+        "print(json.dumps({'read_back': total,\n"
+        "                  'max_rss_mb': round(rss, 1)}))\n"
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        t0 = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-c", child, str(large_refs),
+             str(Path(tmp) / "large.ptrc")],
+            capture_output=True, text=True, check=True)
+        large_s = time.perf_counter() - t0
+    stats = json.loads(proc.stdout)
+    raw_mb = large_refs * 8 / (1 << 20)
+    row["large_archive"] = {
+        "refs": large_refs,
+        "raw_mb": round(raw_mb, 1),
+        "seconds": round(large_s, 3),
+        "tokens_per_sec": int(large_refs / large_s),
+        "max_rss_mb": stats["max_rss_mb"],
+        "resident_fraction_of_raw": round(stats["max_rss_mb"] / raw_mb, 3),
+        "read_back_matches": stats["read_back"] == large_refs,
+    }
+    row["stats_match"] = bool(row["out_of_core_stats_identical"]
+                              and row["large_archive"]["read_back_matches"])
+    return row
+
+
 def bench_fleet(quick: bool) -> dict:
     """Fleet orchestration throughput: the same gremlins campaign run
     through the supervisor at ``--jobs 1`` and ``--jobs N``, with a
@@ -447,6 +546,7 @@ def main(argv=None) -> int:
         "kernels": bench_kernels(addresses, writes, scalar_refs),
         "family_pass": bench_family_pass(addresses, scalar_refs),
         "sweep_grid": bench_sweep(addresses),
+        "trace_io": bench_trace_io(addresses, writes, args.quick),
         "fleet": bench_fleet(args.quick),
         "transval": bench_transval(args.quick),
     }
@@ -489,6 +589,18 @@ def main(argv=None) -> int:
         failures.append("sweep_grid")
     if rp is not None and not rp["stats_match"]:
         failures.append("replay")
+    ti = report["trace_io"]
+    la = ti["large_archive"]
+    print(f"trace_io ({ti['refs']:,} refs): write "
+          f"{ti['write_tokens_per_sec']:,} tokens/s ({ti['codec']} "
+          f"ratio {ti['compressed_ratio']}), out-of-core "
+          f"{ti['out_of_core_refs_per_sec']:,} refs/s "
+          f"({ti['out_of_core_fraction_of_in_ram']}x in-RAM), "
+          f"identical {ti['out_of_core_stats_identical']}; "
+          f"large archive {la['refs']:,} refs ({la['raw_mb']} MB raw) "
+          f"in {la['max_rss_mb']} MB RSS")
+    if not ti["stats_match"]:
+        failures.append("trace_io")
     fl = report["fleet"]
     _print_fleet(fl)
     if not fl["stats_match"]:

@@ -284,12 +284,16 @@ def _drain_depths(tags, row, assoc, hist):
 
 def _run_waves(sets, tags, writes, config: CacheConfig,
                state: np.ndarray, depth_hist: Optional[np.ndarray] = None,
-               tail_width: int = TAIL_WIDTH):
+               tail_width: int = TAIL_WIDTH,
+               fifo_ptr: Optional[np.ndarray] = None):
     """Simulate set-sorted run heads; returns (hits, writebacks).
 
     ``state`` is the packed ``(num_sets, assoc)`` way matrix, mutated in
     place.  With ``depth_hist`` (LRU only) each hit also increments the
-    histogram bucket of its stack depth.
+    histogram bucket of its stack depth.  ``fifo_ptr`` carries the
+    per-set FIFO insertion pointers; passing it in (mutated in place)
+    lets the out-of-core path resume replacement state across chunk
+    boundaries.
     """
     assoc = state.shape[1]
     fifo = config.policy == POLICY_FIFO
@@ -305,7 +309,10 @@ def _run_waves(sets, tags, writes, config: CacheConfig,
     else:
         writes_w = None
 
-    ptr = np.zeros(state.shape[0], dtype=np.int64) if fifo else None
+    if fifo_ptr is not None:
+        ptr = fifo_ptr
+    else:
+        ptr = np.zeros(state.shape[0], dtype=np.int64) if fifo else None
     cols = np.arange(assoc, dtype=np.int64)
     # Source columns for the LRU rotation: element j takes old j-1 when
     # it sits at or above the touched depth, else stays.  Column 0 is
@@ -436,6 +443,192 @@ def _direct_mapped(sets, tags, writes, config: CacheConfig,
 
 
 # ----------------------------------------------------------------------
+# Out-of-core simulation (chunk streams)
+# ----------------------------------------------------------------------
+
+def as_chunk_iter(addresses):
+    """The chunk iterator behind ``addresses``, or ``None`` when the
+    argument is a whole in-RAM trace.
+
+    The out-of-core entry points accept either a generator/iterator or
+    a list of chunks, each chunk an address array or an ``(addresses,
+    writes)`` pair.  Flat in-RAM traces (ndarray, or a plain sequence
+    of scalars) keep the historical whole-trace path.
+    """
+    if isinstance(addresses, np.ndarray):
+        return None
+    if hasattr(addresses, "__next__"):
+        return addresses
+    if isinstance(addresses, (list, tuple)) and len(addresses) \
+            and isinstance(addresses[0], (np.ndarray, tuple)):
+        return iter(addresses)
+    return None
+
+
+def _split_chunk(chunk):
+    if isinstance(chunk, tuple):
+        addresses, writes = chunk
+        return np.asarray(addresses), writes
+    return np.asarray(chunk), None
+
+
+class ChunkedSimulator:
+    """:func:`simulate` with cache state carried across chunk feeds.
+
+    Produces ``CacheStats`` **bit-identical** to the whole-trace kernel
+    on the concatenated stream, for every chunking.  Two facts make
+    that exact rather than approximate:
+
+    *  The wave kernel's ``(num_sets, assoc)`` packed way matrix (plus
+       the FIFO insertion pointers) *is* the cache's complete
+       replacement state, so persisting it between chunks resumes the
+       simulation mid-trace.
+    *  Run collapsing is a pure optimization: a reference the
+       whole-trace pass would have collapsed into its predecessor's
+       run is, when the run straddles a chunk boundary, simulated as a
+       fresh run head instead — but its line is by construction
+       resident at MRU (or anywhere, for FIFO) in its set, so it scores
+       the same guaranteed hit, and the hit update (MRU rotation of the
+       MRU entry, dirty-bit OR) is idempotent.  Stats and final state
+       match exactly; only the operation count differs.
+
+    The direct-mapped closed form is skipped (it needs the whole trace
+    to count runs); assoc-1 configurations stream through the general
+    wave path, where every replacement policy coincides.
+    """
+
+    def __init__(self, config: CacheConfig, flush: bool = False,
+                 tail_width: int = TAIL_WIDTH):
+        if not supports(config):
+            raise KernelUnsupported(
+                f"no vectorized kernel for policy {config.policy!r}")
+        self.config = config
+        self.flush = flush
+        self.tail_width = tail_width
+        self._offset_bits = config.line_size.bit_length() - 1
+        self._write_back = config.write_policy == WRITE_BACK
+        self._state: Optional[np.ndarray] = None
+        self._ptr: Optional[np.ndarray] = None
+        self._accesses = 0
+        self._hits = 0
+        self._writebacks = 0
+        self._write_throughs = 0
+
+    def feed(self, addresses, writes=None) -> None:
+        """Simulate the next chunk of the trace."""
+        addresses = np.asarray(addresses)
+        n = len(addresses)
+        if n == 0:
+            return
+        config = self.config
+        if writes is not None:
+            writes = np.asarray(writes, dtype=bool)
+            if len(writes) != n:
+                raise ValueError("writes mask length != chunk length")
+            if not self._write_back:
+                self._write_throughs += int(np.count_nonzero(writes))
+        if self._write_back and writes is None:
+            # Dirty state from earlier chunks must keep being tracked
+            # through write-free chunks, so the write-back path always
+            # carries a mask (all-False is semantically writes=None).
+            writes = np.zeros(n, dtype=bool)
+        self._accesses += n
+        allocate = config.write_allocate
+        addresses, writes, collapsed = _precollapse(
+            addresses, writes, self._offset_bits, allocate=allocate)
+        sets, tags = _set_tag_split(addresses, config)
+        sets, tags, writes = _sort_by_set(sets, tags, writes)
+        sets, tags, writes, more = _collapse_runs(sets, tags, writes,
+                                                  allocate=allocate)
+        self._hits += collapsed + more
+        if self._state is None:
+            dtype = (tags.dtype if tags.dtype == np.int32 else np.int64)
+            self._state = np.full(
+                (config.num_sets, config.associativity), EMPTY, dtype=dtype)
+            if config.policy == POLICY_FIFO and config.associativity > 1:
+                self._ptr = np.zeros(config.num_sets, dtype=np.int64)
+        elif tags.dtype != self._state.dtype:
+            tags = tags.astype(self._state.dtype)
+        track_dirty = writes is not None and self._write_back
+        hits, writebacks = _run_waves(
+            sets, tags,
+            writes if (track_dirty or not allocate) else None,
+            config, self._state, tail_width=self.tail_width,
+            fifo_ptr=self._ptr)
+        self._hits += hits
+        self._writebacks += writebacks
+
+    def finish(self) -> CacheStats:
+        """The accumulated stats (with the final flush, if requested).
+        The simulator may keep being fed afterwards; ``finish`` only
+        snapshots."""
+        stats = CacheStats(accesses=self._accesses)
+        stats.hits = self._hits
+        stats.misses = self._accesses - self._hits
+        stats.writebacks = self._writebacks
+        stats.write_throughs = self._write_throughs
+        if self.flush and self._write_back and self._state is not None:
+            stats.writebacks += int((self._state & 1).sum())
+        return stats
+
+    def run(self, chunks) -> CacheStats:
+        for chunk in chunks:
+            addresses, writes = _split_chunk(chunk)
+            self.feed(addresses, writes)
+        return self.finish()
+
+
+class ChunkedDepthPass:
+    """:func:`lru_hit_depths` with stack state carried across chunks."""
+
+    def __init__(self, num_sets: int, max_depth: int,
+                 tail_width: int = TAIL_WIDTH):
+        self.num_sets = num_sets
+        self.max_depth = max_depth
+        self.tail_width = tail_width
+        self.hist = np.zeros(max_depth, dtype=np.int64)
+        self._state: Optional[np.ndarray] = None
+        self._total = 0
+
+    def feed(self, line_addrs) -> None:
+        line_addrs = np.asarray(line_addrs)
+        n = len(line_addrs)
+        if n == 0:
+            return
+        self._total += n
+        num_sets = self.num_sets
+        set_bits = num_sets.bit_length() - 1
+        if line_addrs.dtype == np.uint32 and set_bits >= 2:
+            sets = (line_addrs & np.uint32(num_sets - 1)).astype(np.int32)
+            tags = (line_addrs >> np.uint32(set_bits)).astype(np.int32)
+        else:
+            lines = line_addrs.astype(np.int64)
+            sets = (lines & (num_sets - 1)).astype(np.int32)
+            tags = lines >> set_bits
+        sets, tags, _ = _sort_by_set(sets, tags, None)
+        sets, tags, _, collapsed = _collapse_runs(sets, tags, None)
+        self.hist[0] += collapsed
+        if self._state is None:
+            dtype = (tags.dtype if tags.dtype == np.int32 else np.int64)
+            self._state = np.full((num_sets, self.max_depth), EMPTY,
+                                  dtype=dtype)
+        elif tags.dtype != self._state.dtype:
+            tags = tags.astype(self._state.dtype)
+
+        class _DepthPass:  # _run_waves only reads these three fields
+            policy = POLICY_LRU
+            write_policy = "write-through"
+            write_allocate = True
+
+        _run_waves(sets, tags, None, _DepthPass, self._state,
+                   depth_hist=self.hist, tail_width=self.tail_width)
+
+    def finish(self) -> Tuple[np.ndarray, int]:
+        cold = self._total - int(self.hist.sum())
+        return self.hist, cold
+
+
+# ----------------------------------------------------------------------
 # Public entry points
 # ----------------------------------------------------------------------
 
@@ -446,9 +639,24 @@ def simulate(addresses, config: CacheConfig, writes=None,
     :class:`Cache` fed the same references (plus ``flush_dirty`` when
     ``flush`` is set).
 
+    ``addresses`` may also be a *chunk iterator* — a generator (or
+    list) of address arrays or ``(addresses, writes)`` pairs, e.g.
+    ``TraceContainer.cache_chunks()`` — in which case the trace is
+    simulated out of core with state carried across chunk boundaries,
+    producing bit-identical stats to the in-RAM pass.  ``writes`` must
+    then be ``None`` (the mask rides along inside each chunk).
+
     Raises :class:`KernelUnsupported` for configurations only the
     scalar simulator handles (random replacement).
     """
+    chunk_iter = as_chunk_iter(addresses)
+    if chunk_iter is not None:
+        if writes is not None:
+            raise ValueError(
+                "with a chunk iterator, pass writes inside each chunk "
+                "as (addresses, writes) pairs")
+        return ChunkedSimulator(config, flush=flush,
+                                tail_width=tail_width).run(chunk_iter)
     if not supports(config):
         raise KernelUnsupported(
             f"no vectorized kernel for policy {config.policy!r}")
@@ -503,11 +711,23 @@ def simulate(addresses, config: CacheConfig, writes=None,
 def simulate_auto(addresses, config: CacheConfig, writes=None,
                   flush: bool = False, rng_seed: int = 0) -> CacheStats:
     """:func:`simulate`, falling back to the scalar simulator for
-    configurations without a kernel (random replacement)."""
+    configurations without a kernel (random replacement).  Accepts the
+    same chunk iterators as :func:`simulate` — the scalar fallback
+    streams them too (``Cache.run`` is incremental)."""
     if supports(config):
         return simulate(addresses, config, writes=writes, flush=flush)
     cache = Cache(config, rng_seed=rng_seed)
-    cache.run(addresses, None if writes is None else np.asarray(writes))
+    chunk_iter = as_chunk_iter(addresses)
+    if chunk_iter is not None:
+        if writes is not None:
+            raise ValueError(
+                "with a chunk iterator, pass writes inside each chunk "
+                "as (addresses, writes) pairs")
+        for chunk in chunk_iter:
+            chunk_addrs, chunk_writes = _split_chunk(chunk)
+            cache.run(chunk_addrs, chunk_writes)
+    else:
+        cache.run(addresses, None if writes is None else np.asarray(writes))
     if flush:
         cache.flush_dirty()
     return cache.stats
@@ -521,7 +741,17 @@ def lru_hit_depths(line_addrs: np.ndarray, num_sets: int, max_depth: int,
     One wave pass with ``max_depth`` ways records the stack depth of
     every hit, yielding the miss count of every associativity up to
     ``max_depth`` at once (the LRU stack property).
+
+    ``line_addrs`` may be a chunk iterator of line-address arrays (the
+    out-of-core family pass), streamed with persistent stack state.
     """
+    chunk_iter = as_chunk_iter(line_addrs)
+    if chunk_iter is not None:
+        depth_pass = ChunkedDepthPass(num_sets, max_depth,
+                                      tail_width=tail_width)
+        for chunk in chunk_iter:
+            depth_pass.feed(np.asarray(chunk))
+        return depth_pass.finish()
     line_addrs = np.asarray(line_addrs)
     hist = np.zeros(max_depth, dtype=np.int64)
     n = len(line_addrs)
@@ -556,10 +786,21 @@ def kernel_misses_by_associativity(line_addrs: np.ndarray, num_sets: int,
                                    associativities: Sequence[int]
                                    ) -> Dict[int, int]:
     """Vectorized counterpart of
-    :func:`repro.cache.stackdist.misses_by_associativity`."""
+    :func:`repro.cache.stackdist.misses_by_associativity`.  Accepts
+    the same chunk iterators as :func:`lru_hit_depths`."""
     max_assoc = max(associativities)
-    hist, _cold = lru_hit_depths(line_addrs, num_sets, max_assoc)
-    total = len(np.asarray(line_addrs))
+    if as_chunk_iter(line_addrs) is not None:
+        depth_pass = ChunkedDepthPass(num_sets, max_assoc)
+        total = 0
+        for chunk in line_addrs if hasattr(line_addrs, "__next__") \
+                else iter(line_addrs):
+            chunk = np.asarray(chunk)
+            total += len(chunk)
+            depth_pass.feed(chunk)
+        hist, _cold = depth_pass.finish()
+    else:
+        hist, _cold = lru_hit_depths(line_addrs, num_sets, max_assoc)
+        total = len(np.asarray(line_addrs))
     cumulative = np.cumsum(hist)
     return {assoc: int(total - cumulative[assoc - 1])
             for assoc in associativities}

@@ -17,6 +17,8 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .kernels import as_chunk_iter as _as_chunk_iter
+
 
 def to_line_addresses(addresses: np.ndarray, line_size: int) -> np.ndarray:
     """Convert byte addresses to line numbers."""
@@ -115,6 +117,11 @@ def lru_family_stats(line_addrs: np.ndarray,
     clean.  Requires write-allocate (a non-allocating write miss breaks
     inclusion between associativities).  Matches the reference
     simulator's stats byte for byte; see the differential tests.
+
+    ``line_addrs`` may also be a chunk iterator — a generator (or list)
+    of line-address arrays or ``(line_addrs, writes)`` pairs, streamed
+    with the per-set stacks carried across chunk boundaries (the
+    out-of-core family pass); ``writes`` must then be ``None``.
     """
     assocs = sorted(set(int(a) for a in associativities))
     max_assoc = assocs[-1]
@@ -124,46 +131,67 @@ def lru_family_stats(line_addrs: np.ndarray,
     mask_stacks: Dict[int, list] = {s: [] for s in range(num_sets)}
     hist = np.zeros(max_assoc, dtype=np.int64)
     writebacks = {a: 0 for a in assocs}
-    n = len(line_addrs)
-    total_writes = (0 if writes is None
-                    else int(np.count_nonzero(writes)))
-    w = False
-    for i in range(n):
-        line = int(line_addrs[i])
+    n = 0
+    total_writes = 0
+
+    def feed(line_addrs, writes) -> int:
+        nonlocal total_writes
+        count = len(line_addrs)
         if writes is not None:
-            w = bool(writes[i])
-        s = line & set_mask
-        tag = line >> tag_shift
-        tags = tag_stacks[s]
-        masks = mask_stacks[s]
-        try:
-            d = tags.index(tag)
-        except ValueError:
-            d = -1
-        if d >= 0:
-            mask = masks[d]
-            del tags[d]
-            del masks[d]
-            hist[d] += 1
-        else:
-            mask = 0
-        for j, a in enumerate(assocs):
-            bit = 1 << j
-            if d < 0 or d >= a:
-                # Miss in the a-way cache: the insert pushes the entry
-                # now at depth a-1 across the boundary, evicting it.
-                if len(tags) >= a and masks[a - 1] & bit:
-                    writebacks[a] += 1
-                    masks[a - 1] &= ~bit
-                if w:
-                    mask |= bit   # dirty allocate (write-allocate)
-            elif w:
-                mask |= bit       # write hit
-        tags.insert(0, tag)
-        masks.insert(0, mask)
-        if len(tags) > max_assoc:
-            tags.pop()
-            masks.pop()
+            total_writes += int(np.count_nonzero(writes))
+        w = False
+        for i in range(count):
+            line = int(line_addrs[i])
+            if writes is not None:
+                w = bool(writes[i])
+            s = line & set_mask
+            tag = line >> tag_shift
+            tags = tag_stacks[s]
+            masks = mask_stacks[s]
+            try:
+                d = tags.index(tag)
+            except ValueError:
+                d = -1
+            if d >= 0:
+                mask = masks[d]
+                del tags[d]
+                del masks[d]
+                hist[d] += 1
+            else:
+                mask = 0
+            for j, a in enumerate(assocs):
+                bit = 1 << j
+                if d < 0 or d >= a:
+                    # Miss in the a-way cache: the insert pushes the
+                    # entry now at depth a-1 across the boundary,
+                    # evicting it.
+                    if len(tags) >= a and masks[a - 1] & bit:
+                        writebacks[a] += 1
+                        masks[a - 1] &= ~bit
+                    if w:
+                        mask |= bit   # dirty allocate (write-allocate)
+                elif w:
+                    mask |= bit       # write hit
+            tags.insert(0, tag)
+            masks.insert(0, mask)
+            if len(tags) > max_assoc:
+                tags.pop()
+                masks.pop()
+        return count
+
+    chunk_iter = _as_chunk_iter(line_addrs)
+    if chunk_iter is not None:
+        if writes is not None:
+            raise ValueError(
+                "with a chunk iterator, pass writes inside each chunk "
+                "as (line_addrs, writes) pairs")
+        for chunk in chunk_iter:
+            if isinstance(chunk, tuple):
+                n += feed(np.asarray(chunk[0]), chunk[1])
+            else:
+                n += feed(np.asarray(chunk), None)
+    else:
+        n = feed(line_addrs, writes)
     out = {}
     for a in assocs:
         hits = int(hist[:a].sum())

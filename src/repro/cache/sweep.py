@@ -10,9 +10,10 @@ sweep exploits the LRU stack property to simulate each
 
 from __future__ import annotations
 
+import os
 import traceback
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -167,6 +168,15 @@ def _check_result(result, unit) -> object:
     return result
 
 
+def _pool_init_container(container_path: str, memory_only: bool) -> None:
+    """Worker init for the by-chunk sharding mode: no shared memory at
+    all — each worker streams chunks straight from the PTRC container
+    (or archive) on disk, so its resident footprint is one decode
+    window regardless of trace size."""
+    _SHARED.update(container=container_path, memory_only=memory_only,
+                   addresses=None, writes=None, segments=())
+
+
 def _pool_init(shm_name: str, n: int, dtype: str,
                writes_shm_name: Optional[str]) -> None:
     from multiprocessing import shared_memory
@@ -187,12 +197,35 @@ def _pool_init(shm_name: str, n: int, dtype: str,
                    segments=(shm, wshm))
 
 
-def _family_unit_impl(unit: Tuple[int, int, Tuple[int, ...]]) -> Dict[int, int]:
+def _family_unit_impl(unit: Tuple[int, int, Tuple[int, ...]]):
     """Paper-grid unit: one (line size, set count) family, all
-    associativities in a single vectorized stack pass."""
+    associativities in a single vectorized stack pass.  In container
+    mode the pass streams chunk by chunk (bounded memory) and returns
+    ``(total_refs, misses)`` — the parent cannot know the post-filter
+    reference count without decoding the trace itself."""
     from . import kernels
 
     line, num_sets, assocs = unit
+    container = _SHARED.get("container")
+    if container is not None:
+        from ..traces.container import open_chunk_source
+
+        src = open_chunk_source(container)
+        total = 0
+        try:
+            def line_chunks():
+                nonlocal total
+                for addrs, _writes in src.cache_chunks(
+                        memory_only=_SHARED["memory_only"]):
+                    total += len(addrs)
+                    yield to_line_addresses(addrs, line)
+
+            misses = kernels.kernel_misses_by_associativity(
+                line_chunks(), num_sets, list(assocs))
+        finally:
+            if hasattr(src, "close"):
+                src.close()
+        return (total, misses)
     line_addrs = to_line_addresses(_SHARED["addresses"], line)
     return kernels.kernel_misses_by_associativity(line_addrs, num_sets,
                                                   list(assocs))
@@ -203,8 +236,21 @@ def _config_unit_impl(config: CacheConfig) -> Tuple[int, int, int, int]:
     kernels, with the scalar simulator as automatic fallback."""
     from . import kernels
 
-    stats = kernels.simulate_auto(_SHARED["addresses"], config,
-                                  writes=_SHARED["writes"])
+    container = _SHARED.get("container")
+    if container is not None:
+        from ..traces.container import open_chunk_source
+
+        src = open_chunk_source(container)
+        try:
+            stats = kernels.simulate_auto(
+                src.cache_chunks(memory_only=_SHARED["memory_only"]),
+                config)
+        finally:
+            if hasattr(src, "close"):
+                src.close()
+    else:
+        stats = kernels.simulate_auto(_SHARED["addresses"], config,
+                                      writes=_SHARED["writes"])
     return (stats.accesses, stats.misses, stats.writebacks,
             stats.write_throughs)
 
@@ -237,11 +283,17 @@ def _grid_units(sizes, line_sizes, associativities):
     return units
 
 
-def _run_units(worker, units, jobs: int, addresses: np.ndarray,
+def _run_units(worker, units, jobs: int, addresses: Optional[np.ndarray],
                writes: Optional[np.ndarray],
-               chunk_timeout: Optional[float] = None) -> List:
+               chunk_timeout: Optional[float] = None,
+               container: Optional[str] = None,
+               memory_only: bool = True) -> List:
     """Map ``worker`` over ``units`` with ``jobs`` forked processes
     sharing the trace, or serially in-process.
+
+    With ``container`` set (by-chunk sharding mode) there is no shared
+    memory at all: workers stream chunks from the PTRC file/archive on
+    disk, and ``addresses``/``writes`` are unused.
 
     Serial fallback triggers on ``jobs <= 1`` and whenever fork or
     shared memory is unavailable.  A worker that raises surfaces as a
@@ -255,6 +307,38 @@ def _run_units(worker, units, jobs: int, addresses: np.ndarray,
     call.
     """
     units = list(units)
+    if container is not None and jobs > 1:
+        try:
+            import multiprocessing
+
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(jobs, initializer=_pool_init_container,
+                          initargs=(container, memory_only)) as pool:
+                it = pool.imap(worker, units, chunksize=1)
+                results = []
+                for index, unit in enumerate(units):
+                    try:
+                        if chunk_timeout is not None:
+                            result = it.next(chunk_timeout)
+                        else:
+                            result = next(it)
+                    except multiprocessing.TimeoutError:
+                        raise SweepWorkerError(
+                            f"sweep worker exceeded the {chunk_timeout:g}s "
+                            f"chunk timeout on unit {index} "
+                            f"({unit!r}) — worker killed or wedged"
+                        ) from None
+                    results.append(_check_result(result, unit))
+                return results
+        except (ImportError, OSError, ValueError):
+            pass  # no fork: fall through to serial streaming
+    if container is not None:
+        _SHARED.update(container=container, memory_only=memory_only,
+                       addresses=None, writes=None, segments=())
+        try:
+            return [_check_result(worker(u), u) for u in units]
+        finally:
+            _SHARED.clear()
     if jobs > 1:
         try:
             import multiprocessing
@@ -312,7 +396,7 @@ def _run_units(worker, units, jobs: int, addresses: np.ndarray,
         _SHARED.clear()
 
 
-def sweep_parallel(addresses: np.ndarray,
+def sweep_parallel(addresses: Optional[np.ndarray] = None,
                    writes: Optional[np.ndarray] = None,
                    configs: Optional[Sequence[CacheConfig]] = None,
                    jobs: int = 1,
@@ -320,6 +404,8 @@ def sweep_parallel(addresses: np.ndarray,
                    line_sizes: Sequence[int] = PAPER_LINE_SIZES,
                    associativities: Sequence[int] = PAPER_ASSOCIATIVITIES,
                    chunk_timeout: Optional[float] = None,
+                   container: Union[str, "os.PathLike", None] = None,
+                   memory_only: bool = True,
                    ) -> List[SweepPoint]:
     """The configuration sweep, fanned out over worker processes.
 
@@ -330,31 +416,57 @@ def sweep_parallel(addresses: np.ndarray,
     kernels — any policy/write-mode mix, e.g. the ablation grid — and
     the returned points carry write-back/write-through counts.
 
-    The trace (and write mask) is shared with workers through
-    ``multiprocessing.shared_memory``; result order is deterministic
-    and independent of ``jobs``; ``jobs <= 1`` or an unavailable fork
-    start method degrades gracefully to an in-process loop.  A failed
-    worker raises :class:`SweepWorkerError`; ``chunk_timeout`` bounds
-    how long any single work unit may take before the sweep gives up
-    with the same error (catching killed/wedged workers).
+    Two trace-sharing modes:
+
+    *  **In-RAM** (``addresses``): the trace (and write mask) is shared
+       with workers through ``multiprocessing.shared_memory``.
+    *  **By-chunk sharding** (``container``): pass a PTRC container
+       file (or archive directory) instead of arrays.  Workers stream
+       chunks from disk through the out-of-core kernels — resident
+       memory stays bounded by the chunk decode window however large
+       the archived trace is, and results are bit-identical to the
+       in-RAM pass on the same references.  ``memory_only`` mirrors
+       ``ReferenceTrace.memory_only()`` (drop hardware references).
+
+    Result order is deterministic and independent of ``jobs``;
+    ``jobs <= 1`` or an unavailable fork start method degrades
+    gracefully to an in-process loop.  A failed worker raises
+    :class:`SweepWorkerError`; ``chunk_timeout`` bounds how long any
+    single work unit may take before the sweep gives up with the same
+    error (catching killed/wedged workers).
     """
-    addresses = np.ascontiguousarray(addresses, dtype=np.uint32)
-    if writes is not None:
-        writes = np.ascontiguousarray(writes, dtype=bool)
-        if len(writes) != len(addresses):
-            raise ValueError("writes mask length != trace length")
+    if container is not None:
+        if addresses is not None or writes is not None:
+            raise ValueError(
+                "pass either in-RAM arrays or container=, not both")
+        container = os.fspath(container)
+    else:
+        if addresses is None:
+            raise ValueError("pass addresses or container=")
+        addresses = np.ascontiguousarray(addresses, dtype=np.uint32)
+        if writes is not None:
+            writes = np.ascontiguousarray(writes, dtype=bool)
+            if len(writes) != len(addresses):
+                raise ValueError("writes mask length != trace length")
 
     if configs is not None:
         results = _run_units(_config_unit, list(configs), jobs,
-                             addresses, writes, chunk_timeout)
+                             addresses, writes, chunk_timeout,
+                             container=container, memory_only=memory_only)
         return [SweepPoint(config=c, accesses=acc, misses=miss,
                            writebacks=wb, write_throughs=wt)
                 for c, (acc, miss, wb, wt) in zip(configs, results)]
 
     units = _grid_units(sizes, line_sizes, associativities)
     results = _run_units(_family_unit, [u for u, _ in units], jobs,
-                         addresses, writes, chunk_timeout)
-    total_refs = len(addresses)
+                         addresses, writes, chunk_timeout,
+                         container=container, memory_only=memory_only)
+    if container is not None:
+        # Container-mode family units report (total_refs, misses).
+        total_refs = results[0][0] if results else 0
+        results = [misses for _total, misses in results]
+    else:
+        total_refs = len(addresses)
     points: List[SweepPoint] = []
     for (_, family), misses in zip(units, results):
         for config in family:

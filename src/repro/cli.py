@@ -33,6 +33,14 @@ def _add_replay(sub) -> None:
                    help="skip profiling (faster)")
     p.add_argument("--trace", default=None,
                    help="write the reference trace to this .npz file")
+    p.add_argument("--trace-out", default=None, metavar="FILE.ptrc",
+                   help="stream the reference trace into a PTRC "
+                        "container during the replay (bounded memory "
+                        "unless --trace or checkpointing also needs "
+                        "the in-RAM copy)")
+    p.add_argument("--trace-codec", default="zlib",
+                   help="PTRC codec for --trace-out: raw, zlib, or "
+                        "zstd when available (default zlib)")
     p.add_argument("--jitter", type=int, default=None,
                    help="enable the POSE jitter model with this seed")
     p.add_argument("--screenshot", default=None, metavar="FILE.ppm",
@@ -97,7 +105,9 @@ def _add_validate(sub) -> None:
 def _add_sweep(sub) -> None:
     p = sub.add_parser("sweep", help="run the 56-configuration cache "
                                      "study on a trace")
-    p.add_argument("--trace", required=True, help=".npz reference trace")
+    p.add_argument("--trace", required=True,
+                   help=".npz reference trace, or a .ptrc container / "
+                        "archive directory (streamed out-of-core)")
     p.add_argument("--limit", type=int, default=None,
                    help="cap the number of references")
     p.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -219,6 +229,47 @@ def _add_verify_codegen(sub) -> None:
                         "detections)")
 
 
+def _add_trace(sub) -> None:
+    p = sub.add_parser(
+        "trace",
+        help="inspect, convert and verify PTRC trace containers")
+    act = p.add_subparsers(dest="action", required=True)
+
+    info = act.add_parser("info", help="print a container's (or archive "
+                                       "directory's) manifest summary")
+    info.add_argument("path")
+
+    conv = act.add_parser(
+        "convert",
+        help="convert between trace formats by extension: .npz "
+             "(ReferenceTrace), .din (dinero text), .ptrc (container); "
+             "dinero<->PTRC conversion streams chunk by chunk")
+    conv.add_argument("src")
+    conv.add_argument("dst")
+    conv.add_argument("--codec", default="zlib",
+                      help="PTRC codec when the destination is .ptrc "
+                           "(raw, zlib, or zstd when available)")
+    conv.add_argument("--chunk-tokens", type=int, default=None,
+                      metavar="N", help="PTRC chunk size in tokens")
+
+    cat = act.add_parser("cat", help="print references as text lines "
+                                     "(kind, region, hex address)")
+    cat.add_argument("path")
+    cat.add_argument("--limit", type=int, default=None, metavar="N",
+                     help="stop after N references")
+
+    ver = act.add_parser(
+        "verify",
+        help="verify a container or archive: structure, per-chunk "
+             "crc32s and the content digest")
+    ver.add_argument("path")
+    ver.add_argument("--no-deep", action="store_true",
+                     help="structure only; skip decoding every chunk")
+    ver.add_argument("--salvage", default=None, metavar="OUT.ptrc",
+                     help="on a torn/corrupt container, recover the "
+                          "intact prefix into OUT.ptrc")
+
+
 def _add_fleet(sub) -> None:
     p = sub.add_parser(
         "fleet",
@@ -251,6 +302,11 @@ def _add_fleet(sub) -> None:
     p.add_argument("--policy", default="resync",
                    choices=("strict", "resync", "degrade"),
                    help="replay divergence policy for every session")
+    p.add_argument("--archive-traces", action="store_true",
+                   help="archive every session's reference trace as a "
+                        "PTRC container under <out>/traces/ and record "
+                        "its digest in the journal (verified on "
+                        "--resume)")
     p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
                    help="PRCKPT01 checkpoint interval inside each "
                         "replay (ticks; 0 = policy default)")
@@ -295,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_audit(sub)
     _add_verify_codegen(sub)
     _add_sanitize(sub)
+    _add_trace(sub)
     _add_fleet(sub)
     return parser
 
@@ -379,11 +436,33 @@ def _resilience_active(args) -> bool:
                 args.reset_timeout is not None))
 
 
+def _open_trace_writer(args):
+    """A PTRC writer for ``--trace-out``, or an error message."""
+    from .traces.container import ContainerWriter, TraceContainerError
+
+    try:
+        return ContainerWriter(
+            args.trace_out, codec=args.trace_codec,
+            session={"source": "replay", "archive": str(args.session)}), None
+    except TraceContainerError as exc:
+        return None, str(exc)
+
+
+def _report_trace_out(manifest, path) -> None:
+    print(f"trace-out    : {path} ({manifest['tokens']:,} tokens, "
+          f"{manifest['chunks']} chunk(s), codec {manifest['codec']}, "
+          f"digest {manifest['digest'][:12]}…)")
+
+
 def cmd_replay(args) -> int:
     from .apps import standard_apps
     from .emulator import JitterModel, replay_session
 
     jitter = JitterModel(seed=args.jitter) if args.jitter is not None else None
+    if args.trace_out and args.no_profile:
+        print("--trace-out needs profiling (drop --no-profile)",
+              file=sys.stderr)
+        return 2
     if _resilience_active(args):
         if args.sanitize:
             print("--sanitize does not combine with the resilience "
@@ -396,14 +475,29 @@ def cmd_replay(args) -> int:
               "--sanitize (fused codegen is disabled under shadow "
               "checking)", file=sys.stderr)
         return 2
+    trace_writer = None
+    if args.trace_out:
+        trace_writer, err = _open_trace_writer(args)
+        if trace_writer is None:
+            print(f"--trace-out: {err}", file=sys.stderr)
+            return 2
     state, log = _load_archive(args.session)
     start = time.time()
-    emulator, profiler, result = replay_session(
-        state, log, apps=standard_apps(), profile=not args.no_profile,
-        jitter=jitter, emulator_kwargs={**_EMU_KW, "core": args.core},
-        sanitize=args.sanitize,
-        sanitize_elide=not args.no_sanitize_elide,
-        validate_codegen=args.validate_codegen)
+    try:
+        emulator, profiler, result = replay_session(
+            state, log, apps=standard_apps(), profile=not args.no_profile,
+            jitter=jitter, emulator_kwargs={**_EMU_KW, "core": args.core},
+            sanitize=args.sanitize,
+            sanitize_elide=not args.no_sanitize_elide,
+            validate_codegen=args.validate_codegen,
+            trace_sink=trace_writer,
+            # --trace still needs the in-RAM copy; otherwise the trace
+            # lives only in the container and the replay runs bounded.
+            trace_spill=trace_writer is not None and not args.trace)
+    except BaseException:
+        if trace_writer is not None:
+            trace_writer.abort()
+        raise
     elapsed = time.time() - start
     if args.screenshot:
         from .analysis import screenshot_ppm
@@ -424,6 +518,8 @@ def cmd_replay(args) -> int:
         if args.trace:
             profiler.reference_trace().save(args.trace)
             print(f"trace written: {args.trace}")
+    if trace_writer is not None:
+        _report_trace_out(trace_writer.close(), args.trace_out)
     if args.hot:
         _print_hot(emulator, profiler, args.hot)
     if args.sanitize:
@@ -578,6 +674,19 @@ def _replay_resilient(args, jitter) -> int:
         if args.trace:
             profiler.reference_trace().save(args.trace)
             print(f"trace written: {args.trace}")
+        if args.trace_out:
+            # Drained after the replay rather than streamed: PRCKPT01
+            # checkpoints carry the in-RAM trace, so spilling it would
+            # break the resync/retry machinery.  chunks() still streams
+            # the write itself.
+            trace_writer, err = _open_trace_writer(args)
+            if trace_writer is None:
+                print(f"--trace-out: {err}", file=sys.stderr)
+                return 2
+            with trace_writer:
+                for chunk in profiler.chunks():
+                    trace_writer.append_tokens(chunk)
+            _report_trace_out(trace_writer.manifest, args.trace_out)
     return 0
 
 
@@ -616,16 +725,37 @@ def cmd_sweep(args) -> int:
     from .cache import RegionMix, sweep_parallel
     from .emulator import ReferenceTrace
 
-    trace = ReferenceTrace.load(args.trace).memory_only()
-    counts = trace.counts()
-    addresses = trace.addresses
-    if args.limit:
-        addresses = addresses[:args.limit]
     jobs = max(1, args.jobs)
     how = f"{jobs} workers" if jobs > 1 else "in-process"
-    print(f"sweeping {len(addresses):,} references ({how}) ...")
-    points = sweep_parallel(addresses, jobs=jobs,
-                            chunk_timeout=args.chunk_timeout)
+    path = Path(args.trace)
+    if path.is_dir() or path.suffix == ".ptrc":
+        # Out-of-core: workers stream chunks straight off the container
+        # (or archive directory); the trace is never fully resident.
+        from .traces.container import open_chunk_source
+        if args.limit:
+            print("--limit does not apply to container sweeps "
+                  "(the trace is streamed, not loaded)", file=sys.stderr)
+            return 2
+        with_src = open_chunk_source(args.trace)
+        try:
+            counts = with_src.counts()
+        finally:
+            closer = getattr(with_src, "close", None)
+            if closer is not None:
+                closer()
+        total = counts["ram"] + counts["flash"]
+        print(f"sweeping {total:,} references out-of-core ({how}) ...")
+        points = sweep_parallel(container=args.trace, jobs=jobs,
+                                chunk_timeout=args.chunk_timeout)
+    else:
+        trace = ReferenceTrace.load(args.trace).memory_only()
+        counts = trace.counts()
+        addresses = trace.addresses
+        if args.limit:
+            addresses = addresses[:args.limit]
+        print(f"sweeping {len(addresses):,} references ({how}) ...")
+        points = sweep_parallel(addresses, jobs=jobs,
+                                chunk_timeout=args.chunk_timeout)
     print(format_miss_rates(points))
     print()
     mix = RegionMix(counts["ram"], counts["flash"])
@@ -901,6 +1031,178 @@ def cmd_sanitize(args) -> int:
     return 1 if failures else 0
 
 
+_KIND_NAMES = {0: "fetch", 1: "read", 2: "write"}
+_REGION_NAMES = {0: "ram", 1: "flash", 2: "hw", 3: "card"}
+
+
+def _trace_reference_stream(path: Path):
+    """``(addresses, kinds)`` chunk pairs from any trace format."""
+    if path.is_dir() or path.suffix == ".ptrc":
+        from .traces.container import open_chunk_source, unpack_tokens
+        src = open_chunk_source(path)
+        try:
+            for chunk in src.chunks():
+                yield unpack_tokens(chunk)
+        finally:
+            closer = getattr(src, "close", None)
+            if closer is not None:
+                closer()
+    elif path.suffix == ".din":
+        from .traces.dinero import read_dinero_chunks
+        yield from read_dinero_chunks(path)
+    else:
+        from .emulator import ReferenceTrace
+        yield from ReferenceTrace.load(path).chunks()
+
+
+def cmd_trace(args) -> int:
+    from .traces.container import (
+        TraceArchive,
+        TraceContainer,
+        TraceContainerError,
+        open_chunk_source,
+    )
+
+    if args.action == "info":
+        path = Path(args.path)
+        if path.is_dir():
+            archive = TraceArchive(path)
+            meta = archive.meta
+            print(f"archive      : {path} "
+                  f"({meta.get('format', 'PTRC-archive')})")
+            print(f"members      : {len(archive.members())}, "
+                  f"{archive.total_tokens:,} tokens total")
+            for record in archive.members():
+                print(f"  {record['id']:12s} {record['tokens']:>12,} "
+                      f"tokens  {record['file']}  "
+                      f"digest {record['digest'][:12]}…")
+            return 0
+        try:
+            with TraceContainer(path) as container:
+                manifest = container.manifest
+                ratio = (manifest["payload_bytes"]
+                         / max(1, 8 * manifest["tokens"]))
+                print(f"container    : {path} (PTRC v{manifest['version']})")
+                print(f"codec        : {manifest['codec']}, "
+                      f"{manifest['chunk_tokens']:,} tokens/chunk")
+                print(f"tokens       : {manifest['tokens']:,} in "
+                      f"{manifest['chunks']} chunk(s)")
+                print(f"payload      : {manifest['payload_bytes']:,} bytes "
+                      f"({ratio:.3f}x of raw)")
+                print(f"digest       : {manifest['digest']}")
+                for key, value in sorted(manifest.get("session",
+                                                      {}).items()):
+                    print(f"session.{key:<12s}: {value}")
+        except TraceContainerError as exc:
+            print(f"not a readable container: {exc}\n"
+                  f"(try `trace verify --salvage OUT.ptrc {path}`)",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    if args.action == "convert":
+        return _cmd_trace_convert(args)
+
+    if args.action == "cat":
+        left = args.limit
+        for addresses, kinds in _trace_reference_stream(Path(args.path)):
+            if left is not None:
+                addresses, kinds = addresses[:left], kinds[:left]
+            for addr, kind in zip(addresses, kinds):
+                print(f"{_KIND_NAMES.get(int(kind) & 0x0F, '?'):5s} "
+                      f"{_REGION_NAMES.get(int(kind) >> 4, '?'):5s} "
+                      f"{int(addr):#010x}")
+            if left is not None:
+                left -= len(addresses)
+                if left <= 0:
+                    return 0
+        return 0
+
+    # verify
+    try:
+        src = open_chunk_source(args.path)
+        try:
+            report = src.verify(deep=not args.no_deep)
+        finally:
+            closer = getattr(src, "close", None)
+            if closer is not None:
+                closer()
+    except TraceContainerError as exc:
+        print(f"verify FAILED: {exc}")
+        if not args.salvage:
+            return 1
+        from .resilience import salvage_container
+        result = salvage_container(args.path, args.salvage)
+        print(result.summary())
+        print(result.report.format())
+        return 0 if result.tokens_kept else 1
+    if isinstance(report, dict) and "chunks" in report:
+        print(f"verify OK    : {report['chunks']} chunk(s), "
+              f"{report['tokens']:,} tokens"
+              + (f", digest {report['digest'][:12]}…"
+                 if "digest" in report else " (structure only)"))
+    else:
+        for member_id, member_report in report.items():
+            print(f"verify OK    : {member_id}: "
+                  f"{member_report['chunks']} chunk(s), "
+                  f"{member_report['tokens']:,} tokens")
+    return 0
+
+
+def _cmd_trace_convert(args) -> int:
+    from .traces.container import TraceContainerError
+
+    src = Path(args.src)
+    dst = Path(args.dst)
+    src_kind = "ptrc" if (src.is_dir() or src.suffix == ".ptrc") \
+        else src.suffix.lstrip(".")
+    dst_kind = "ptrc" if dst.suffix == ".ptrc" else dst.suffix.lstrip(".")
+    writer_kwargs = {"codec": args.codec}
+    if args.chunk_tokens:
+        writer_kwargs["chunk_tokens"] = args.chunk_tokens
+    try:
+        if dst_kind == "ptrc":
+            from .traces.container import ContainerWriter
+            with ContainerWriter(dst, session={"source": str(src)},
+                                 **writer_kwargs) as writer:
+                for addresses, kinds in _trace_reference_stream(src):
+                    writer.append_reference(addresses, kinds)
+            manifest = writer.manifest
+            print(f"wrote {dst}: {manifest['tokens']:,} tokens, "
+                  f"{manifest['chunks']} chunk(s), codec "
+                  f"{manifest['codec']}, digest {manifest['digest'][:12]}…")
+        elif dst_kind == "din":
+            from .traces.dinero import write_dinero_chunks
+            count = write_dinero_chunks(dst, _trace_reference_stream(src))
+            print(f"wrote {dst}: {count:,} records")
+        elif dst_kind == "npz":
+            import numpy as np
+
+            from .emulator import ReferenceTrace
+            addr_chunks, kind_chunks = [], []
+            for addresses, kinds in _trace_reference_stream(src):
+                addr_chunks.append(addresses)
+                kind_chunks.append(kinds)
+            trace = ReferenceTrace(
+                addresses=(np.concatenate(addr_chunks) if addr_chunks
+                           else np.empty(0, dtype=np.uint32)),
+                kinds=(np.concatenate(kind_chunks) if kind_chunks
+                       else np.empty(0, dtype=np.uint8)))
+            trace.save(dst)
+            print(f"wrote {dst}: {len(trace.addresses):,} references")
+        else:
+            print(f"unknown destination format {dst.suffix!r} "
+                  f"(use .npz, .din or .ptrc)", file=sys.stderr)
+            return 2
+    except (TraceContainerError, OSError) as exc:
+        print(f"convert failed: {exc}", file=sys.stderr)
+        return 1
+    if src_kind not in ("ptrc", "din", "npz"):
+        print(f"note: guessed source format from contents of "
+              f"{src.suffix!r}", file=sys.stderr)
+    return 0
+
+
 def cmd_fleet(args) -> int:
     import json as _json
 
@@ -908,6 +1210,7 @@ def cmd_fleet(args) -> int:
         CampaignSpec,
         ChaosPlan,
         FleetSupervisor,
+        JournalError,
         read_manifest,
         verify_chaos,
     )
@@ -917,7 +1220,11 @@ def cmd_fleet(args) -> int:
         lambda text: print(f"  {text}"))
 
     if args.resume:
-        spec_json, _ = read_manifest(args.out)
+        try:
+            spec_json, _ = read_manifest(args.out)
+        except JournalError as exc:
+            print(f"cannot resume: {exc}", file=sys.stderr)
+            return 1
         spec = CampaignSpec.from_json(spec_json)
         print(f"resuming campaign {spec.name!r} "
               f"({spec.sessions} sessions) in {args.out}")
@@ -944,6 +1251,7 @@ def cmd_fleet(args) -> int:
             caches=caches,
             policy=args.policy,
             checkpoint_every=args.checkpoint_every,
+            archive_traces=args.archive_traces,
         )
         cells = spec.cells()
         print(f"campaign {spec.name!r}: {spec.sessions} sessions over "
@@ -962,6 +1270,9 @@ def cmd_fleet(args) -> int:
         chaos=chaos, progress=progress)
     try:
         result = supervisor.run(resume=args.resume)
+    except JournalError as exc:
+        print(f"campaign integrity check failed: {exc}", file=sys.stderr)
+        return 1
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         print("interrupted — the journal is durable; continue with "
               "--resume")
@@ -1014,6 +1325,7 @@ _COMMANDS = {
     "audit": cmd_audit,
     "verify-codegen": cmd_verify_codegen,
     "sanitize": cmd_sanitize,
+    "trace": cmd_trace,
     "fleet": cmd_fleet,
 }
 

@@ -605,7 +605,9 @@ def replay_session(state, log: ActivityLog, apps=(), profile: bool = True,
                    sanitize_elide: bool = True,
                    fuse_threshold: Optional[int] = None,
                    on_fuse=None,
-                   validate_codegen: bool = False):
+                   validate_codegen: bool = False,
+                   trace_sink=None,
+                   trace_spill: bool = False):
     """One-call replay: build the emulator, load β, apply δ.
 
     Returns ``(emulator, profiler, result)``; ``profiler`` is None when
@@ -634,6 +636,12 @@ def replay_session(state, log: ActivityLog, apps=(), profile: bool = True,
     no-ops on cores without fused codegen (``core="simple"``) and
     inert when the sanitizer is attached, because the superblock core
     never dispatches fused bodies under shadow checking.
+
+    ``trace_sink`` streams the reference trace into a PTRC
+    :class:`repro.traces.container.ContainerWriter` while the replay
+    runs; ``trace_spill=True`` additionally drops the in-RAM chunks so
+    arbitrarily long sessions replay in bounded memory (the trace is
+    then only readable from the container).
     """
     kwargs = dict(emulator_kwargs or {})
     if core is not None:
@@ -647,6 +655,10 @@ def replay_session(state, log: ActivityLog, apps=(), profile: bool = True,
             trace_references=trace_references,
             track_opcode_addresses=track_opcode_addresses,
             track_reference_pcs=track_reference_pcs)
+        if trace_sink is not None:
+            # Stream the reference trace into a PTRC container as the
+            # replay runs; with ``trace_spill`` nothing stays in RAM.
+            profiler.attach_trace_sink(trace_sink, spill=trace_spill)
     san = None
     if sanitize:
         san = _session_sanitizer(emulator, apps, kwargs,
@@ -665,6 +677,10 @@ def replay_session(state, log: ActivityLog, apps=(), profile: bool = True,
     finally:
         if san is not None and san.attached:
             san.detach()
+        if profiler is not None and trace_sink is not None:
+            # The hot path batches tokens; push the final partial
+            # batch through so the container holds the whole trace.
+            profiler.flush_trace_sink()
     return emulator, profiler, result
 
 

@@ -103,6 +103,14 @@ class Profiler:
         #: trace in memory).  Hardware-register references are skipped,
         #: as in the off-line pipeline's ``memory_only()``.
         self.online_caches: list = []
+        #: Optional streaming trace sink (a PTRC ``ContainerWriter``):
+        #: every flushed chunk is appended to it during replay.  With
+        #: ``spill`` the chunks are *not* kept in RAM afterwards — the
+        #: container on disk becomes the only copy, and the in-RAM
+        #: trace accessors refuse to run (see ``attach_trace_sink``).
+        self._trace_sink = None
+        self._trace_spill = False
+        self._spilled_tokens = 0
         if trace_references and not track_reference_pcs:
             # Shadow the general methods with specialised closures:
             # this is the replay hot path (one append per reference).
@@ -183,10 +191,7 @@ class Profiler:
         Callers guarantee the no-online-cache tracing configuration
         (the fused dispatch gate enforces it)."""
         self._flush_trace()
-        self._chunks.append(chunk)
-        kinds = (chunk >> np.uint64(32)).astype(np.uint8)
-        self._chunk_counts += np.bincount(
-            kinds, minlength=256).astype(np.uint64)
+        self._store_chunk(chunk)
 
     def _flush_trace(self) -> None:
         pending = self._pending
@@ -194,10 +199,99 @@ class Profiler:
             return
         chunk = np.array(pending, dtype=np.uint64)
         del pending[:]
-        self._chunks.append(chunk)
+        self._store_chunk(chunk)
+
+    def _store_chunk(self, chunk: np.ndarray) -> None:
+        sink = self._trace_sink
+        if sink is not None:
+            sink.append_tokens(chunk)
+        if sink is not None and self._trace_spill:
+            self._spilled_tokens += len(chunk)
+        else:
+            self._chunks.append(chunk)
         kinds = (chunk >> np.uint64(32)).astype(np.uint8)
         self._chunk_counts += np.bincount(
             kinds, minlength=256).astype(np.uint64)
+
+    # -- streaming access ----------------------------------------------
+    def attach_trace_sink(self, sink, spill: bool = False) -> None:
+        """Stream the trace into ``sink`` (a PTRC ``ContainerWriter``)
+        as it is recorded.  Chunks already buffered are pushed first,
+        so the sink always holds the whole trace from reference zero.
+
+        With ``spill`` the profiler stops keeping chunks in RAM — the
+        replay runs in bounded memory however long the session is, and
+        the container becomes the only copy of the trace (the in-RAM
+        accessors :meth:`reference_trace`/:meth:`trace_bytes` then
+        raise; resilient replays keep ``spill=False`` because PRCKPT01
+        checkpoints serialize the in-RAM trace).
+        """
+        if not self.trace_references:
+            raise RuntimeError(
+                "profiler was created with trace_references=False")
+        self._flush_trace()
+        for chunk in self._chunks:
+            sink.append_tokens(chunk)
+        self._trace_sink = sink
+        self._trace_spill = spill
+        if spill:
+            self._spilled_tokens += sum(len(c) for c in self._chunks)
+            self._chunks = []
+
+    def flush_trace_sink(self) -> None:
+        """Push any still-buffered references through to the attached
+        sink.  Call once after the replay finishes and before closing
+        the container — the hot path batches tokens, so the final
+        partial batch is only in the sink after this."""
+        self._flush_trace()
+
+    def _require_in_ram(self) -> None:
+        if self._spilled_tokens:
+            raise RuntimeError(
+                "the trace was spilled to its container sink "
+                "(attach_trace_sink(spill=True)); re-open the PTRC "
+                "container to read it")
+
+    def chunks(self):
+        """Iterate the packed uint64 trace chunk by chunk, without
+        concatenating (the streaming counterpart of
+        :meth:`reference_trace` — peak memory stays one chunk)."""
+        self._require_in_ram()
+        self._flush_trace()
+        yield from self._chunks
+
+    def cache_chunks(self, memory_only: bool = True):
+        """``(addresses, writes)`` pairs per chunk for the out-of-core
+        cache kernels, hardware references dropped by default."""
+        from ..traces.container import cache_chunks
+        return cache_chunks(self.chunks(), memory_only=memory_only)
+
+    @property
+    def trace_tokens(self) -> int:
+        """Total recorded references (including spilled chunks)."""
+        return int(self._counts_snapshot().sum())
+
+    def counts_dict(self, memory_only: bool = False) -> Dict[str, int]:
+        """``ReferenceTrace.counts()`` without materializing the trace
+        (derived from the flat counters).  ``memory_only`` excludes
+        hardware references from the kind totals, matching
+        ``reference_trace().memory_only().counts()``."""
+        snapshot = self._counts_snapshot()
+        out = {}
+        for region, name in [(REGION_RAM, "ram"), (REGION_FLASH, "flash"),
+                             (REGION_HW, "hw")]:
+            base = region << 4
+            out[name] = int(snapshot[base:base + 16].sum())
+        hw_base = REGION_HW << 4
+        for kind, name in [(KIND_FETCH, "fetch"), (KIND_READ, "read"),
+                           (KIND_WRITE, "write")]:
+            total = int(snapshot[kind::16].sum())
+            if memory_only:
+                total -= int(snapshot[hw_base + kind])
+            out[name] = total
+        if memory_only:
+            out["hw"] = 0
+        return out
 
     def _counts_snapshot(self) -> np.ndarray:
         """The 256 flat counters as a uint64 array (derived from the
@@ -292,7 +386,9 @@ class Profiler:
 
     # -- the reference trace -------------------------------------------------
     def _packed_trace(self) -> np.ndarray:
-        """All trace entries as one packed uint64 array."""
+        """All trace entries as one packed uint64 array (materializes;
+        streaming consumers should iterate :meth:`chunks` instead)."""
+        self._require_in_ram()
         self._flush_trace()
         if not self._chunks:
             return np.empty(0, dtype=np.uint64)
@@ -417,8 +513,12 @@ class ReferenceTrace:
 
     def counts(self) -> dict:
         # One histogram over the packed bytes; region and kind totals
-        # are nibble slices of it (six full passes before).
-        packed = np.bincount(self.kinds, minlength=256)
+        # are nibble slices of it (six full passes before).  Chunked so
+        # the uint8 histogram never needs the whole kinds array resident
+        # at once on views of very large traces.
+        packed = np.zeros(256, dtype=np.int64)
+        for _addrs, kinds in self.chunks():
+            packed += np.bincount(kinds, minlength=256)
         out = {}
         for region, name in [(REGION_RAM, "ram"), (REGION_FLASH, "flash"),
                              (REGION_HW, "hw")]:
@@ -428,6 +528,29 @@ class ReferenceTrace:
                            (KIND_WRITE, "write")]:
             out[name] = int(packed[kind::16].sum())
         return out
+
+    # -- streaming access ----------------------------------------------
+    def chunks(self, chunk_tokens: int = TRACE_CHUNK):
+        """Iterate ``(addresses, kinds)`` view pairs in windows of
+        ``chunk_tokens`` references — no copies, so consumers that
+        stream (PTRC writers, the out-of-core kernels) never double
+        the trace's memory footprint."""
+        n = len(self.addresses)
+        for start in range(0, n, chunk_tokens):
+            yield (self.addresses[start:start + chunk_tokens],
+                   self.kinds[start:start + chunk_tokens])
+
+    def cache_chunks(self, memory_only: bool = True,
+                     chunk_tokens: int = TRACE_CHUNK):
+        """``(addresses, writes)`` pairs per window for the out-of-core
+        cache kernels (hardware references dropped by default)."""
+        for addrs, kinds in self.chunks(chunk_tokens):
+            if memory_only:
+                mask = (kinds >> 4) != REGION_HW
+                addrs = addrs[mask]
+                kinds = kinds[mask]
+            if len(addrs):
+                yield addrs, (kinds & 0x0F) == KIND_WRITE
 
     # -- persistence ---------------------------------------------------------
     def save(self, path) -> None:

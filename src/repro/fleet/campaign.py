@@ -115,6 +115,10 @@ class CampaignSpec:
     #: 0 means "use the policy default" (the resilient runner's 2000
     #: ticks — see :func:`repro.fleet.worker.run_session`).
     checkpoint_every: int = 0
+    #: Archive every session's reference trace as a PTRC container
+    #: under ``<campaign>/traces/`` and record its content digest in
+    #: the journal (verified on ``--resume``).
+    archive_traces: bool = False
     extra: Dict[str, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -160,7 +164,7 @@ class CampaignSpec:
 
     # -- serialization ----------------------------------------------------
     def to_json(self) -> dict:
-        return {
+        data = {
             "_format": CAMPAIGN_JSON_FORMAT,
             "_version": CAMPAIGN_JSON_VERSION,
             "name": self.name,
@@ -174,6 +178,11 @@ class CampaignSpec:
             "checkpoint_every": self.checkpoint_every,
             "extra": dict(self.extra),
         }
+        # Only serialized when on, so digests (campaign identity) of
+        # pre-existing non-archiving campaigns stay resumable.
+        if self.archive_traces:
+            data["archive_traces"] = True
+        return data
 
     @classmethod
     def from_json(cls, data: dict) -> "CampaignSpec":
@@ -193,6 +202,7 @@ class CampaignSpec:
                 caches=tuple(tuple(c) for c in data["caches"]),
                 policy=data["policy"],
                 checkpoint_every=data["checkpoint_every"],
+                archive_traces=bool(data.get("archive_traces", False)),
                 extra=dict(data.get("extra", {})),
             )
         except (KeyError, TypeError, ValueError) as exc:

@@ -139,6 +139,9 @@ class FleetSupervisor:
         self.chaos = chaos or {}
         self._progress = progress or (lambda text: None)
         self._ctx = get_context("fork")
+        #: Where workers archive per-session PTRC traces (spec-gated).
+        self.trace_dir = (self.out_dir / "traces"
+                          if spec.archive_traces else None)
 
     # -- public -----------------------------------------------------------
     def run(self, resume: bool = False) -> FleetResult:
@@ -164,6 +167,8 @@ class FleetSupervisor:
                 aggregate.add(index, stats)
             for index, reason in quarantined.items():
                 aggregate.quarantine(index, reason)
+            if self.trace_dir is not None:
+                self._verify_trace_archive(completed)
             self._progress(
                 f"resume: {len(completed)} done, {len(quarantined)} "
                 f"quarantined, journal replayed")
@@ -195,6 +200,40 @@ class FleetSupervisor:
         )
 
     # -- internals --------------------------------------------------------
+    def _verify_trace_archive(self, completed: Dict[int, dict]) -> None:
+        """Cross-check every journaled trace digest against the PTRC
+        file on disk before resuming — a swapped, truncated or corrupt
+        archive must fail loudly, not taint the merged aggregate."""
+        from ..traces.container import TraceContainer, TraceContainerError
+
+        for index in sorted(completed):
+            stats = completed[index]
+            digest = stats.get("trace_digest")
+            if digest is None:
+                continue
+            path = self.trace_dir / f"{stats['session_id']}.ptrc"
+            if not path.exists():
+                raise JournalError(
+                    f"{path}: journaled trace container is missing — "
+                    "the archive does not match the journal (restore "
+                    "it or restart the campaign in a fresh directory)")
+            try:
+                with TraceContainer(path) as container:
+                    on_disk = container.digest
+                    # Deep verify: the manifest digest alone would still
+                    # match after payload corruption — walk the chunk
+                    # crc32s and recompute the content digest.
+                    container.verify(deep=True)
+            except TraceContainerError as exc:
+                raise JournalError(
+                    f"{path}: journaled trace container failed "
+                    f"verification: {exc}") from exc
+            if on_disk != digest:
+                raise JournalError(
+                    f"{path}: trace digest mismatch — journal says "
+                    f"{digest[:12]}…, container holds {on_disk[:12]}… "
+                    "(the archive was modified since the session ran)")
+
     def _backoff(self, plan: SessionPlan, attempt: int) -> float:
         rng = random.Random(f"backoff|{plan.index}|{attempt}")
         return self.backoff_base * (2 ** attempt) + rng.uniform(
@@ -205,7 +244,8 @@ class FleetSupervisor:
         process = self._ctx.Process(
             target=worker_main,
             args=(plan_to_json(plan), msg_queue, attempt,
-                  self.spec.policy, self.spec.checkpoint_every, directive),
+                  self.spec.policy, self.spec.checkpoint_every, directive,
+                  str(self.trace_dir) if self.trace_dir else None),
             daemon=True,
             name=f"fleet-{plan.session_id}-a{attempt}",
         )

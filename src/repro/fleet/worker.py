@@ -70,6 +70,7 @@ def _apply_chaos(chaos, stage: str, attempt: int) -> None:
 
 def run_session(plan: SessionPlan, *, policy: str = "resync",
                 checkpoint_every: int = 0, faults=None,
+                trace_dir=None,
                 beat=lambda stage: None) -> dict:
     """The collect→replay→simulate pipeline, reduced to a stats record.
 
@@ -79,6 +80,12 @@ def run_session(plan: SessionPlan, *, policy: str = "resync",
     default" of :data:`DEFAULT_CHECKPOINT_EVERY` ticks — checkpointing
     is never disabled, because crash-resume of an interrupted session
     depends on it.
+
+    ``trace_dir`` archives the session's reference trace as a PTRC
+    container ``<trace_dir>/<session_id>.ptrc`` (atomic: tmp +
+    ``os.replace``) and adds its content digest to the stats record as
+    ``trace_digest``.  The digest is a pure function of the trace, so
+    it keeps the record's determinism contract.
     """
     from ..analysis.energy import EnergyModel
     from ..cache import CacheConfig, RegionMix
@@ -131,13 +138,35 @@ def run_session(plan: SessionPlan, *, policy: str = "resync",
     # -- simulate ---------------------------------------------------------
     beat("simulate")
     profiler = outcome.profiler
-    trace = profiler.reference_trace().memory_only()
-    counts = trace.counts()
+    # Out-of-core: the cache kernels stream the profiler's packed
+    # chunks (HW references filtered per chunk) — the trace is never
+    # concatenated or copied into a second array pair.
+    counts = profiler.counts_dict(memory_only=True)
     config = CacheConfig(size=cell.cache_size, line_size=cell.cache_line,
                          associativity=cell.cache_assoc)
-    stats = simulate_auto(trace.addresses, config,
-                          writes=trace.is_write)
+    stats = simulate_auto(profiler.cache_chunks(memory_only=True), config)
     mix = RegionMix(counts["ram"], counts["flash"])
+
+    trace_digest = None
+    if trace_dir:
+        from ..traces.container import ContainerWriter
+        os.makedirs(trace_dir, exist_ok=True)
+        final_path = os.path.join(trace_dir, f"{plan.session_id}.ptrc")
+        tmp_path = f"{final_path}.tmp.{os.getpid()}"
+        try:
+            with ContainerWriter(
+                    tmp_path,
+                    session={"session_id": plan.session_id,
+                             "seed": plan.seed,
+                             "cell": cell.describe()}) as writer:
+                for chunk in profiler.chunks():
+                    writer.append_tokens(chunk)
+            os.replace(tmp_path, final_path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        trace_digest = writer.manifest["digest"]
     model = EnergyModel()
     # The kernels hand back numpy scalars; the stats record must be
     # plain JSON types (the journal is the durability boundary).
@@ -145,7 +174,7 @@ def run_session(plan: SessionPlan, *, policy: str = "resync",
 
     report = outcome.report
     salvage = outcome.salvage
-    return {
+    record = {
         "session_id": plan.session_id,
         "cell_index": cell.index,
         "cell": cell.describe(),
@@ -171,11 +200,16 @@ def run_session(plan: SessionPlan, *, policy: str = "resync",
         "salvage_dropped": salvage.dropped if salvage else 0,
         "salvage_repaired": salvage.repaired if salvage else 0,
     }
+    if trace_digest is not None:
+        # Key present only when archiving: non-archiving campaigns keep
+        # byte-identical stats records across versions.
+        record["trace_digest"] = trace_digest
+    return record
 
 
 def worker_main(plan_json: dict, queue, attempt: int,
                 policy: str, checkpoint_every: int,
-                chaos=None) -> None:
+                chaos=None, trace_dir=None) -> None:
     """Process entry point: run one session and report on ``queue``."""
     from .campaign import CampaignCell
 
@@ -194,7 +228,7 @@ def worker_main(plan_json: dict, queue, attempt: int,
     try:
         stats = run_session(plan, policy=policy,
                             checkpoint_every=checkpoint_every,
-                            faults=faults, beat=beat)
+                            faults=faults, trace_dir=trace_dir, beat=beat)
     except BaseException as exc:  # noqa: BLE001 - the verdict crosses a process
         queue.put(("fail", plan.index, {
             "error": type(exc).__name__,

@@ -31,7 +31,9 @@ from .replay import (
     resilient_replay,
 )
 from .salvage import (
+    ContainerSalvageResult,
     SalvageResult,
+    salvage_container,
     salvage_database_image,
     salvage_file,
     salvage_log,
@@ -66,9 +68,11 @@ __all__ = [
     "ResilientReplayResult",
     "resilient_replay",
     "SalvageResult",
+    "ContainerSalvageResult",
     "salvage_log",
     "salvage_database_image",
     "salvage_file",
+    "salvage_container",
     "Divergence",
     "DivergenceKind",
     "DivergenceReport",

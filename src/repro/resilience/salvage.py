@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from ..analysis.static.findings import Finding, Report, Severity
 from ..tracelog import ActivityLog
@@ -222,6 +222,80 @@ def salvage_database_image(image: Any, strict: bool = False) -> SalvageResult:
             f"activity log failed strict validation: "
             f"{len(result.report.errors)} error-severity finding(s)",
             report=result.report)
+    return result
+
+
+@dataclass
+class ContainerSalvageResult:
+    """What PTRC container salvage produced: the recovered container's
+    manifest (``None`` when nothing was recoverable) plus the paper
+    trail, through the same :class:`Report` machinery as log salvage."""
+
+    report: Report
+    manifest: Optional[Dict[str, Any]]
+    chunks_kept: int = 0
+    tokens_kept: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when the container needed no intervention at all."""
+        return not self.report.findings
+
+    def summary(self) -> str:
+        return (f"salvage: {self.chunks_kept} chunk(s) / "
+                f"{self.tokens_kept:,} token(s) recovered; "
+                f"{len(self.report.errors)} error(s), "
+                f"{len(self.report.warnings)} warning(s)")
+
+
+#: PTRC scan problem codes that mean "this is not a (version of a)
+#: container at all" rather than "the tail is torn" — nothing before
+#: the problem can be trusted, so they are error severity.
+_FATAL_CONTAINER_PROBLEMS = frozenset(
+    ("truncated-header", "bad-magic", "bad-version", "bad-codec"))
+
+
+def salvage_container(path: Union[str, Path],
+                      out_path: Union[str, Path],
+                      strict: bool = False) -> ContainerSalvageResult:
+    """Recover the intact prefix of a torn or corrupt PTRC trace
+    container into ``out_path``, reporting every dropped frame as a
+    typed finding.
+
+    A container torn by a crash (a replay killed mid ``--trace-out``,
+    a fleet worker that died before ``os.replace``) loses only its
+    unflushed tail: every complete frame before the tear is
+    self-describing and crc-guarded, so the salvaged prefix is
+    bit-exact.  With ``strict=True`` any error-severity finding raises
+    :class:`~repro.traces.container.TraceContainerError`.
+    """
+    from ..traces.container import TraceContainerError, recover_container
+
+    report = Report()
+    manifest: Optional[Dict[str, Any]] = None
+    chunks_kept = 0
+    tokens_kept = 0
+    try:
+        manifest, recovery = recover_container(path, out_path)
+    except (TraceContainerError, OSError) as exc:
+        report.add(Severity.ERROR, "unrecoverable-container",
+                   f"cannot recover {path}: {exc}")
+    else:
+        chunks_kept = int(recovery["chunks_kept"])
+        tokens_kept = int(recovery["tokens_kept"])
+        for problem in recovery["problems"]:
+            severity = (Severity.ERROR
+                        if problem["code"] in _FATAL_CONTAINER_PROBLEMS
+                        else Severity.WARNING)
+            report.add(severity, problem["code"], problem["message"])
+    result = ContainerSalvageResult(report=report, manifest=manifest,
+                                    chunks_kept=chunks_kept,
+                                    tokens_kept=tokens_kept)
+    if strict and not report.ok:
+        raise TraceContainerError(
+            f"container {path} failed strict salvage: "
+            f"{len(report.errors)} error-severity finding(s); "
+            f"first: {report.errors[0].message}")
     return result
 
 

@@ -1,7 +1,54 @@
-"""Address traces: the profiler's reference traces plus synthetic
-desktop workloads for the Figure 7 comparison."""
+"""Address traces: the profiler's reference traces, the PTRC streaming
+container, dinero interchange, and synthetic desktop workloads for the
+Figure 7 comparison."""
 
 from ..emulator.profiling import ReferenceTrace
+from .container import (
+    DEFAULT_CHUNK_TOKENS,
+    ContainerWriter,
+    TraceArchive,
+    TraceContainer,
+    TraceContainerError,
+    available_codecs,
+    from_reference_trace,
+    open_chunk_source,
+    open_container,
+    recover_container,
+    scan_frames,
+    write_container,
+)
 from .desktop import DesktopTraceConfig, generate_desktop_trace
+from .dinero import (
+    DineroFormatError,
+    container_to_dinero,
+    dinero_to_container,
+    read_dinero,
+    read_dinero_chunks,
+    write_dinero,
+    write_dinero_chunks,
+)
 
-__all__ = ["ReferenceTrace", "DesktopTraceConfig", "generate_desktop_trace"]
+__all__ = [
+    "ReferenceTrace",
+    "DesktopTraceConfig",
+    "generate_desktop_trace",
+    "DEFAULT_CHUNK_TOKENS",
+    "ContainerWriter",
+    "TraceArchive",
+    "TraceContainer",
+    "TraceContainerError",
+    "available_codecs",
+    "from_reference_trace",
+    "open_chunk_source",
+    "open_container",
+    "recover_container",
+    "scan_frames",
+    "write_container",
+    "DineroFormatError",
+    "container_to_dinero",
+    "dinero_to_container",
+    "read_dinero",
+    "read_dinero_chunks",
+    "write_dinero",
+    "write_dinero_chunks",
+]

@@ -1,0 +1,841 @@
+"""PTRC: the chunked, compressed, indexed on-disk trace container.
+
+The replay pipeline records memory references as packed uint64 tokens
+(``addr | kinds_byte << 32`` — the profiler's in-RAM format).  A PTRC
+file stores that token stream in fixed-size chunks so the cache layer
+can simulate population-scale traces out of core: chunks are written
+incrementally during replay, and read back either as zero-copy numpy
+views over an ``mmap`` (``raw`` codec) or through a bounded decode
+window (``zlib``/``zstd`` codecs) — resident memory never exceeds a
+few chunks no matter how large the archive is.
+
+On-disk layout (all integers little-endian)::
+
+    header   32 B   magic "PTRC01", version, codec, chunk_tokens
+    frames   N ×    frame header 24 B ("PTCK", payload bytes, token
+                    count, crc32 of the *raw* token bytes, first/last
+                    address) + payload
+    index    N × 28 B   one record per chunk: payload offset, payload
+                    bytes, token count, crc32, first/last address
+    manifest JSON   session metadata, codec, token totals, sha256
+                    digest of the raw token stream, archive membership
+    footer   56 B   offsets/sizes of index + manifest, total tokens,
+                    crc32 of the index block, magic "PTRCEND1"
+
+Every chunk frame is self-describing, so a file whose writer died
+before the footer was written (a *torn tail*) is recoverable by
+walking frames from the header — :func:`scan_frames` underlies
+``repro.resilience.salvage.salvage_container``.  Frame headers are
+24 bytes and payloads are multiples of 8, so raw-codec payloads are
+always 8-byte aligned and the mmap views are true zero-copy arrays.
+
+The digest is computed over the *uncompressed* token bytes: the same
+trace has the same identity no matter which codec stored it.  The
+fleet journal records it per session and verifies it on ``--resume``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from hashlib import sha256
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..device.memmap import KIND_WRITE, REGION_HW
+
+MAGIC = b"PTRC01"
+VERSION = 1
+FRAME_MAGIC = b"PTCK"
+FOOTER_MAGIC = b"PTRCEND1"
+
+_HEADER = struct.Struct("<6sH8sII8x")          # 32 bytes
+_FRAME = struct.Struct("<4sIIIII")             # 24 bytes
+_FOOTER = struct.Struct("<QQQQQI4x8s")         # 56 bytes
+HEADER_SIZE = _HEADER.size
+FRAME_HEADER_SIZE = _FRAME.size
+FOOTER_SIZE = _FOOTER.size
+
+#: Default tokens per chunk: 1 Mi tokens = 8 MiB raw.  Large enough
+#: that zlib gets real context and the per-chunk kernel set-up cost
+#: amortizes, small enough that a decode window stays far under the
+#: 256 MB out-of-core budget.
+DEFAULT_CHUNK_TOKENS = 1 << 20
+
+_MASK32 = np.uint64(0xFFFFFFFF)
+
+_INDEX_DTYPE = np.dtype([
+    ("offset", "<u8"),    # file offset of the chunk *payload*
+    ("nbytes", "<u4"),    # payload size as stored (compressed)
+    ("tokens", "<u4"),    # token count
+    ("crc32", "<u4"),     # crc32 of the raw (uncompressed) token bytes
+    ("first", "<u4"),     # first address in the chunk
+    ("last", "<u4"),      # last address in the chunk
+])
+
+
+class TraceContainerError(ValueError):
+    """A PTRC file is not one, is torn, or failed an integrity check."""
+
+
+# -- codecs ---------------------------------------------------------------
+
+def _load_zstd():
+    """The zstd module if any binding is importable, else ``None``.
+    The container gates zstd behind this probe instead of requiring
+    it: zlib is always available and is the default codec."""
+    try:
+        import zstandard  # type: ignore
+        return ("zstandard", zstandard)
+    except ImportError:
+        pass
+    try:
+        from compression import zstd  # type: ignore
+        return ("compression.zstd", zstd)
+    except ImportError:
+        return None
+
+
+_ZSTD = _load_zstd()
+
+
+def available_codecs() -> Tuple[str, ...]:
+    codecs = ["raw", "zlib"]
+    if _ZSTD is not None:
+        codecs.append("zstd")
+    return tuple(codecs)
+
+
+def _check_codec(codec: str) -> None:
+    if codec in ("raw", "zlib"):
+        return
+    if codec == "zstd":
+        if _ZSTD is None:
+            raise TraceContainerError(
+                "codec 'zstd' requires the zstandard module, which is "
+                "not installed — use 'zlib' (default) or 'raw'")
+        return
+    raise TraceContainerError(
+        f"unknown codec {codec!r} (known: raw, zlib, zstd)")
+
+
+def _encode(codec: str, level: int, raw: bytes) -> bytes:
+    if codec == "raw":
+        return raw
+    if codec == "zlib":
+        return zlib.compress(raw, level)
+    name, mod = _ZSTD  # type: ignore[misc]
+    if name == "zstandard":
+        return mod.ZstdCompressor(level=level).compress(raw)
+    return mod.compress(raw, level)
+
+
+def _decode(codec: str, payload: bytes, raw_nbytes: int) -> bytes:
+    if codec == "raw":
+        return payload
+    try:
+        if codec == "zlib":
+            return zlib.decompress(payload)
+        name, mod = _ZSTD  # type: ignore[misc]
+        if name == "zstandard":
+            return mod.ZstdDecompressor().decompress(
+                payload, max_output_size=raw_nbytes)
+        return mod.decompress(payload)
+    except Exception as exc:
+        # Corrupt payload bytes surface as codec-specific errors
+        # (zlib.error, ZstdError); containers promise one typed error.
+        raise TraceContainerError(
+            f"undecodable {codec} chunk payload: {exc}") from exc
+
+
+# -- token packing --------------------------------------------------------
+
+def pack_tokens(addresses: np.ndarray, kinds: np.ndarray) -> np.ndarray:
+    """(addresses, packed kinds byte) -> uint64 token array, the
+    profiler's ``addr | kinds << 32`` convention."""
+    return (addresses.astype(np.uint64) & _MASK32) \
+        | (kinds.astype(np.uint64) << np.uint64(32))
+
+
+def unpack_tokens(tokens: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """uint64 token array -> (uint32 addresses, uint8 kinds byte)."""
+    return ((tokens & _MASK32).astype(np.uint32),
+            (tokens >> np.uint64(32)).astype(np.uint8))
+
+
+def cache_chunks(token_chunks: Iterable[np.ndarray],
+                 memory_only: bool = True,
+                 ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Adapt a token-chunk stream for the out-of-core cache kernels:
+    yields ``(addresses, writes)`` per chunk, with hardware-register
+    references dropped (``ReferenceTrace.memory_only`` semantics).
+    Empty chunks are skipped — the kernels' chunk protocol carries no
+    information in them."""
+    for chunk in token_chunks:
+        addrs, kinds = unpack_tokens(np.asarray(chunk, dtype=np.uint64))
+        if memory_only:
+            mask = (kinds >> 4) != REGION_HW
+            addrs = addrs[mask]
+            kinds = kinds[mask]
+        if len(addrs):
+            yield addrs, (kinds & 0x0F) == KIND_WRITE
+
+
+def reference_counts(token_chunks: Iterable[np.ndarray]) -> dict:
+    """``ReferenceTrace.counts()``-shaped region/kind totals from a
+    token-chunk stream, one chunk resident at a time."""
+    from ..device.memmap import (KIND_FETCH, KIND_READ, REGION_FLASH,
+                                 REGION_RAM)
+    packed = np.zeros(256, dtype=np.int64)
+    for chunk in token_chunks:
+        kinds = (np.asarray(chunk, dtype=np.uint64)
+                 >> np.uint64(32)).astype(np.uint8)
+        packed += np.bincount(kinds, minlength=256)
+    out = {}
+    for region, name in [(REGION_RAM, "ram"), (REGION_FLASH, "flash"),
+                         (REGION_HW, "hw")]:
+        base = region << 4
+        out[name] = int(packed[base:base + 16].sum())
+    for kind, name in [(KIND_FETCH, "fetch"), (KIND_READ, "read"),
+                       (KIND_WRITE, "write")]:
+        out[name] = int(packed[kind::16].sum())
+    return out
+
+
+# -- writer ---------------------------------------------------------------
+
+class ContainerWriter:
+    """Incremental PTRC writer.
+
+    Feed it uint64 token blocks of any size with :meth:`append_tokens`
+    (the profiler's flush path calls it chunk by chunk during replay);
+    it re-chunks them to ``chunk_tokens`` and writes one frame per
+    chunk.  :meth:`close` flushes the tail, then writes index,
+    manifest and footer.  Until ``close`` returns the file has no
+    footer — a crash leaves a torn but salvageable prefix.
+    """
+
+    def __init__(self, path, *, codec: str = "zlib",
+                 chunk_tokens: int = DEFAULT_CHUNK_TOKENS,
+                 level: int = 6,
+                 session: Optional[dict] = None,
+                 archive: Optional[dict] = None):
+        _check_codec(codec)
+        if chunk_tokens < 1:
+            raise TraceContainerError("chunk_tokens must be >= 1")
+        self.path = os.fspath(path)
+        self.codec = codec
+        self.chunk_tokens = int(chunk_tokens)
+        self.level = level
+        self.session = dict(session or {})
+        self.archive = dict(archive) if archive else None
+        self._buf = np.empty(self.chunk_tokens, dtype=np.uint64)
+        self._fill = 0
+        self._entries: List[tuple] = []
+        self._digest = sha256()
+        self._tokens = 0
+        self._closed = False
+        self._manifest: Optional[dict] = None
+        self._fh = open(self.path, "wb")
+        try:
+            self._fh.write(_HEADER.pack(
+                MAGIC, VERSION, codec.encode("ascii").ljust(8, b"\0"),
+                self.chunk_tokens, 0))
+        except BaseException:
+            self._fh.close()
+            raise
+
+    # -- feeding ----------------------------------------------------------
+    def append_tokens(self, tokens: np.ndarray) -> None:
+        if self._closed:
+            raise TraceContainerError("writer is closed")
+        tokens = np.ascontiguousarray(tokens, dtype=np.uint64)
+        pos = 0
+        n = len(tokens)
+        while pos < n:
+            take = min(self.chunk_tokens - self._fill, n - pos)
+            self._buf[self._fill:self._fill + take] = tokens[pos:pos + take]
+            self._fill += take
+            pos += take
+            if self._fill == self.chunk_tokens:
+                self._emit(self._buf)
+                self._fill = 0
+
+    def append_reference(self, addresses: np.ndarray,
+                         kinds: np.ndarray) -> None:
+        """Convenience: append an (addresses, kinds) block."""
+        self.append_tokens(pack_tokens(addresses, kinds))
+
+    def _emit(self, chunk: np.ndarray) -> None:
+        raw = chunk.astype("<u8", copy=False).tobytes()
+        self._digest.update(raw)
+        crc = zlib.crc32(raw)
+        payload = _encode(self.codec, self.level, raw)
+        first = int(chunk[0] & _MASK32)
+        last = int(chunk[-1] & _MASK32)
+        self._fh.write(_FRAME.pack(FRAME_MAGIC, len(payload), len(chunk),
+                                   crc, first, last))
+        offset = self._fh.tell()
+        self._fh.write(payload)
+        self._entries.append((offset, len(payload), len(chunk),
+                              crc, first, last))
+        self._tokens += len(chunk)
+
+    # -- finishing --------------------------------------------------------
+    @property
+    def tokens_written(self) -> int:
+        return self._tokens + self._fill
+
+    @property
+    def digest(self) -> str:
+        """The sha256 of the raw token stream.  Final once closed."""
+        if self._manifest is not None:
+            return self._manifest["digest"]
+        tail = self._buf[:self._fill].astype("<u8", copy=False).tobytes()
+        d = self._digest.copy()
+        d.update(tail)
+        return d.hexdigest()
+
+    @property
+    def manifest(self) -> Optional[dict]:
+        return self._manifest
+
+    def close(self) -> dict:
+        """Flush the tail chunk, write index + manifest + footer, and
+        return the manifest."""
+        if self._closed:
+            return self._manifest  # type: ignore[return-value]
+        if self._fill:
+            self._emit(self._buf[:self._fill])
+            self._fill = 0
+        index = np.zeros(len(self._entries), dtype=_INDEX_DTYPE)
+        for i, entry in enumerate(self._entries):
+            index[i] = entry
+        index_blob = index.tobytes()
+        manifest = {
+            "format": "PTRC",
+            "version": VERSION,
+            "codec": self.codec,
+            "chunk_tokens": self.chunk_tokens,
+            "tokens": self._tokens,
+            "chunks": len(self._entries),
+            "payload_bytes": int(index["nbytes"].sum()) if len(index) else 0,
+            "digest": self._digest.hexdigest(),
+            "session": self.session,
+        }
+        if self.archive is not None:
+            manifest["archive"] = self.archive
+        manifest_blob = json.dumps(
+            manifest, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        index_offset = self._fh.tell()
+        self._fh.write(index_blob)
+        manifest_offset = self._fh.tell()
+        self._fh.write(manifest_blob)
+        self._fh.write(_FOOTER.pack(
+            index_offset, len(index_blob), manifest_offset,
+            len(manifest_blob), self._tokens, zlib.crc32(index_blob),
+            FOOTER_MAGIC))
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.close()
+        self._closed = True
+        self._manifest = manifest
+        return manifest
+
+    def abort(self) -> None:
+        """Close the handle without finalizing (leaves a torn file)."""
+        if not self._closed:
+            self._fh.close()
+            self._closed = True
+
+    def __enter__(self) -> "ContainerWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+
+# -- reader ---------------------------------------------------------------
+
+class TraceContainer:
+    """A PTRC file opened for reading.
+
+    Raw-codec chunks come back as zero-copy ``uint64`` views over one
+    shared mmap; compressed chunks are decoded one bounded window at a
+    time.  Either way :meth:`chunks` never materializes more than one
+    chunk of raw tokens.
+    """
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self._fh = open(self.path, "rb")
+        try:
+            size = os.fstat(self._fh.fileno()).st_size
+            if size < HEADER_SIZE + FOOTER_SIZE:
+                raise TraceContainerError(
+                    f"{self.path}: too short to be a PTRC container "
+                    "(torn tail? try salvage_container)")
+            head = self._fh.read(HEADER_SIZE)
+            magic, version, codec_raw, chunk_tokens, _flags = \
+                _HEADER.unpack(head)
+            if magic != MAGIC:
+                raise TraceContainerError(
+                    f"{self.path}: bad magic {magic!r} (not a PTRC file)")
+            if version != VERSION:
+                raise TraceContainerError(
+                    f"{self.path}: unsupported PTRC version {version}")
+            self.codec = codec_raw.rstrip(b"\0").decode("ascii")
+            _check_codec(self.codec)
+            self.chunk_tokens = chunk_tokens
+            self._fh.seek(size - FOOTER_SIZE)
+            (index_offset, index_nbytes, manifest_offset, manifest_nbytes,
+             tokens, index_crc, footer_magic) = \
+                _FOOTER.unpack(self._fh.read(FOOTER_SIZE))
+            if footer_magic != FOOTER_MAGIC:
+                raise TraceContainerError(
+                    f"{self.path}: missing footer — torn container "
+                    "(writer died before close; try salvage_container)")
+            self._fh.seek(index_offset)
+            index_blob = self._fh.read(index_nbytes)
+            if len(index_blob) != index_nbytes \
+                    or zlib.crc32(index_blob) != index_crc:
+                raise TraceContainerError(
+                    f"{self.path}: index block corrupt")
+            self.index = np.frombuffer(index_blob, dtype=_INDEX_DTYPE)
+            self._fh.seek(manifest_offset)
+            try:
+                self.manifest = json.loads(
+                    self._fh.read(manifest_nbytes).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise TraceContainerError(
+                    f"{self.path}: manifest corrupt: {exc}") from exc
+            self.tokens = int(tokens)
+            if int(self.index["tokens"].sum()) != self.tokens:
+                raise TraceContainerError(
+                    f"{self.path}: index token total "
+                    f"{int(self.index['tokens'].sum())} != footer "
+                    f"{self.tokens}")
+            # Only the raw codec hands out zero-copy views into the
+            # file, so only it needs the mapping; compressed chunks
+            # are pread() one at a time — touched map pages would
+            # otherwise stay resident and streaming RSS would grow
+            # with the file instead of staying one-chunk flat.
+            self._mmap = None
+            if size > 0 and self.codec == "raw":
+                import mmap as _mmap
+                self._mmap = _mmap.mmap(self._fh.fileno(), 0,
+                                        access=_mmap.ACCESS_READ)
+        except BaseException:
+            self._fh.close()
+            raise
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def digest(self) -> str:
+        return self.manifest.get("digest", "")
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.index)
+
+    def __len__(self) -> int:
+        return self.tokens
+
+    # -- access -----------------------------------------------------------
+    def chunk(self, i: int) -> np.ndarray:
+        """Chunk ``i`` as a uint64 token array (zero-copy for raw)."""
+        entry = self.index[i]
+        offset = int(entry["offset"])
+        nbytes = int(entry["nbytes"])
+        count = int(entry["tokens"])
+        if self.codec == "raw":
+            return np.frombuffer(self._mmap, dtype="<u8",
+                                 count=count, offset=offset)
+        payload = os.pread(self._fh.fileno(), nbytes, offset)
+        if len(payload) != nbytes:
+            raise TraceContainerError(
+                f"{self.path}: chunk {i} short read "
+                f"({len(payload)} of {nbytes} bytes)")
+        raw = _decode(self.codec, payload, count * 8)
+        if len(raw) != count * 8:
+            raise TraceContainerError(
+                f"{self.path}: chunk {i} decoded to {len(raw)} bytes, "
+                f"expected {count * 8}")
+        return np.frombuffer(raw, dtype="<u8")
+
+    def chunks(self, start: int = 0,
+               stop: Optional[int] = None) -> Iterator[np.ndarray]:
+        """Iterate token chunks ``start..stop`` (bounded memory)."""
+        stop = len(self.index) if stop is None else stop
+        for i in range(start, stop):
+            yield self.chunk(i)
+
+    def reference_chunks(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Iterate ``(addresses, kinds)`` pairs, one per chunk."""
+        for chunk in self.chunks():
+            yield unpack_tokens(chunk)
+
+    def cache_chunks(self, memory_only: bool = True,
+                     ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Iterate ``(addresses, writes)`` pairs for the out-of-core
+        cache kernels (hardware references dropped by default)."""
+        return cache_chunks(self.chunks(), memory_only=memory_only)
+
+    def counts(self) -> dict:
+        """``ReferenceTrace.counts()``-shaped totals, streamed chunk by
+        chunk (the whole trace is never resident)."""
+        return reference_counts(self.chunks())
+
+    def tokens_array(self) -> np.ndarray:
+        """The whole trace as one uint64 array (materializes!  For
+        small traces and tests; population archives should stream)."""
+        if not len(self.index):
+            return np.empty(0, dtype=np.uint64)
+        return np.concatenate(list(self.chunks()))
+
+    def reference_trace(self):
+        """The whole trace as a ReferenceTrace (materializes!)."""
+        from ..emulator.profiling import ReferenceTrace
+        addrs, kinds = unpack_tokens(self.tokens_array())
+        return ReferenceTrace(addresses=addrs, kinds=kinds)
+
+    # -- integrity --------------------------------------------------------
+    def verify(self, deep: bool = True) -> dict:
+        """Check per-chunk crc32s and the manifest digest.  Returns a
+        report dict; raises :class:`TraceContainerError` on the first
+        mismatch.  ``deep=False`` checks structure only (offsets and
+        sizes in bounds), without decoding payloads."""
+        size = os.fstat(self._fh.fileno()).st_size
+        for i, entry in enumerate(self.index):
+            end = int(entry["offset"]) + int(entry["nbytes"])
+            if end > size:
+                raise TraceContainerError(
+                    f"{self.path}: chunk {i} extends past end of file")
+        report = {"chunks": len(self.index), "tokens": self.tokens,
+                  "codec": self.codec, "deep": bool(deep)}
+        if not deep:
+            return report
+        digest = sha256()
+        for i, entry in enumerate(self.index):
+            chunk = self.chunk(i)
+            raw = chunk.astype("<u8", copy=False).tobytes()
+            if zlib.crc32(raw) != int(entry["crc32"]):
+                raise TraceContainerError(
+                    f"{self.path}: chunk {i} crc32 mismatch")
+            if len(chunk):
+                if int(chunk[0] & _MASK32) != int(entry["first"]) \
+                        or int(chunk[-1] & _MASK32) != int(entry["last"]):
+                    raise TraceContainerError(
+                        f"{self.path}: chunk {i} first/last address "
+                        "mismatch")
+            digest.update(raw)
+        if digest.hexdigest() != self.digest:
+            raise TraceContainerError(
+                f"{self.path}: digest mismatch — manifest says "
+                f"{self.digest[:12]}…, stream is "
+                f"{digest.hexdigest()[:12]}…")
+        report["digest"] = self.digest
+        return report
+
+    # -- lifecycle --------------------------------------------------------
+    def close(self) -> None:
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+        self._fh.close()
+
+    def __enter__(self) -> "TraceContainer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def open_container(path) -> TraceContainer:
+    return TraceContainer(path)
+
+
+def open_chunk_source(path) -> Union[TraceContainer, "TraceArchive"]:
+    """A chunk source for the out-of-core cache layer: a single PTRC
+    file, or an archive directory (streams all members)."""
+    path = os.fspath(path)
+    if os.path.isdir(path):
+        return TraceArchive(path)
+    return TraceContainer(path)
+
+
+def write_container(tokens: Union[np.ndarray, Iterable[np.ndarray]],
+                    path, **kwargs) -> dict:
+    """Write a token array (or an iterable of token blocks) to a PTRC
+    file; returns the manifest."""
+    with ContainerWriter(path, **kwargs) as writer:
+        if isinstance(tokens, np.ndarray):
+            writer.append_tokens(tokens)
+        else:
+            for block in tokens:
+                writer.append_tokens(np.asarray(block, dtype=np.uint64))
+    return writer.manifest  # type: ignore[return-value]
+
+
+def from_reference_trace(trace, path, **kwargs) -> dict:
+    """Write a ReferenceTrace to a PTRC file; returns the manifest.
+    Streams through the trace's ``chunks()`` windows, so the packed
+    uint64 copy never exceeds one chunk."""
+    with ContainerWriter(path, **kwargs) as writer:
+        if hasattr(trace, "chunks"):
+            for addrs, kinds in trace.chunks():
+                writer.append_reference(addrs, kinds)
+        else:
+            writer.append_reference(trace.addresses, trace.kinds)
+    return writer.manifest  # type: ignore[return-value]
+
+
+# -- torn-tail recovery ---------------------------------------------------
+
+def scan_frames(path) -> Tuple[List[dict], List[Tuple[str, str]], dict]:
+    """Walk chunk frames from the header, ignoring index and footer.
+
+    The recovery primitive behind salvage: returns ``(entries,
+    problems, info)`` where ``entries`` are index-record dicts for
+    every intact chunk prefix, ``problems`` is a list of ``(code,
+    message)`` describing where and why the walk stopped, and ``info``
+    carries the parsed header fields.  A clean, footer-complete file
+    scans with no problems (the index/manifest/footer region is
+    recognized and skipped).
+    """
+    problems: List[Tuple[str, str]] = []
+    entries: List[dict] = []
+    with open(path, "rb") as fh:
+        size = os.fstat(fh.fileno()).st_size
+        head = fh.read(HEADER_SIZE)
+        if len(head) < HEADER_SIZE:
+            return [], [("truncated-header",
+                         f"file is {size} bytes, header needs "
+                         f"{HEADER_SIZE}")], {}
+        magic, version, codec_raw, chunk_tokens, _flags = \
+            _HEADER.unpack(head)
+        if magic != MAGIC:
+            return [], [("bad-magic",
+                         f"magic {magic!r} is not {MAGIC!r}")], {}
+        codec = codec_raw.rstrip(b"\0").decode("ascii", "replace")
+        info = {"version": version, "codec": codec,
+                "chunk_tokens": chunk_tokens, "size": size}
+        if version != VERSION:
+            return [], [("bad-version",
+                         f"unsupported version {version}")], info
+        try:
+            _check_codec(codec)
+        except TraceContainerError as exc:
+            return [], [("bad-codec", str(exc))], info
+        pos = HEADER_SIZE
+        while pos < size:
+            fh.seek(pos)
+            frame_head = fh.read(FRAME_HEADER_SIZE)
+            if len(frame_head) < FRAME_HEADER_SIZE:
+                problems.append((
+                    "torn-frame-header",
+                    f"chunk {len(entries)}: only "
+                    f"{len(frame_head)} of {FRAME_HEADER_SIZE} header "
+                    f"bytes at offset {pos}"))
+                break
+            fmagic, nbytes, count, crc, first, last = \
+                _FRAME.unpack(frame_head)
+            if fmagic != FRAME_MAGIC:
+                # Most likely the index block of a complete file —
+                # stop quietly; a trailing-garbage diagnosis belongs
+                # to the caller comparing against the footer.
+                break
+            payload = fh.read(nbytes)
+            if len(payload) < nbytes:
+                problems.append((
+                    "torn-chunk",
+                    f"chunk {len(entries)}: only {len(payload)} of "
+                    f"{nbytes} payload bytes at offset "
+                    f"{pos + FRAME_HEADER_SIZE}"))
+                break
+            try:
+                raw = _decode(codec, payload, count * 8)
+            except Exception as exc:
+                problems.append((
+                    "undecodable-chunk",
+                    f"chunk {len(entries)}: payload does not decode: "
+                    f"{exc}"))
+                break
+            if len(raw) != count * 8 or zlib.crc32(raw) != crc:
+                problems.append((
+                    "corrupt-chunk",
+                    f"chunk {len(entries)}: crc or length mismatch "
+                    f"(header says {count} tokens, crc {crc:#010x})"))
+                break
+            entries.append({"offset": pos + FRAME_HEADER_SIZE,
+                            "nbytes": nbytes, "tokens": count,
+                            "crc32": crc, "first": first, "last": last})
+            pos += FRAME_HEADER_SIZE + nbytes
+    return entries, problems, info
+
+
+def recover_container(path, out_path, *,
+                      session: Optional[dict] = None) -> Tuple[dict, dict]:
+    """Rewrite the intact chunk prefix of a (possibly torn) container
+    as a clean, footer-complete PTRC file at ``out_path``.
+
+    Returns ``(manifest, recovery)`` where ``recovery`` reports what
+    was kept and dropped.  Raises :class:`TraceContainerError` when
+    nothing recoverable remains (bad magic / truncated header).
+    """
+    entries, problems, info = scan_frames(path)
+    if not entries and problems and problems[0][0] in (
+            "truncated-header", "bad-magic", "bad-version", "bad-codec"):
+        raise TraceContainerError(
+            f"{os.fspath(path)}: unrecoverable: {problems[0][1]}")
+    codec = info.get("codec", "zlib")
+    chunk_tokens = info.get("chunk_tokens", DEFAULT_CHUNK_TOKENS)
+    kept_tokens = 0
+    with open(path, "rb") as src, \
+            ContainerWriter(out_path, codec=codec,
+                            chunk_tokens=chunk_tokens,
+                            session=session) as writer:
+        for entry in entries:
+            src.seek(entry["offset"])
+            payload = src.read(entry["nbytes"])
+            raw = _decode(codec, payload, entry["tokens"] * 8)
+            writer.append_tokens(np.frombuffer(raw, dtype="<u8"))
+            kept_tokens += entry["tokens"]
+    recovery = {
+        "chunks_kept": len(entries),
+        "tokens_kept": kept_tokens,
+        "problems": [{"code": code, "message": msg}
+                     for code, msg in problems],
+    }
+    return writer.manifest, recovery  # type: ignore[return-value]
+
+
+# -- multi-session archives -----------------------------------------------
+
+ARCHIVE_MANIFEST = "archive.json"
+ARCHIVE_FORMAT = "PTRC-archive"
+
+
+class TraceArchive:
+    """A directory of member PTRC files with a JSON membership
+    manifest — the fleet's per-campaign trace store.
+
+    Members are addressed by id (the fleet uses session ids); the
+    manifest records each member's file name, digest and token count,
+    plus campaign-level metadata.  :meth:`chunks` chains all members'
+    chunk streams, so a multi-hundred-million-reference population
+    trace simulates through the same bounded-memory kernel path as a
+    single session.
+    """
+
+    def __init__(self, root, *, create: bool = False,
+                 meta: Optional[dict] = None):
+        self.root = os.fspath(root)
+        self._manifest_path = os.path.join(self.root, ARCHIVE_MANIFEST)
+        if os.path.exists(self._manifest_path):
+            with open(self._manifest_path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            if data.get("format") != ARCHIVE_FORMAT:
+                raise TraceContainerError(
+                    f"{self._manifest_path}: not a PTRC archive manifest")
+            self._data = data
+        elif create:
+            os.makedirs(self.root, exist_ok=True)
+            self._data = {"format": ARCHIVE_FORMAT, "version": 1,
+                          "meta": dict(meta or {}), "members": []}
+            self._save()
+        else:
+            raise TraceContainerError(
+                f"{self.root}: no {ARCHIVE_MANIFEST} (pass create=True "
+                "to start a new archive)")
+
+    def _save(self) -> None:
+        blob = json.dumps(self._data, indent=2, sort_keys=True)
+        tmp = self._manifest_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._manifest_path)
+
+    @property
+    def meta(self) -> dict:
+        return self._data.get("meta", {})
+
+    def members(self) -> List[dict]:
+        return list(self._data["members"])
+
+    def member(self, member_id: str) -> Optional[dict]:
+        for m in self._data["members"]:
+            if m["id"] == member_id:
+                return dict(m)
+        return None
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(int(m["tokens"]) for m in self._data["members"])
+
+    def add(self, container_path, member_id: str) -> dict:
+        """Register (or replace) a member.  The file must live inside
+        the archive root; its manifest supplies digest and counts."""
+        path = os.fspath(container_path)
+        rel = os.path.relpath(path, self.root)
+        if rel.startswith(".."):
+            raise TraceContainerError(
+                f"member file {path} is outside archive root {self.root}")
+        with TraceContainer(path) as container:
+            record = {"id": member_id, "file": rel,
+                      "digest": container.digest,
+                      "tokens": container.tokens,
+                      "chunks": container.n_chunks,
+                      "codec": container.codec}
+        self._data["members"] = [m for m in self._data["members"]
+                                 if m["id"] != member_id] + [record]
+        self._data["members"].sort(key=lambda m: m["id"])
+        self._save()
+        return record
+
+    def open(self, member_id: str) -> TraceContainer:
+        record = self.member(member_id)
+        if record is None:
+            raise TraceContainerError(
+                f"{self.root}: no member {member_id!r}")
+        return TraceContainer(os.path.join(self.root, record["file"]))
+
+    def chunks(self) -> Iterator[np.ndarray]:
+        """Chain every member's chunk stream, in member-id order."""
+        for record in self._data["members"]:
+            with TraceContainer(
+                    os.path.join(self.root, record["file"])) as container:
+                yield from container.chunks()
+
+    def cache_chunks(self, memory_only: bool = True,
+                     ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        return cache_chunks(self.chunks(), memory_only=memory_only)
+
+    def counts(self) -> dict:
+        """Archive-wide ``ReferenceTrace.counts()``-shaped totals,
+        streamed member by member."""
+        return reference_counts(self.chunks())
+
+    def verify(self, deep: bool = False) -> Dict[str, dict]:
+        """Verify every member (digest match against the membership
+        record; ``deep`` adds the per-chunk crc walk)."""
+        reports = {}
+        for record in self._data["members"]:
+            with TraceContainer(
+                    os.path.join(self.root, record["file"])) as container:
+                if container.digest != record["digest"]:
+                    raise TraceContainerError(
+                        f"{self.root}: member {record['id']} digest "
+                        f"mismatch — manifest says "
+                        f"{record['digest'][:12]}…, file has "
+                        f"{container.digest[:12]}…")
+                reports[record["id"]] = container.verify(deep=deep)
+        return reports

@@ -53,25 +53,79 @@ class DineroFormatError(ValueError):
     """A record in a dinero trace file could not be decoded."""
 
 
-def write_dinero(trace: ReferenceTrace, path: Union[str, Path]) -> int:
-    """Write a reference trace as a dinero text file; returns the
-    number of records written."""
-    addresses = trace.addresses
+#: Hex nibble value -> lowercase ASCII code point.
+_HEX_CHARS = np.frombuffer(b"0123456789abcdef", dtype=np.uint8)
+
+
+def _format_chunk(addresses: np.ndarray, kinds: np.ndarray) -> bytes:
+    """One chunk of ``<label> <hex address>\\n`` lines as raw bytes.
+
+    Fully vectorized, and byte-identical to ``f"{label} {addr:x}"``
+    per line: the address hex is variable-width (no zero padding), so
+    the lines are assembled by ragged scatter — per-line byte offsets
+    from a cumulative sum of line lengths, hex digits gathered from
+    the (n, 8) nibble matrix starting at each address's first
+    significant nibble.
+    """
     n = len(addresses)
     lut = np.full(16, 255, dtype=np.uint8)
     for kind, din in _KIND_TO_DIN.items():
         lut[kind] = din
-    labels = lut[trace.kind]
-    with open(path, "w") as handle:
-        for start in range(0, n, _CHUNK):
-            # One join + one write per chunk; the per-element cost is a
-            # single format expression over pre-extracted ints.
-            addr = addresses[start:start + _CHUNK].tolist()
-            lab = labels[start:start + _CHUNK].tolist()
-            handle.write("\n".join(
-                f"{d} {a:x}" for d, a in zip(lab, addr)))
-            handle.write("\n")
+    labels = lut[kinds & 0x0F]
+    if (labels == 255).any():
+        bad = int(np.flatnonzero(labels == 255)[0])
+        raise DineroFormatError(
+            f"reference {bad}: kind {int(kinds[bad] & 0x0F)} has no "
+            "dinero label (not fetch/read/write)")
+    addresses = np.ascontiguousarray(addresses, dtype=np.uint32)
+    nibbles = np.empty((n, 8), dtype=np.uint8)
+    for col in range(8):
+        nibbles[:, col] = (addresses >> np.uint32((7 - col) * 4)) \
+            & np.uint32(0xF)
+    # First significant nibble; an all-zero address keeps one digit.
+    first = np.where(addresses == 0, 7,
+                     np.argmax(nibbles != 0, axis=1)).astype(np.int64)
+    width = 8 - first                          # hex digits per line
+    lengths = width + 3                        # label + space + ... + \n
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    out = np.empty(int(ends[-1]), dtype=np.uint8)
+    out[starts] = labels + ord("0")
+    out[starts + 1] = ord(" ")
+    out[ends - 1] = ord("\n")
+    # Ragged gather/scatter of the hex digits: ``intra`` is each
+    # digit's position within its own line's hex field.
+    total_hex = int(width.sum())
+    intra = np.arange(total_hex) - np.repeat(np.cumsum(width) - width,
+                                             width)
+    flat_pos = np.repeat(starts + 2, width) + intra
+    src_col = np.repeat(first, width) + intra
+    out[flat_pos] = _HEX_CHARS[
+        nibbles[np.repeat(np.arange(n), width), src_col]]
+    return out.tobytes()
+
+
+def write_dinero_chunks(path: Union[str, Path], chunks) -> int:
+    """Write ``(addresses, kinds)`` chunk pairs as a dinero text file
+    without ever materializing the whole trace; returns the record
+    count."""
+    n = 0
+    with open(path, "wb") as handle:
+        for addresses, kinds in chunks:
+            if len(addresses) == 0:
+                continue
+            handle.write(_format_chunk(np.asarray(addresses),
+                                       np.asarray(kinds)))
+            n += len(addresses)
     return n
+
+
+def write_dinero(trace: ReferenceTrace, path: Union[str, Path]) -> int:
+    """Write a reference trace as a dinero text file; returns the
+    number of records written.  Formatting is the vectorized chunked
+    fast path of :func:`write_dinero_chunks` (byte-identical output to
+    the historical per-line formatter)."""
+    return write_dinero_chunks(path, trace.chunks(_CHUNK))
 
 
 def _parse_chunk(lines: list, first_line_number: int):
@@ -121,15 +175,15 @@ def _parse_chunk(lines: list, first_line_number: int):
     return addresses, kinds
 
 
-def read_dinero(path: Union[str, Path]) -> ReferenceTrace:
-    """Read a dinero text file into a reference trace.
+def read_dinero_chunks(path: Union[str, Path]):
+    """Read a dinero text file as a stream of ``(addresses, kinds)``
+    chunk views — the whole file is never resident, so dinero→PTRC
+    conversion runs in bounded memory however large the trace.
 
     Region nibbles are synthesised from the address (below 16 MB = RAM,
     otherwise flash) since the format does not carry them.  Raises
     :class:`DineroFormatError` on malformed records.
     """
-    addr_chunks = []
-    kind_chunks = []
     lineno = 1
     with open(path) as handle:
         while True:
@@ -139,14 +193,49 @@ def read_dinero(path: Union[str, Path]) -> ReferenceTrace:
             addresses, kinds = _parse_chunk(lines, lineno)
             lineno += len(lines)
             if len(addresses):
-                addr_chunks.append(addresses)
-                kind_chunks.append(kinds)
+                region = np.where(addresses < (16 << 20), 0, 1) \
+                    .astype(np.uint8)
+                yield addresses, (kinds | (region << 4)).astype(np.uint8)
+
+
+def read_dinero(path: Union[str, Path]) -> ReferenceTrace:
+    """Read a dinero text file into an in-RAM reference trace (chunked
+    parse via :func:`read_dinero_chunks`, then one concatenation)."""
+    addr_chunks = []
+    kind_chunks = []
+    for addresses, kinds in read_dinero_chunks(path):
+        addr_chunks.append(addresses)
+        kind_chunks.append(kinds)
     if addr_chunks:
         addr_arr = np.concatenate(addr_chunks)
         kind_arr = np.concatenate(kind_chunks)
     else:
         addr_arr = np.empty(0, dtype=np.uint32)
         kind_arr = np.empty(0, dtype=np.uint8)
-    region = np.where(addr_arr < (16 << 20), 0, 1).astype(np.uint8)
-    return ReferenceTrace(addresses=addr_arr,
-                          kinds=(kind_arr | (region << 4)).astype(np.uint8))
+    return ReferenceTrace(addresses=addr_arr, kinds=kind_arr)
+
+
+# -- streaming PTRC interchange -------------------------------------------
+
+def dinero_to_container(din_path: Union[str, Path],
+                        ptrc_path: Union[str, Path], **kwargs) -> dict:
+    """Convert a dinero text file to a PTRC container, chunk by chunk
+    (neither file is ever fully resident).  Returns the manifest."""
+    from .container import ContainerWriter
+
+    with ContainerWriter(ptrc_path, **kwargs) as writer:
+        for addresses, kinds in read_dinero_chunks(din_path):
+            writer.append_reference(addresses, kinds)
+    return writer.manifest
+
+
+def container_to_dinero(container, din_path: Union[str, Path]) -> int:
+    """Write a PTRC container's references as a dinero text file,
+    streaming chunk by chunk; returns the record count.  ``container``
+    is an open ``TraceContainer`` or a path."""
+    from .container import TraceContainer
+
+    if isinstance(container, (str, Path)):
+        with TraceContainer(container) as opened:
+            return write_dinero_chunks(din_path, opened.reference_chunks())
+    return write_dinero_chunks(din_path, container.reference_chunks())
